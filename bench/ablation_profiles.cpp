@@ -1,0 +1,95 @@
+// Ablation A12 — time-varying demands (the paper's general R_jt): what does
+// packing by actual per-minute demand buy over reserving every VM at its
+// peak? Generates bursty workloads (piecewise profiles, peak pinned to the
+// catalog demand), allocates them twice — once profile-aware, once with the
+// profiles stripped (peak reservation) — and compares energy, utilization
+// and fleet usage. The run-cost physics are held identical (both variants
+// are *billed* by the true profile; only the packing differs).
+
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "bench_util.h"
+#include "cluster/datacenter.h"
+#include "sim/metrics.h"
+#include "util/table.h"
+#include "workload/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace esva;
+  const bench::BenchArgs args = bench::parse_bench_args(
+      argc, argv, "ablation_profiles — profile-aware vs peak reservation");
+  bench::print_banner(
+      "Ablation A12 — time-varying demands (R_jt)",
+      "profile-aware packing stacks valleys under peaks: fewer active "
+      "servers and lower energy than peak reservation, at identical run "
+      "cost physics");
+
+  TextTable table;
+  table.set_header({"valley factor", "peak-reserved energy",
+                    "profile-aware energy", "saving", "servers (peak)",
+                    "servers (aware)", "cpu util (aware)"});
+
+  for (double valley : {1.0, 0.6, 0.3, 0.1}) {
+    Accumulator peak_energy;
+    Accumulator aware_energy;
+    Accumulator peak_servers;
+    Accumulator aware_servers;
+    Accumulator aware_util;
+
+    Rng master(args.seed);
+    for (int run = 0; run < args.runs; ++run) {
+      Rng run_master = master.split();
+      Rng instance_rng = run_master.split();
+
+      WorkloadConfig config;
+      config.num_vms = args.quick ? 80 : 200;
+      config.mean_interarrival = 1.0;
+      config.mean_duration = 50.0;
+      config.vm_types = all_vm_types();
+      std::vector<VmSpec> profiled =
+          generate_bursty_workload(config, 5, valley, instance_rng);
+      std::vector<ServerSpec> servers = make_random_fleet(
+          config.num_vms / 2, all_server_types(), 1.0, instance_rng);
+
+      // Peak-reserved twin: same VMs, profiles hidden from the allocator.
+      std::vector<VmSpec> peak_reserved = profiled;
+      for (VmSpec& vm : peak_reserved) vm.profile.clear();
+
+      const ProblemInstance p_aware = make_problem(profiled, servers);
+      const ProblemInstance p_peak =
+          make_problem(std::move(peak_reserved), servers);
+
+      Rng r1 = run_master.split();
+      Rng r2 = r1;  // deterministic allocator; identical stream either way
+      const Allocation a_aware =
+          make_allocator("min-incremental")->allocate(p_aware, r1);
+      const Allocation a_peak =
+          make_allocator("min-incremental")->allocate(p_peak, r2);
+
+      // Bill BOTH by the true profile (the peak-reserved twin merely packed
+      // more conservatively; physics are the instance with profiles).
+      const AllocationMetrics m_aware = compute_metrics(p_aware, a_aware);
+      const AllocationMetrics m_peak = compute_metrics(p_aware, a_peak);
+
+      aware_energy.add(m_aware.cost.total());
+      peak_energy.add(m_peak.cost.total());
+      aware_servers.add(static_cast<double>(m_aware.servers_used));
+      peak_servers.add(static_cast<double>(m_peak.servers_used));
+      aware_util.add(m_aware.utilization.avg_cpu);
+    }
+
+    table.add_row(
+        {fmt_double(valley, 1), fmt_double(peak_energy.mean(), 0),
+         fmt_double(aware_energy.mean(), 0),
+         fmt_percent((peak_energy.mean() - aware_energy.mean()) /
+                     peak_energy.mean()),
+         fmt_double(peak_servers.mean(), 1),
+         fmt_double(aware_servers.mean(), 1),
+         fmt_percent(aware_util.mean())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("valley factor 1.0 = stable demand (sanity row: saving ~0); "
+              "smaller = burstier VMs, bigger profile-awareness win.\n");
+  return 0;
+}

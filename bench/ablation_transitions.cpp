@@ -1,0 +1,69 @@
+// Ablation A8 — heterogeneous transition times (§IV-B3 says fleet transition
+// times "range from 30 s to 3 min"; the figures pin them to single values).
+// Compares uniform fleets (0.5 / 1 / 3 min) against a mixed fleet with
+// per-server times drawn from U[0.5, 3], and checks whether the heuristic
+// exploits the heterogeneity (it should prefer low-alpha servers when
+// everything is powered down — §III reason 3).
+
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "bench_util.h"
+#include "sim/metrics.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace esva;
+  const bench::BenchArgs args = bench::parse_bench_args(
+      argc, argv, "ablation_transitions — uniform vs heterogeneous alpha");
+  bench::print_banner(
+      "Ablation A8 — heterogeneous transition times",
+      "a mixed fleet behaves like an intermediate uniform fleet; the "
+      "heuristic's advantage persists and it favors low-alpha wake-ups");
+
+  TextTable table;
+  table.set_header({"fleet", "reduction vs FFPS", "ours energy",
+                    "mean transition energy share"});
+
+  struct Config {
+    const char* label;
+    Scenario scenario;
+  };
+  std::vector<Config> configs{
+      {"uniform 0.5 min", fig5_scenario(4.0, 0.5)},
+      {"uniform 1 min", fig5_scenario(4.0, 1.0)},
+      {"uniform 3 min", fig5_scenario(4.0, 3.0)},
+      {"mixed U[0.5, 3] min", mixed_transition_scenario(100, 4.0)},
+  };
+  // Match fleet sizing across rows (mixed_transition_scenario defaults to
+  // VMs/2; fig5 uses 50 for 100 VMs — identical here).
+  configs.back().scenario.num_servers = 50;
+
+  for (Config& config : configs) {
+    ExperimentConfig experiment = bench::config_from(args);
+    const PointOutcome outcome = run_point(config.scenario, experiment);
+
+    // Transition share of the heuristic's energy, re-measured directly.
+    Accumulator transition_share;
+    Rng master(args.seed);
+    for (int run = 0; run < args.runs; ++run) {
+      Rng run_master = master.split();
+      Rng instance_rng = run_master.split();
+      const ProblemInstance problem =
+          config.scenario.instantiate(instance_rng);
+      Rng alloc_rng = run_master.split();
+      const Allocation alloc =
+          make_allocator("min-incremental")->allocate(problem, alloc_rng);
+      const CostReport report = evaluate_cost(problem, alloc);
+      transition_share.add(report.breakdown.transition / report.total());
+    }
+
+    table.add_row({config.label,
+                   fmt_percent(outcome.headline_reduction()),
+                   fmt_double(
+                       outcome.by_name("min-incremental").total_cost.mean(), 0),
+                   fmt_percent(transition_share.mean())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

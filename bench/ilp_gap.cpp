@@ -1,0 +1,73 @@
+// Ablation A3 — optimality gap of the heuristic on tiny instances, measured
+// against the in-tree exact branch-and-bound solver (the ILP of Eqs. 8-14).
+// The paper formulates the ILP but never reports gaps; this bench fills that
+// gap and doubles as a correctness check (heuristic >= optimal always).
+
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "bench_util.h"
+#include "ilp/branch_and_bound.h"
+#include "test_support.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace esva;
+  const bench::BenchArgs args = bench::parse_bench_args(
+      argc, argv, "ilp_gap — heuristic vs exact optimum on tiny instances");
+  bench::print_banner(
+      "Ablation A3 — optimality gap vs the exact ILP optimum",
+      "greedy should land within a modest factor of optimal on tiny "
+      "instances; FFPS lands further away");
+
+  const int instances = args.quick ? 8 : 25;
+  TextTable table;
+  table.set_header({"allocator", "mean gap", "max gap", "wins (gap=0)"});
+
+  struct GapStats {
+    Accumulator gap;
+    double max_gap = 0.0;
+    int exact_matches = 0;
+  };
+  std::map<std::string, GapStats> stats;
+  const std::vector<std::string> names{"min-incremental", "ffps",
+                                       "best-fit-cpu"};
+
+  Accumulator nodes;
+  int solved = 0;
+  Rng master(args.seed);
+  for (int k = 0; k < instances; ++k) {
+    Rng instance_rng = master.split();
+    const ProblemInstance problem =
+        bench::tiny_random_problem(instance_rng, 8, 4);
+    const ExactResult exact = solve_exact(problem);
+    if (!exact.optimal) continue;
+    ++solved;
+    nodes.add(static_cast<double>(exact.nodes_explored));
+
+    for (const std::string& name : names) {
+      Rng alloc_rng = master.split();
+      const Allocation alloc =
+          make_allocator(name)->allocate(problem, alloc_rng);
+      if (!alloc.fully_allocated()) continue;
+      const double gap =
+          evaluate_cost(problem, alloc).total() / exact.cost - 1.0;
+      GapStats& s = stats[name];
+      s.gap.add(gap);
+      s.max_gap = std::max(s.max_gap, gap);
+      if (gap < 1e-9) ++s.exact_matches;
+    }
+  }
+
+  for (const std::string& name : names) {
+    const GapStats& s = stats[name];
+    table.add_row({name, fmt_percent(s.gap.mean()), fmt_percent(s.max_gap),
+                   std::to_string(s.exact_matches) + "/" +
+                       std::to_string(solved)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("exact solver: %d/%d instances solved to optimality, "
+              "mean %.0f B&B nodes\n",
+              solved, instances, nodes.mean());
+  return 0;
+}

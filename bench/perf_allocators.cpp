@@ -1,0 +1,118 @@
+// P1 — google-benchmark microbenchmarks: allocator throughput at paper scale,
+// plus the hot primitives (feasibility probe, incremental cost delta).
+// These are the numbers behind the "O(m·n·log T)" complexity claim in
+// core/min_incremental.h.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/registry.h"
+#include "cluster/timeline.h"
+#include "core/cost_model.h"
+#include "sim/metrics.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace esva;
+
+ProblemInstance instance_for(int num_vms, std::uint64_t seed) {
+  Rng rng(seed);
+  return fig2_scenario(num_vms, 2.0).instantiate(rng);
+}
+
+void BM_Allocator(benchmark::State& state, const std::string& name) {
+  const ProblemInstance problem =
+      instance_for(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    Rng rng(7);
+    AllocatorPtr allocator = make_allocator(name);
+    Allocation alloc = allocator->allocate(problem, rng);
+    benchmark::DoNotOptimize(alloc.assignment.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(problem.num_vms()));
+}
+
+void BM_EvaluateCost(benchmark::State& state) {
+  const ProblemInstance problem =
+      instance_for(static_cast<int>(state.range(0)), 42);
+  Rng rng(7);
+  const Allocation alloc =
+      make_allocator("min-incremental")->allocate(problem, rng);
+  for (auto _ : state) {
+    CostReport report = evaluate_cost(problem, alloc);
+    benchmark::DoNotOptimize(report.breakdown);
+  }
+}
+
+void BM_Metrics(benchmark::State& state) {
+  const ProblemInstance problem =
+      instance_for(static_cast<int>(state.range(0)), 42);
+  Rng rng(7);
+  const Allocation alloc =
+      make_allocator("min-incremental")->allocate(problem, rng);
+  for (auto _ : state) {
+    AllocationMetrics metrics = compute_metrics(problem, alloc);
+    benchmark::DoNotOptimize(metrics.utilization);
+  }
+}
+
+void BM_FeasibilityProbe(benchmark::State& state) {
+  const ProblemInstance problem = instance_for(300, 42);
+  std::vector<ServerTimeline> timelines =
+      make_timelines(problem.servers, problem.horizon);
+  // Pre-load half the VMs round-robin so probes hit non-trivial trees.
+  for (std::size_t j = 0; j < problem.num_vms() / 2; ++j) {
+    auto& timeline = timelines[j % timelines.size()];
+    if (timeline.can_fit(problem.vms[j])) timeline.place(problem.vms[j]);
+  }
+  std::size_t j = problem.num_vms() / 2;
+  for (auto _ : state) {
+    const VmSpec& vm = problem.vms[j % problem.num_vms()];
+    for (const ServerTimeline& timeline : timelines)
+      benchmark::DoNotOptimize(timeline.can_fit(vm));
+    ++j;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(timelines.size()));
+}
+
+void BM_IncrementalCostDelta(benchmark::State& state) {
+  const ProblemInstance problem = instance_for(300, 42);
+  std::vector<ServerTimeline> timelines =
+      make_timelines(problem.servers, problem.horizon);
+  for (std::size_t j = 0; j < problem.num_vms() / 2; ++j) {
+    auto& timeline = timelines[j % timelines.size()];
+    if (timeline.can_fit(problem.vms[j])) timeline.place(problem.vms[j]);
+  }
+  std::size_t j = problem.num_vms() / 2;
+  for (auto _ : state) {
+    const VmSpec& vm = problem.vms[j % problem.num_vms()];
+    for (const ServerTimeline& timeline : timelines)
+      benchmark::DoNotOptimize(incremental_cost(timeline, vm));
+    ++j;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(timelines.size()));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Allocator, min_incremental, "min-incremental")
+    ->Arg(100)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Allocator, ffps, "ffps")
+    ->Arg(100)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Allocator, best_fit_cpu, "best-fit-cpu")
+    ->Arg(100)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EvaluateCost)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Metrics)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FeasibilityProbe);
+BENCHMARK(BM_IncrementalCostDelta);
+
+BENCHMARK_MAIN();

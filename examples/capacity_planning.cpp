@@ -1,0 +1,83 @@
+// Capacity planning: for a fixed workload, sweep the fleet size and report
+// energy, rejected VMs, utilization and peak power — the question a
+// datacenter operator actually asks ("how many servers do I need, and what
+// does over-provisioning cost in energy?").
+//
+//   $ ./build/examples/capacity_planning --vms 200 --interarrival 1
+
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "cluster/datacenter.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+#include "stats/histogram.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "workload/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace esva;
+  CliParser parser("capacity_planning — fleet-size sweep for one workload");
+  parser.add_int("vms", 200, "number of VM requests");
+  parser.add_double("interarrival", 1.0, "mean inter-arrival time (min)");
+  parser.add_int("seed", 21, "workload seed");
+  if (!parser.parse(argc, argv)) return parser.parse_error() ? 1 : 0;
+
+  Rng rng(static_cast<std::uint64_t>(parser.get_int("seed")));
+  WorkloadConfig workload;
+  workload.num_vms = static_cast<int>(parser.get_int("vms"));
+  workload.mean_interarrival = parser.get_double("interarrival");
+  workload.mean_duration = 50.0;
+  workload.vm_types = all_vm_types();
+  const std::vector<VmSpec> vms = generate_workload(workload, rng);
+
+  std::printf("workload: %zu VMs, horizon %d min\n\n", vms.size(),
+              horizon_of(vms));
+
+  TextTable table;
+  table.set_header({"fleet size", "unallocated", "energy (W*min)",
+                    "cpu util", "peak power (W)", "servers used"});
+
+  const std::vector<int> fleet_sizes{20, 30, 40, 60, 80, 120};
+  Histogram concurrency(0.0, 120.0, 12);
+  bool concurrency_recorded = false;
+
+  for (int fleet_size : fleet_sizes) {
+    Rng fleet_rng(1000 + static_cast<std::uint64_t>(fleet_size));
+    std::vector<ServerSpec> servers =
+        make_random_fleet(fleet_size, all_server_types(), 1.0, fleet_rng);
+    const ProblemInstance problem = make_problem(vms, std::move(servers));
+
+    AllocatorPtr allocator = make_allocator("min-incremental");
+    Rng alloc_rng(5);
+    const Allocation alloc = allocator->allocate(problem, alloc_rng);
+    const AllocationMetrics metrics = compute_metrics(problem, alloc);
+    const SimulationResult sim = SimulationEngine(problem, alloc).run(true);
+
+    Watts peak = 0.0;
+    for (const PowerSample& s : sim.samples) {
+      peak = std::max(peak, s.total_power);
+      if (!concurrency_recorded)
+        concurrency.add(static_cast<double>(s.running_vms));
+    }
+    concurrency_recorded = true;  // same workload; record once
+
+    table.add_row({std::to_string(fleet_size),
+                   std::to_string(metrics.unallocated),
+                   fmt_double(metrics.cost.total(), 0),
+                   fmt_percent(metrics.utilization.avg_cpu),
+                   fmt_double(peak, 0),
+                   std::to_string(metrics.servers_used)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("concurrent running VMs over time (smallest feasible fleet):\n%s",
+              concurrency.render(40).c_str());
+  std::printf(
+      "\nreading: the smallest fleet that leaves no VM unallocated is the\n"
+      "capacity floor; growing the fleet beyond it barely changes energy\n"
+      "(min-incremental refuses to wake servers it does not need), but\n"
+      "adds headroom for demand spikes.\n");
+  return 0;
+}

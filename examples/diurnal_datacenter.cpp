@@ -1,0 +1,85 @@
+// A day in a datacenter: diurnal arrivals (day/night request cycle), the
+// paper's allocator vs FFPS, an hour-by-hour power profile, and an optional
+// migration post-pass — the extension modules working together.
+//
+//   $ ./build/examples/diurnal_datacenter --vms 400 --amplitude 0.8
+
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "cluster/datacenter.h"
+#include "ext/migration.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "workload/diurnal.h"
+
+int main(int argc, char** argv) {
+  using namespace esva;
+  CliParser parser("diurnal_datacenter — day/night workload walkthrough");
+  parser.add_int("vms", 400, "number of requests (~one day at defaults)");
+  parser.add_double("amplitude", 0.8, "day/night swing in [0,1)");
+  parser.add_int("servers", 80, "fleet size");
+  parser.add_int("seed", 17, "seed");
+  parser.add_bool("migrate", "run the migration post-pass as well");
+  if (!parser.parse(argc, argv)) return parser.parse_error() ? 1 : 0;
+
+  Rng rng(static_cast<std::uint64_t>(parser.get_int("seed")));
+  DiurnalConfig config;
+  config.num_vms = static_cast<int>(parser.get_int("vms"));
+  config.amplitude = parser.get_double("amplitude");
+  config.vm_types = all_vm_types();
+  std::vector<VmSpec> vms = generate_diurnal_workload(config, rng);
+  std::vector<ServerSpec> servers =
+      make_random_fleet(static_cast<int>(parser.get_int("servers")),
+                        all_server_types(), 1.0, rng);
+  const ProblemInstance problem =
+      make_problem(std::move(vms), std::move(servers));
+  std::printf("diurnal workload: %zu VMs over %d min (%.1f cycles)\n\n",
+              problem.num_vms(), problem.horizon,
+              static_cast<double>(problem.horizon) / config.period);
+
+  TextTable table;
+  table.set_header(
+      {"allocator", "energy (W*min)", "cpu util", "servers used"});
+  Allocation ours;
+  for (const std::string name : {"min-incremental", "ffps"}) {
+    Rng alloc_rng = rng.split();
+    Allocation alloc = make_allocator(name)->allocate(problem, alloc_rng);
+    const AllocationMetrics metrics = compute_metrics(problem, alloc);
+    table.add_row({name, fmt_double(metrics.cost.total(), 0),
+                   fmt_percent(metrics.utilization.avg_cpu),
+                   std::to_string(metrics.servers_used)});
+    if (name == "min-incremental") ours = std::move(alloc);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Hour-by-hour power profile of the heuristic's allocation.
+  const SimulationResult sim = SimulationEngine(problem, ours).run(true);
+  std::printf("hourly mean power draw (min-incremental):\n");
+  const Time hours = (problem.horizon + 59) / 60;
+  double peak_hour_power = 0.0;
+  std::vector<double> hourly(static_cast<std::size_t>(hours), 0.0);
+  for (const PowerSample& s : sim.samples)
+    hourly[static_cast<std::size_t>((s.t - 1) / 60)] += s.total_power / 60.0;
+  for (double w : hourly) peak_hour_power = std::max(peak_hour_power, w);
+  for (Time h = 0; h < hours; ++h) {
+    const double watts = hourly[static_cast<std::size_t>(h)];
+    const int bar = peak_hour_power > 0
+                        ? static_cast<int>(40.0 * watts / peak_hour_power)
+                        : 0;
+    std::printf("  h%02d %6.0f W %s\n", h, watts,
+                std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+
+  if (parser.get_bool("migrate")) {
+    const MigrationResult migrated = optimize_with_migration(problem, ours);
+    std::printf("\nmigration post-pass: %d moves, %.0f -> %.0f W*min "
+                "(net %.0f with overhead, %s reduction)\n",
+                migrated.moves, migrated.energy_before, migrated.energy_after,
+                migrated.net_total(),
+                fmt_percent(migrated.net_reduction()).c_str());
+  }
+  return 0;
+}

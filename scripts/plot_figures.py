@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Render the bench binaries' --csv exports as matplotlib figures.
+
+Usage:
+    # 1. export raw series
+    for b in fig2_energy_reduction fig3_utilization fig5_transition_time \
+             fig6_mean_length fig7_standard_vms; do
+        ./build/bench/$b --csv out/$b.csv
+    done
+    # 2. plot everything found in out/
+    python3 scripts/plot_figures.py out/ --outdir out/plots
+
+The bench CSV layout is: first column = x axis, then one column per series,
+with optional `<label>_err` columns (standard error over runs) rendered as
+error bars. Matplotlib is optional for the repository; this script is the
+only thing that needs it.
+"""
+
+import argparse
+import csv
+import pathlib
+import sys
+
+
+def read_series(path):
+    """Returns (x_label, xs, {label: (ys, errs_or_None)})."""
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    if len(rows) < 2:
+        raise ValueError(f"{path}: no data rows")
+    header = rows[0]
+    x_label = header[0]
+    xs = [float(r[0]) for r in rows[1:]]
+    series = {}
+    col = 1
+    while col < len(header):
+        label = header[col]
+        ys = [float(r[col]) for r in rows[1:]]
+        errs = None
+        if col + 1 < len(header) and header[col + 1] == label + "_err":
+            errs = [float(r[col + 1]) for r in rows[1:]]
+            col += 1
+        series[label] = (ys, errs)
+        col += 1
+    return x_label, xs, series
+
+
+def plot_file(path, outdir, plt):
+    x_label, xs, series = read_series(path)
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for label, (ys, errs) in series.items():
+        if errs:
+            ax.errorbar(xs, ys, yerr=errs, marker="o", capsize=3, label=label)
+        else:
+            ax.plot(xs, ys, marker="o", label=label)
+    ax.set_xlabel(x_label)
+    ax.set_ylabel("value")
+    ax.set_title(path.stem.replace("_", " "))
+    ax.grid(True, alpha=0.3)
+    ax.legend()
+    out = pathlib.Path(outdir) / (path.stem + ".png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    plt.close(fig)
+    print(f"wrote {out}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+",
+                        help="CSV files or directories containing them")
+    parser.add_argument("--outdir", default="plots")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    pathlib.Path(args.outdir).mkdir(parents=True, exist_ok=True)
+    files = []
+    for item in args.inputs:
+        p = pathlib.Path(item)
+        files.extend(sorted(p.glob("*.csv")) if p.is_dir() else [p])
+    if not files:
+        sys.exit("no CSV inputs found")
+    for path in files:
+        try:
+            plot_file(path, args.outdir, plt)
+        except ValueError as e:
+            print(f"skipping {path}: {e}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

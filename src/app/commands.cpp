@@ -1,0 +1,359 @@
+#include "app/commands.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "baselines/registry.h"
+#include "cluster/datacenter.h"
+#include "ext/register.h"
+#include "ext/timeout_policy.h"
+#include "ilp/lp_export.h"
+#include "ilp/model.h"
+#include "ilp/solution_io.h"
+#include "ilp/validate.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/sparkline.h"
+#include "util/table.h"
+#include "workload/diurnal.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace esva::app {
+
+namespace {
+
+/// Adapts a std::vector<std::string> to CliParser's argv interface.
+bool parse_args(CliParser& parser, const std::vector<std::string>& args) {
+  std::vector<const char*> argv{"esva"};
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+  return parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+int parser_exit_code(const CliParser& parser) {
+  return parser.parse_error() ? 2 : 0;
+}
+
+std::vector<VmType> vm_types_by_name(const std::string& which) {
+  if (which == "all") return all_vm_types();
+  if (which == "standard") return standard_vm_types();
+  if (which == "memory-intensive") return memory_intensive_vm_types();
+  if (which == "cpu-intensive") return cpu_intensive_vm_types();
+  throw std::invalid_argument("unknown VM type set '" + which +
+                              "' (all|standard|memory-intensive|cpu-intensive)");
+}
+
+std::vector<ServerType> server_types_by_name(const std::string& which) {
+  if (which == "all") return all_server_types();
+  if (which.rfind("1-", 0) == 0)
+    return server_types_1_to(std::stoi(which.substr(2)));
+  throw std::invalid_argument("unknown server type set '" + which +
+                              "' (all|1-K)");
+}
+
+/// Loads the (vms, servers) pair every evaluation-style command needs.
+ProblemInstance load_problem(const CliParser& parser) {
+  std::vector<VmSpec> vms = load_vm_trace(parser.get_string("vms"));
+  std::vector<ServerSpec> servers =
+      load_server_trace(parser.get_string("servers"));
+  ProblemInstance problem = make_problem(std::move(vms), std::move(servers));
+  if (std::string issue = validate_problem(problem); !issue.empty())
+    throw std::runtime_error("invalid instance: " + issue);
+  return problem;
+}
+
+void print_metrics(std::ostream& out, const ProblemInstance& problem,
+                   const Allocation& alloc) {
+  const AllocationMetrics metrics = compute_metrics(problem, alloc);
+  TextTable table;
+  table.set_header({"metric", "value"});
+  table.add_row({"total energy (W*min)", fmt_double(metrics.cost.total(), 1)});
+  table.add_row({"  run", fmt_double(metrics.cost.breakdown.run, 1)});
+  table.add_row({"  idle", fmt_double(metrics.cost.breakdown.idle, 1)});
+  table.add_row(
+      {"  transition", fmt_double(metrics.cost.breakdown.transition, 1)});
+  table.add_row({"cpu utilization", fmt_percent(metrics.utilization.avg_cpu)});
+  table.add_row({"mem utilization", fmt_percent(metrics.utilization.avg_mem)});
+  table.add_row({"servers used",
+                 std::to_string(metrics.servers_used) + "/" +
+                     std::to_string(problem.num_servers())});
+  table.add_row({"unallocated VMs", std::to_string(metrics.unallocated)});
+  out << table.render();
+}
+
+}  // namespace
+
+int cmd_generate(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  CliParser parser("esva generate — synthesize a workload + fleet");
+  parser.add_int("vms", 200, "number of VM requests");
+  parser.add_double("interarrival", 2.0, "mean inter-arrival time (min)");
+  parser.add_double("duration", 50.0, "mean VM duration (min)");
+  parser.add_string("vm-types", "all",
+                    "all|standard|memory-intensive|cpu-intensive");
+  parser.add_int("servers", 100, "fleet size");
+  parser.add_string("server-types", "all", "all|1-K (catalog prefix)");
+  parser.add_double("transition", 1.0, "server transition time (min)");
+  parser.add_bool("diurnal", "use the day/night arrival process");
+  parser.add_double("amplitude", 0.8, "diurnal swing in [0,1)");
+  parser.add_int("seed", 42, "seed");
+  parser.add_string("out-vms", "vms.csv", "VM trace output path");
+  parser.add_string("out-servers", "servers.csv", "server trace output path");
+  if (!parse_args(parser, args)) return parser_exit_code(parser);
+
+  try {
+    Rng rng(static_cast<std::uint64_t>(parser.get_int("seed")));
+    std::vector<VmSpec> vms;
+    if (parser.get_bool("diurnal")) {
+      DiurnalConfig config;
+      config.num_vms = static_cast<int>(parser.get_int("vms"));
+      config.base_rate = 1.0 / parser.get_double("interarrival");
+      config.amplitude = parser.get_double("amplitude");
+      config.mean_duration = parser.get_double("duration");
+      config.vm_types = vm_types_by_name(parser.get_string("vm-types"));
+      vms = generate_diurnal_workload(config, rng);
+    } else {
+      WorkloadConfig config;
+      config.num_vms = static_cast<int>(parser.get_int("vms"));
+      config.mean_interarrival = parser.get_double("interarrival");
+      config.mean_duration = parser.get_double("duration");
+      config.vm_types = vm_types_by_name(parser.get_string("vm-types"));
+      vms = generate_workload(config, rng);
+    }
+    const std::vector<ServerSpec> servers = make_random_fleet(
+        static_cast<int>(parser.get_int("servers")),
+        server_types_by_name(parser.get_string("server-types")),
+        parser.get_double("transition"), rng);
+
+    save_vm_trace(parser.get_string("out-vms"), vms);
+    save_server_trace(parser.get_string("out-servers"), servers);
+    out << "wrote " << vms.size() << " VMs to " << parser.get_string("out-vms")
+        << " and " << servers.size() << " servers to "
+        << parser.get_string("out-servers") << " (horizon " << horizon_of(vms)
+        << " min)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    err << "generate: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int cmd_allocate(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  CliParser parser("esva allocate — run an allocator over traces");
+  parser.add_string("vms", "vms.csv", "VM trace");
+  parser.add_string("servers", "servers.csv", "server trace");
+  parser.add_string("allocator", "min-incremental", "policy name");
+  parser.add_int("seed", 42, "seed for stochastic allocators");
+  parser.add_string("out-assignment", "", "assignment CSV output (optional)");
+  if (!parse_args(parser, args)) return parser_exit_code(parser);
+
+  try {
+    register_extension_allocators();
+    const ProblemInstance problem = load_problem(parser);
+    AllocatorPtr allocator = make_allocator(parser.get_string("allocator"));
+    Rng rng(static_cast<std::uint64_t>(parser.get_int("seed")));
+    const Allocation alloc = allocator->allocate(problem, rng);
+    out << "allocator: " << allocator->name() << '\n';
+    print_metrics(out, problem, alloc);
+    if (!parser.get_string("out-assignment").empty()) {
+      save_assignment(parser.get_string("out-assignment"), alloc);
+      out << "assignment written to " << parser.get_string("out-assignment")
+          << '\n';
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "allocate: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int cmd_evaluate(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  CliParser parser("esva evaluate — price an existing assignment");
+  parser.add_string("vms", "vms.csv", "VM trace");
+  parser.add_string("servers", "servers.csv", "server trace");
+  parser.add_string("assignment", "assignment.csv", "assignment CSV");
+  parser.add_int("timeout", -1,
+                 "also price a fixed-timeout power policy (minutes; -1 off)");
+  if (!parse_args(parser, args)) return parser_exit_code(parser);
+
+  try {
+    const ProblemInstance problem = load_problem(parser);
+    const Allocation alloc =
+        load_assignment(parser.get_string("assignment"), problem.num_vms());
+    if (std::string issue = validate_allocation(problem, alloc, false);
+        !issue.empty())
+      throw std::runtime_error("infeasible assignment: " + issue);
+    print_metrics(out, problem, alloc);
+    if (parser.get_int("timeout") >= 0) {
+      const TimeoutPolicy policy{
+          static_cast<Time>(parser.get_int("timeout"))};
+      out << "with fixed timeout " << parser.get_int("timeout") << " min: "
+          << fmt_double(evaluate_cost_with_timeout(problem, alloc, policy), 1)
+          << " W*min\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "evaluate: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int cmd_simulate(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  CliParser parser("esva simulate — event-driven replay with power samples");
+  parser.add_string("vms", "vms.csv", "VM trace");
+  parser.add_string("servers", "servers.csv", "server trace");
+  parser.add_string("assignment", "assignment.csv", "assignment CSV");
+  parser.add_string("power-csv", "", "per-minute power samples output");
+  if (!parse_args(parser, args)) return parser_exit_code(parser);
+
+  try {
+    const ProblemInstance problem = load_problem(parser);
+    const Allocation alloc =
+        load_assignment(parser.get_string("assignment"), problem.num_vms());
+    const SimulationResult result =
+        SimulationEngine(problem, alloc).run(true);
+    out << "simulated energy: " << fmt_double(result.total_energy(), 1)
+        << " W*min (run " << fmt_double(result.total.run, 1) << ", idle "
+        << fmt_double(result.total.idle, 1) << ", transition "
+        << fmt_double(result.total.transition, 1) << ")\n";
+    Watts peak = 0.0;
+    std::vector<double> profile;
+    profile.reserve(result.samples.size());
+    for (const PowerSample& sample : result.samples) {
+      peak = std::max(peak, sample.total_power);
+      profile.push_back(sample.total_power);
+    }
+    out << "peak power: " << fmt_double(peak, 1) << " W over "
+        << result.samples.size() << " sampled minutes\n";
+    out << "profile: " << sparkline(profile, 72) << '\n';
+    if (!parser.get_string("power-csv").empty()) {
+      std::ofstream file(parser.get_string("power-csv"));
+      if (!file)
+        throw std::runtime_error("cannot open " +
+                                 parser.get_string("power-csv"));
+      CsvWriter csv(file);
+      csv.row({"t", "total_power_w", "active_servers", "running_vms"});
+      for (const PowerSample& sample : result.samples)
+        csv.typed_row(static_cast<int>(sample.t), sample.total_power,
+                      sample.active_servers, sample.running_vms);
+      out << "power samples written to " << parser.get_string("power-csv")
+          << '\n';
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "simulate: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int cmd_export_lp(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err) {
+  CliParser parser("esva export-lp — write the boolean ILP in CPLEX-LP form");
+  parser.add_string("vms", "vms.csv", "VM trace");
+  parser.add_string("servers", "servers.csv", "server trace");
+  parser.add_string("out", "instance.lp", "LP output path");
+  if (!parse_args(parser, args)) return parser_exit_code(parser);
+
+  try {
+    const ProblemInstance problem = load_problem(parser);
+    const IlpModel model = build_ilp(problem);
+    save_lp(parser.get_string("out"), model);
+    out << "wrote " << model.num_vars() << " variables / "
+        << model.rows.size() << " constraints to " << parser.get_string("out")
+        << '\n';
+    out << "solve with e.g.: highs " << parser.get_string("out")
+        << "  (then: esva import-solution --solution <file>)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    err << "export-lp: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int cmd_import_solution(const std::vector<std::string>& args,
+                        std::ostream& out, std::ostream& err) {
+  CliParser parser(
+      "esva import-solution — validate an external solver's solution");
+  parser.add_string("vms", "vms.csv", "VM trace");
+  parser.add_string("servers", "servers.csv", "server trace");
+  parser.add_string("solution", "instance.sol", "solver solution file");
+  parser.add_string("out-assignment", "", "assignment CSV output (optional)");
+  if (!parse_args(parser, args)) return parser_exit_code(parser);
+
+  try {
+    const ProblemInstance problem = load_problem(parser);
+    const SolverSolution solution =
+        load_solution(parser.get_string("solution"));
+    const Allocation alloc = allocation_from_solution(solution, problem);
+    if (std::string issue = validate_allocation(problem, alloc, true);
+        !issue.empty())
+      throw std::runtime_error("solver solution infeasible: " + issue);
+    const Energy cost = evaluate_cost(problem, alloc).total();
+    out << "solution is feasible; energy " << fmt_double(cost, 1)
+        << " W*min\n";
+    if (solution.has_objective) {
+      out << "solver-reported objective: "
+          << fmt_double(solution.objective, 1)
+          << (std::abs(solution.objective - cost) <= 1e-3 * (1.0 + cost)
+                  ? " (matches)"
+                  : " (MISMATCH vs our accounting)")
+          << '\n';
+    }
+    print_metrics(out, problem, alloc);
+    if (!parser.get_string("out-assignment").empty()) {
+      save_assignment(parser.get_string("out-assignment"), alloc);
+      out << "assignment written to " << parser.get_string("out-assignment")
+          << '\n';
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "import-solution: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+std::string usage() {
+  return
+      "esva — energy-saving VM allocation toolkit\n"
+      "\n"
+      "subcommands:\n"
+      "  generate         synthesize a workload + fleet as CSV traces\n"
+      "  allocate         run an allocation policy over traces\n"
+      "  evaluate         price an existing assignment (Eq. 17)\n"
+      "  simulate         event-driven replay; per-minute power samples\n"
+      "  export-lp        write the boolean ILP in CPLEX-LP format\n"
+      "  import-solution  validate/evaluate an external solver's solution\n"
+      "  help             this message\n"
+      "\n"
+      "run `esva <subcommand> --help` for per-command flags.\n";
+}
+
+int esva_main(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err) {
+  if (argc < 2) {
+    err << usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "help" || command == "--help" || command == "-h") {
+    out << usage();
+    return 0;
+  }
+  if (command == "generate") return cmd_generate(args, out, err);
+  if (command == "allocate") return cmd_allocate(args, out, err);
+  if (command == "evaluate") return cmd_evaluate(args, out, err);
+  if (command == "simulate") return cmd_simulate(args, out, err);
+  if (command == "export-lp") return cmd_export_lp(args, out, err);
+  if (command == "import-solution") return cmd_import_solution(args, out, err);
+  err << "unknown subcommand '" << command << "'\n\n" << usage();
+  return 2;
+}
+
+}  // namespace esva::app

@@ -1,0 +1,48 @@
+// The `esva` command-line tool, as a library so every subcommand is unit
+// testable. Subcommands operate on the CSV trace formats (workload/trace.h)
+// and the LP/solution formats (ilp/), so a full workflow can be scripted:
+//
+//   esva generate  --vms 200 --out-vms vms.csv --out-servers servers.csv
+//   esva allocate  --vms vms.csv --servers servers.csv
+//                  --allocator min-incremental --out-assignment assign.csv
+//   esva evaluate  --vms vms.csv --servers servers.csv --assignment assign.csv
+//   esva simulate  --vms vms.csv --servers servers.csv --assignment assign.csv
+//                  --power-csv power.csv
+//   esva export-lp --vms vms.csv --servers servers.csv --out instance.lp
+//   esva import-solution --vms vms.csv --servers servers.csv
+//                  --solution instance.sol --out-assignment assign.csv
+//
+// Every function returns a process exit code (0 = success) and writes its
+// human-readable report to `out` and errors to `err`.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace esva::app {
+
+/// Dispatches argv[1] to a subcommand; prints usage on unknown/missing
+/// subcommands and on `esva help`.
+int esva_main(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err);
+
+/// Individual subcommands (args exclude the program and subcommand names).
+int cmd_generate(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
+int cmd_allocate(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
+int cmd_evaluate(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
+int cmd_simulate(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
+int cmd_export_lp(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err);
+int cmd_import_solution(const std::vector<std::string>& args,
+                        std::ostream& out, std::ostream& err);
+
+/// Top-level usage text.
+std::string usage();
+
+}  // namespace esva::app

@@ -1,0 +1,37 @@
+#include "baselines/best_fit.h"
+
+#include "cluster/timeline.h"
+#include "util/types.h"
+
+namespace esva {
+
+Allocation BestFitCpuAllocator::allocate(const ProblemInstance& problem,
+                                         Rng& /*rng*/) {
+  Allocation alloc;
+  alloc.assignment.assign(problem.num_vms(), kNoServer);
+
+  std::vector<ServerTimeline> timelines =
+      make_timelines(problem.servers, problem.horizon);
+
+  for (std::size_t j : ordered_indices(problem, order_)) {
+    const VmSpec& vm = problem.vms[j];
+    ServerId best_server = kNoServer;
+    double best_headroom = kInf;
+    for (std::size_t i = 0; i < timelines.size(); ++i) {
+      if (!timelines[i].can_fit(vm)) continue;
+      const double headroom = timelines[i].spec().capacity.cpu -
+                              timelines[i].max_cpu_usage(vm.start, vm.end) -
+                              vm.demand.cpu;
+      if (headroom < best_headroom) {
+        best_headroom = headroom;
+        best_server = static_cast<ServerId>(i);
+      }
+    }
+    if (best_server == kNoServer) continue;
+    timelines[static_cast<std::size_t>(best_server)].place(vm);
+    alloc.assignment[j] = best_server;
+  }
+  return alloc;
+}
+
+}  // namespace esva

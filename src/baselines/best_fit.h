@@ -1,0 +1,26 @@
+// Best Fit (CPU) — classical bin-packing baseline adapted to the interval
+// setting: allocate each VM to the feasible server whose peak CPU headroom
+// over the VM's interval would be tightest after placement. Energy-oblivious;
+// included to separate "consolidation effect" from "energy-awareness effect"
+// in the ablation benches.
+
+#pragma once
+
+#include "core/allocator.h"
+
+namespace esva {
+
+class BestFitCpuAllocator final : public Allocator {
+ public:
+  explicit BestFitCpuAllocator(VmOrder order = VmOrder::ByStartTime)
+      : order_(order) {}
+
+  std::string name() const override { return "best-fit-cpu"; }
+
+  Allocation allocate(const ProblemInstance& problem, Rng& rng) override;
+
+ private:
+  VmOrder order_;
+};
+
+}  // namespace esva

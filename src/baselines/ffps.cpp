@@ -1,0 +1,36 @@
+#include "baselines/ffps.h"
+
+#include <numeric>
+
+#include "cluster/timeline.h"
+
+namespace esva {
+
+Allocation FfpsAllocator::allocate(const ProblemInstance& problem, Rng& rng) {
+  Allocation alloc;
+  alloc.assignment.assign(problem.num_vms(), kNoServer);
+
+  std::vector<ServerTimeline> timelines =
+      make_timelines(problem.servers, problem.horizon);
+
+  // §IV-A: "servers are randomly sorted" — one shared order, optionally
+  // re-drawn per VM (see Options::reshuffle_per_vm).
+  std::vector<std::size_t> probe_order(problem.num_servers());
+  std::iota(probe_order.begin(), probe_order.end(), std::size_t{0});
+  if (options_.shuffle_servers) rng.shuffle(probe_order);
+
+  for (std::size_t j : ordered_indices(problem, options_.order)) {
+    const VmSpec& vm = problem.vms[j];
+    if (options_.shuffle_servers && options_.reshuffle_per_vm)
+      rng.shuffle(probe_order);
+    for (std::size_t i : probe_order) {
+      if (!timelines[i].can_fit(vm)) continue;
+      timelines[i].place(vm);
+      alloc.assignment[j] = static_cast<ServerId>(i);
+      break;
+    }
+  }
+  return alloc;
+}
+
+}  // namespace esva

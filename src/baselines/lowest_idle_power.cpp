@@ -1,0 +1,34 @@
+#include "baselines/lowest_idle_power.h"
+
+#include "cluster/timeline.h"
+#include "util/types.h"
+
+namespace esva {
+
+Allocation LowestIdlePowerAllocator::allocate(const ProblemInstance& problem,
+                                              Rng& /*rng*/) {
+  Allocation alloc;
+  alloc.assignment.assign(problem.num_vms(), kNoServer);
+
+  std::vector<ServerTimeline> timelines =
+      make_timelines(problem.servers, problem.horizon);
+
+  for (std::size_t j : ordered_indices(problem, order_)) {
+    const VmSpec& vm = problem.vms[j];
+    ServerId best_server = kNoServer;
+    Watts best_idle = kInf;
+    for (std::size_t i = 0; i < timelines.size(); ++i) {
+      if (!timelines[i].can_fit(vm)) continue;
+      if (timelines[i].spec().p_idle < best_idle) {
+        best_idle = timelines[i].spec().p_idle;
+        best_server = static_cast<ServerId>(i);
+      }
+    }
+    if (best_server == kNoServer) continue;
+    timelines[static_cast<std::size_t>(best_server)].place(vm);
+    alloc.assignment[j] = best_server;
+  }
+  return alloc;
+}
+
+}  // namespace esva

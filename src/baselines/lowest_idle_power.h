@@ -1,0 +1,26 @@
+// Lowest Idle Power fit — picks the feasible server with the smallest P_idle
+// (ties toward lower id). A "static energy label" heuristic: it knows which
+// hardware is efficient but is blind to the temporal structure (existing busy
+// segments, transition costs). Separates how much of MinIncrementalEnergy's
+// win comes from hardware choice vs temporal consolidation.
+
+#pragma once
+
+#include "core/allocator.h"
+
+namespace esva {
+
+class LowestIdlePowerAllocator final : public Allocator {
+ public:
+  explicit LowestIdlePowerAllocator(VmOrder order = VmOrder::ByStartTime)
+      : order_(order) {}
+
+  std::string name() const override { return "lowest-idle-power"; }
+
+  Allocation allocate(const ProblemInstance& problem, Rng& rng) override;
+
+ private:
+  VmOrder order_;
+};
+
+}  // namespace esva

@@ -1,0 +1,32 @@
+#include "baselines/ordering.h"
+
+#include <stdexcept>
+
+#include "baselines/ffps.h"
+#include "core/min_incremental.h"
+
+namespace esva {
+
+AllocatorPtr make_with_order(const std::string& base_name, VmOrder order) {
+  if (base_name == "min-incremental") {
+    MinIncrementalAllocator::Options options;
+    options.order = order;
+    return std::make_unique<MinIncrementalAllocator>(options);
+  }
+  if (base_name == "ffps") {
+    FfpsAllocator::Options options;
+    options.order = order;
+    return std::make_unique<FfpsAllocator>(options);
+  }
+  throw std::invalid_argument("make_with_order: unsupported allocator '" +
+                              base_name + "'");
+}
+
+const std::vector<VmOrder>& all_vm_orders() {
+  static const std::vector<VmOrder> kOrders = {
+      VmOrder::ByStartTime, VmOrder::ByArrivalId, VmOrder::ByDurationDesc,
+      VmOrder::ByCpuDesc};
+  return kOrders;
+}
+
+}  // namespace esva

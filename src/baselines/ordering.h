@@ -1,0 +1,18 @@
+// Ordering ablation support: build the two ordering-sensitive allocators
+// (the paper's heuristic and FFPS) with a non-default VM presentation order.
+
+#pragma once
+
+#include "core/allocator.h"
+
+namespace esva {
+
+/// base_name must be "min-incremental" or "ffps"; returns that allocator
+/// configured to present VMs in `order`. Throws std::invalid_argument for
+/// other names.
+AllocatorPtr make_with_order(const std::string& base_name, VmOrder order);
+
+/// All orders, for sweep loops.
+const std::vector<VmOrder>& all_vm_orders();
+
+}  // namespace esva

@@ -1,0 +1,29 @@
+#include "baselines/random_fit.h"
+
+#include "cluster/timeline.h"
+
+namespace esva {
+
+Allocation RandomFitAllocator::allocate(const ProblemInstance& problem,
+                                        Rng& rng) {
+  Allocation alloc;
+  alloc.assignment.assign(problem.num_vms(), kNoServer);
+
+  std::vector<ServerTimeline> timelines =
+      make_timelines(problem.servers, problem.horizon);
+
+  std::vector<std::size_t> feasible;
+  for (std::size_t j : ordered_indices(problem, order_)) {
+    const VmSpec& vm = problem.vms[j];
+    feasible.clear();
+    for (std::size_t i = 0; i < timelines.size(); ++i)
+      if (timelines[i].can_fit(vm)) feasible.push_back(i);
+    if (feasible.empty()) continue;
+    const std::size_t pick = feasible[rng.index(feasible.size())];
+    timelines[pick].place(vm);
+    alloc.assignment[j] = static_cast<ServerId>(pick);
+  }
+  return alloc;
+}
+
+}  // namespace esva

@@ -1,0 +1,24 @@
+// Random Fit — places each VM on a uniformly random feasible server. The
+// weakest reasonable baseline: it satisfies all constraints but ignores both
+// consolidation and energy. Used as a lower anchor in comparisons.
+
+#pragma once
+
+#include "core/allocator.h"
+
+namespace esva {
+
+class RandomFitAllocator final : public Allocator {
+ public:
+  explicit RandomFitAllocator(VmOrder order = VmOrder::ByStartTime)
+      : order_(order) {}
+
+  std::string name() const override { return "random-fit"; }
+
+  Allocation allocate(const ProblemInstance& problem, Rng& rng) override;
+
+ private:
+  VmOrder order_;
+};
+
+}  // namespace esva

@@ -1,0 +1,38 @@
+// Name-based allocator factory, used by the examples and the experiment
+// runner so policies can be selected from the command line.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/allocator.h"
+
+namespace esva {
+
+/// Known allocator names: the built-ins in canonical comparison order (the
+/// paper's heuristic first, its baseline second), followed by any
+/// dynamically registered extensions.
+const std::vector<std::string>& allocator_names();
+
+using AllocatorFactory = std::function<AllocatorPtr()>;
+
+/// Registers (or replaces) a named allocator factory; the name then works
+/// everywhere a built-in name does (make_allocator, ExperimentConfig).
+/// Built-in names cannot be overridden.
+void register_allocator(const std::string& name, AllocatorFactory factory);
+
+/// Builds an allocator by name:
+///   "min-incremental"  — the paper's heuristic (§III)
+///   "ffps"             — First Fit Power Saving, one random server order for
+///                        the whole run (§IV-A; see FfpsAllocator::Options)
+///   "ffps-reshuffle"   — FFPS with a fresh random server order per VM
+///   "ffps-noshuffle"   — plain First Fit in server-id order (deterministic)
+///   "best-fit-cpu"     — tightest CPU fit
+///   "random-fit"       — uniform random feasible server
+///   "lowest-idle-power"— feasible server with the smallest P_idle
+/// Throws std::invalid_argument on unknown names.
+AllocatorPtr make_allocator(const std::string& name);
+
+}  // namespace esva

@@ -1,0 +1,52 @@
+#include "baselines/vector_fit.h"
+
+#include <cmath>
+
+#include "cluster/timeline.h"
+#include "util/types.h"
+
+namespace esva {
+
+Allocation DotProductFitAllocator::allocate(const ProblemInstance& problem,
+                                            Rng& /*rng*/) {
+  Allocation alloc;
+  alloc.assignment.assign(problem.num_vms(), kNoServer);
+
+  std::vector<ServerTimeline> timelines =
+      make_timelines(problem.servers, problem.horizon);
+
+  for (std::size_t j : ordered_indices(problem, order_)) {
+    const VmSpec& vm = problem.vms[j];
+    const double demand_norm =
+        std::sqrt(vm.demand.cpu * vm.demand.cpu + vm.demand.mem * vm.demand.mem);
+    ServerId best_server = kNoServer;
+    double best_alignment = -kInf;
+    for (std::size_t i = 0; i < timelines.size(); ++i) {
+      if (!timelines[i].can_fit(vm)) continue;
+      const Resources remaining{
+          timelines[i].spec().capacity.cpu -
+              timelines[i].max_cpu_usage(vm.start, vm.end),
+          timelines[i].spec().capacity.mem -
+              timelines[i].max_mem_usage(vm.start, vm.end)};
+      const double remaining_norm = std::sqrt(
+          remaining.cpu * remaining.cpu + remaining.mem * remaining.mem);
+      // A zero-demand or exactly-full server degenerates; score it neutral.
+      double alignment = 0.0;
+      if (demand_norm > kEps && remaining_norm > kEps) {
+        alignment = (vm.demand.cpu * remaining.cpu +
+                     vm.demand.mem * remaining.mem) /
+                    (demand_norm * remaining_norm);
+      }
+      if (alignment > best_alignment) {
+        best_alignment = alignment;
+        best_server = static_cast<ServerId>(i);
+      }
+    }
+    if (best_server == kNoServer) continue;
+    timelines[static_cast<std::size_t>(best_server)].place(vm);
+    alloc.assignment[j] = best_server;
+  }
+  return alloc;
+}
+
+}  // namespace esva

@@ -1,0 +1,33 @@
+// Dot-product (vector bin packing) baseline — extension beyond the paper.
+//
+// Multi-dimensional packing heuristics pick the server whose remaining
+// capacity vector best *aligns* with the request's demand vector (Panigrahy
+// et al., "Heuristics for Vector Bin Packing"). This keeps CPU and memory
+// consumption balanced so neither dimension strands the other — exactly the
+// "unevenness" failure mode the paper attributes to FFPS in Fig. 3. It is
+// energy-oblivious, so comparing it against MinIncrementalEnergy separates
+// "pack well" from "pack where energy is cheap".
+
+#pragma once
+
+#include "core/allocator.h"
+
+namespace esva {
+
+class DotProductFitAllocator final : public Allocator {
+ public:
+  explicit DotProductFitAllocator(VmOrder order = VmOrder::ByStartTime)
+      : order_(order) {}
+
+  std::string name() const override { return "dot-product-fit"; }
+
+  /// Deterministic: maximizes the cosine between the VM's demand and the
+  /// server's peak remaining capacity over the VM's interval; ties toward
+  /// the lower server id.
+  Allocation allocate(const ProblemInstance& problem, Rng& rng) override;
+
+ private:
+  VmOrder order_;
+};
+
+}  // namespace esva

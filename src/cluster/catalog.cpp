@@ -1,0 +1,86 @@
+#include "cluster/catalog.h"
+
+#include <cassert>
+
+namespace esva {
+
+const std::vector<VmType>& all_vm_types() {
+  // Table I — CPU in EC2 compute units, memory in GiB. Values are the 2013
+  // EC2 m1/m2/c1 families (see DESIGN.md §5 for the reconstruction notes;
+  // the surviving "2 7" row in the OCR confirms c1.xlarge = 20 CU / 7 GiB
+  // and "15" confirms m1.xlarge memory).
+  static const std::vector<VmType> kTypes = {
+      {"m1.small", "standard", {1.0, 1.7}},
+      {"m1.medium", "standard", {2.0, 3.75}},
+      {"m1.large", "standard", {4.0, 7.5}},
+      {"m1.xlarge", "standard", {8.0, 15.0}},
+      {"m2.xlarge", "memory-intensive", {6.5, 17.1}},
+      {"m2.2xlarge", "memory-intensive", {13.0, 34.2}},
+      {"m2.4xlarge", "memory-intensive", {26.0, 68.4}},
+      {"c1.medium", "cpu-intensive", {5.0, 1.7}},
+      {"c1.xlarge", "cpu-intensive", {20.0, 7.0}},
+  };
+  return kTypes;
+}
+
+namespace {
+
+std::vector<VmType> family_subset(const std::string& family) {
+  std::vector<VmType> result;
+  for (const VmType& t : all_vm_types())
+    if (t.family == family) result.push_back(t);
+  return result;
+}
+
+}  // namespace
+
+std::vector<VmType> standard_vm_types() { return family_subset("standard"); }
+
+std::vector<VmType> memory_intensive_vm_types() {
+  return family_subset("memory-intensive");
+}
+
+std::vector<VmType> cpu_intensive_vm_types() {
+  return family_subset("cpu-intensive");
+}
+
+const std::vector<ServerType>& all_server_types() {
+  // Table II — five hypothetical servers. Anchors from the surviving text:
+  // a 16 CU server corresponds to an HP ProLiant BL460c G6 blade; idle power
+  // is 40–50% of peak; absolute power grows with capacity. Watts per compute
+  // unit grow gently with size (small blades are the most efficient
+  // hardware), which is required by the paper's own §III narrative: "The
+  // servers with small resource capacity usually consume lower power than
+  // those with large resource capacity. Our algorithm consolidates VMs on
+  // servers with small resource capacity." (2013-era blades did beat
+  // scale-up boxes on performance per watt; see the cited Dell whitepaper.)
+  static const std::vector<ServerType> kTypes = {
+      {"server-type-1", {10.0, 24.0}, 64.0, 128.0},   // idle = 50% of peak
+      {"server-type-2", {16.0, 32.0}, 105.0, 210.0},  // 50% (BL460c anchor)
+      {"server-type-3", {22.0, 48.0}, 150.0, 305.0},  // 49%
+      {"server-type-4", {30.0, 72.0}, 212.0, 440.0},  // 48%
+      {"server-type-5", {40.0, 96.0}, 292.0, 610.0},  // 48%
+  };
+  return kTypes;
+}
+
+std::vector<ServerType> server_types_1_to(int k) {
+  assert(k >= 1 && k <= static_cast<int>(all_server_types().size()));
+  const auto& all = all_server_types();
+  return std::vector<ServerType>(all.begin(), all.begin() + k);
+}
+
+ServerSpec make_server(const ServerType& type, ServerId id,
+                       double transition_time) {
+  ServerSpec spec;
+  spec.id = id;
+  spec.type_name = type.name;
+  spec.capacity = type.capacity;
+  spec.p_idle = type.p_idle;
+  spec.p_peak = type.p_peak;
+  spec.transition_time = transition_time;
+  assert(spec.valid());
+  return spec;
+}
+
+}  // namespace esva

@@ -1,0 +1,59 @@
+// The paper's configuration tables.
+//
+// Table I (VM types) follows 2013-era Amazon EC2 instance types [paper ref
+// 15]: four standard (m1.*), three memory-intensive (m2.*) and two
+// CPU-intensive (c1.*) types. Table II defines five hypothetical server
+// types whose idle power is 40–50% of peak (per the cited Barroso & Hölzle
+// energy-proportionality argument) and whose power grows with capacity.
+// The published text of the paper has OCR-damaged numerals; DESIGN.md §5
+// records how each value was reconstructed.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/resources.h"
+#include "cluster/server_spec.h"
+
+namespace esva {
+
+/// One row of Table I.
+struct VmType {
+  std::string name;
+  /// "standard", "memory-intensive" or "cpu-intensive".
+  std::string family;
+  Resources demand;
+};
+
+/// One row of Table II (without id / transition time, which are assigned when
+/// the datacenter is instantiated).
+struct ServerType {
+  std::string name;
+  Resources capacity;
+  Watts p_idle = 0.0;
+  Watts p_peak = 0.0;
+};
+
+/// All nine VM types of Table I.
+const std::vector<VmType>& all_vm_types();
+
+/// The four standard types only (used by §IV-F / Figs. 7–9).
+std::vector<VmType> standard_vm_types();
+
+/// The memory-intensive / CPU-intensive subsets.
+std::vector<VmType> memory_intensive_vm_types();
+std::vector<VmType> cpu_intensive_vm_types();
+
+/// All five server types of Table II, ordered by increasing capacity.
+const std::vector<ServerType>& all_server_types();
+
+/// Server types 1..k (1-based, k <= 5) — §IV-F allocates standard VMs on
+/// "types 1-3 of servers".
+std::vector<ServerType> server_types_1_to(int k);
+
+/// Instantiates a concrete server from a catalog type.
+ServerSpec make_server(const ServerType& type, ServerId id,
+                       double transition_time);
+
+}  // namespace esva

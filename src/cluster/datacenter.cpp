@@ -1,0 +1,56 @@
+#include "cluster/datacenter.h"
+
+#include <cassert>
+
+namespace esva {
+
+std::vector<ServerSpec> make_random_fleet(int count,
+                                          const std::vector<ServerType>& types,
+                                          double transition_time, Rng& rng) {
+  assert(count >= 0 && !types.empty());
+  std::vector<ServerSpec> fleet;
+  fleet.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const ServerType& type = types[rng.index(types.size())];
+    fleet.push_back(make_server(type, i, transition_time));
+  }
+  return fleet;
+}
+
+std::vector<ServerSpec> make_random_fleet(int count,
+                                          const std::vector<ServerType>& types,
+                                          double transition_lo,
+                                          double transition_hi, Rng& rng) {
+  assert(count >= 0 && !types.empty());
+  assert(0 <= transition_lo && transition_lo <= transition_hi);
+  std::vector<ServerSpec> fleet;
+  fleet.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const ServerType& type = types[rng.index(types.size())];
+    fleet.push_back(make_server(
+        type, i, rng.uniform_double(transition_lo, transition_hi)));
+  }
+  return fleet;
+}
+
+std::vector<ServerSpec> make_fleet_by_counts(
+    const std::vector<ServerType>& types, const std::vector<int>& counts,
+    double transition_time) {
+  assert(types.size() == counts.size());
+  std::vector<ServerSpec> fleet;
+  ServerId next_id = 0;
+  for (std::size_t k = 0; k < types.size(); ++k) {
+    assert(counts[k] >= 0);
+    for (int i = 0; i < counts[k]; ++i)
+      fleet.push_back(make_server(types[k], next_id++, transition_time));
+  }
+  return fleet;
+}
+
+Resources total_capacity(const std::vector<ServerSpec>& servers) {
+  Resources total;
+  for (const ServerSpec& s : servers) total += s.capacity;
+  return total;
+}
+
+}  // namespace esva

@@ -1,0 +1,13 @@
+#include "cluster/resources.h"
+
+#include <cstdio>
+
+namespace esva {
+
+std::string Resources::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "(%.2f CU, %.2f GiB)", cpu, mem);
+  return buf;
+}
+
+}  // namespace esva

@@ -1,0 +1,53 @@
+// Two-dimensional resource vectors (CPU compute units, memory GiB).
+//
+// The paper restricts demands/capacities to CPU and memory (§I: "as for
+// resource demand of VMs and capacity of servers, we only focus on CPU and
+// memory" — storage is shared via the datacenter SAN).
+
+#pragma once
+
+#include <string>
+
+#include "util/types.h"
+
+namespace esva {
+
+struct Resources {
+  CpuUnits cpu = 0.0;
+  GiB mem = 0.0;
+
+  friend Resources operator+(Resources a, Resources b) {
+    return {a.cpu + b.cpu, a.mem + b.mem};
+  }
+  friend Resources operator-(Resources a, Resources b) {
+    return {a.cpu - b.cpu, a.mem - b.mem};
+  }
+  Resources& operator+=(Resources other) {
+    cpu += other.cpu;
+    mem += other.mem;
+    return *this;
+  }
+  Resources& operator-=(Resources other) {
+    cpu -= other.cpu;
+    mem -= other.mem;
+    return *this;
+  }
+  friend Resources operator*(Resources a, double k) {
+    return {a.cpu * k, a.mem * k};
+  }
+
+  friend bool operator==(const Resources&, const Resources&) = default;
+
+  /// Component-wise "fits within" with a small tolerance: true iff this
+  /// demand can be served from `capacity`.
+  bool fits_within(Resources capacity) const {
+    return cpu <= capacity.cpu + kEps && mem <= capacity.mem + kEps;
+  }
+
+  /// True iff both components are >= 0 (within tolerance).
+  bool non_negative() const { return cpu >= -kEps && mem >= -kEps; }
+
+  std::string to_string() const;
+};
+
+}  // namespace esva

@@ -1,0 +1,17 @@
+#include "cluster/server_spec.h"
+
+#include <cstdio>
+
+namespace esva {
+
+std::string describe(const ServerSpec& spec) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%s #%d: %s, %.1fW idle / %.1fW peak, alpha=%.1f",
+                spec.type_name.c_str(), spec.id,
+                spec.capacity.to_string().c_str(), spec.p_idle, spec.p_peak,
+                spec.transition_cost());
+  return buf;
+}
+
+}  // namespace esva

@@ -1,0 +1,99 @@
+#include "cluster/timeline.h"
+
+#include <cassert>
+
+namespace esva {
+
+ServerTimeline::ServerTimeline(const ServerSpec& spec, Time horizon)
+    : spec_(spec),
+      horizon_(horizon),
+      cpu_(static_cast<std::size_t>(horizon)),
+      mem_(static_cast<std::size_t>(horizon)) {
+  assert(horizon >= 0);
+}
+
+bool ServerTimeline::can_fit(const VmSpec& vm) const {
+  assert(vm.valid());
+  if (vm.end > horizon_) return false;
+  const std::size_t lo = index_of(vm.start);
+  const std::size_t hi = index_of(vm.end);
+  // Fast path: peak demand over the whole window (exact for stable VMs,
+  // a sound quick-reject for profiled ones).
+  if (cpu_.max(lo, hi) + vm.demand.cpu <= spec_.capacity.cpu + kEps &&
+      mem_.max(lo, hi) + vm.demand.mem <= spec_.capacity.mem + kEps)
+    return true;
+  if (!vm.has_profile()) return false;
+  // Profiled VM: check each time unit against its own demand R_jt.
+  for (Time t = vm.start; t <= vm.end; ++t) {
+    const Resources r = vm.demand_at(t);
+    const std::size_t k = index_of(t);
+    if (cpu_.max(k, k) + r.cpu > spec_.capacity.cpu + kEps) return false;
+    if (mem_.max(k, k) + r.mem > spec_.capacity.mem + kEps) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Applies (or reverts, with sign = -1) a VM's resource footprint.
+void apply_demand(RangeAddMaxTree& cpu, RangeAddMaxTree& mem,
+                  const VmSpec& vm, double sign) {
+  const auto index_of = [&](Time t) {
+    return static_cast<std::size_t>(t - 1);
+  };
+  if (!vm.has_profile()) {
+    cpu.add(index_of(vm.start), index_of(vm.end), sign * vm.demand.cpu);
+    mem.add(index_of(vm.start), index_of(vm.end), sign * vm.demand.mem);
+    return;
+  }
+  for (Time t = vm.start; t <= vm.end; ++t) {
+    const Resources r = vm.demand_at(t);
+    if (r.cpu != 0.0) cpu.add(index_of(t), index_of(t), sign * r.cpu);
+    if (r.mem != 0.0) mem.add(index_of(t), index_of(t), sign * r.mem);
+  }
+}
+
+}  // namespace
+
+ServerTimeline::PlaceRecord ServerTimeline::place(const VmSpec& vm) {
+  assert(can_fit(vm));
+  apply_demand(cpu_, mem_, vm, +1.0);
+  PlaceRecord record;
+  record.vm = vm.id;
+  record.busy_delta = busy_.insert(vm.start, vm.end);
+  vms_.push_back(vm.id);
+  return record;
+}
+
+void ServerTimeline::undo(const PlaceRecord& record, const VmSpec& vm) {
+  assert(!vms_.empty() && vms_.back() == record.vm &&
+         "placements must be undone in LIFO order");
+  assert(vm.id == record.vm);
+  vms_.pop_back();
+  apply_demand(cpu_, mem_, vm, -1.0);
+  // Restore the busy structure: remove the merged interval, re-add whatever
+  // it absorbed.
+  const Interval& merged = record.busy_delta.merged;
+  busy_.erase_covered(merged.lo, merged.hi);
+  for (const Interval& iv : record.busy_delta.absorbed) busy_.insert(iv.lo, iv.hi);
+}
+
+double ServerTimeline::max_cpu_usage(Time lo, Time hi) const {
+  assert(1 <= lo && lo <= hi && hi <= horizon_);
+  return cpu_.max(index_of(lo), index_of(hi));
+}
+
+double ServerTimeline::max_mem_usage(Time lo, Time hi) const {
+  assert(1 <= lo && lo <= hi && hi <= horizon_);
+  return mem_.max(index_of(lo), index_of(hi));
+}
+
+std::vector<ServerTimeline> make_timelines(
+    const std::vector<ServerSpec>& servers, Time horizon) {
+  std::vector<ServerTimeline> timelines;
+  timelines.reserve(servers.size());
+  for (const ServerSpec& spec : servers) timelines.emplace_back(spec, horizon);
+  return timelines;
+}
+
+}  // namespace esva

@@ -1,0 +1,86 @@
+// Per-server occupancy over the planning horizon.
+//
+// A ServerTimeline answers the two questions every allocator in this library
+// asks, both in O(log T):
+//   * feasibility — "does VM j fit on this server throughout [t^s, t^e]?"
+//     (paper §III: "a subset of servers having sufficient spare resources
+//     throughout its time duration"), via range-add/range-max segment trees
+//     per resource dimension;
+//   * structure — "what are the busy segments?" (Fig. 1), via a merged
+//     IntervalSet, which the cost model turns into energy (Eq. 17).
+//
+// Placements can be undone in LIFO order, which is what the exact
+// branch-and-bound solver uses for backtracking.
+
+#pragma once
+
+#include <vector>
+
+#include "cluster/server_spec.h"
+#include "cluster/vm.h"
+#include "util/interval_set.h"
+#include "util/segment_tree.h"
+#include "util/types.h"
+
+namespace esva {
+
+class ServerTimeline {
+ public:
+  /// A timeline for `spec` over times 1..horizon (inclusive).
+  ServerTimeline(const ServerSpec& spec, Time horizon);
+
+  const ServerSpec& spec() const { return spec_; }
+  Time horizon() const { return horizon_; }
+
+  /// True iff the VM's demand fits within spare capacity at every time unit
+  /// of its interval. VMs whose interval exceeds the horizon do not fit.
+  bool can_fit(const VmSpec& vm) const;
+
+  /// Everything needed to undo a placement.
+  struct PlaceRecord {
+    VmId vm = 0;
+    IntervalSet::InsertDelta busy_delta;
+  };
+
+  /// Reserves the VM's resources and extends the busy structure. The caller
+  /// must have checked can_fit (asserted in debug builds).
+  PlaceRecord place(const VmSpec& vm);
+
+  /// Reverts a placement. Records must be undone in reverse order of their
+  /// place() calls (LIFO); this is asserted where cheap.
+  void undo(const PlaceRecord& record, const VmSpec& vm);
+
+  /// Merged busy segments (Fig. 1's busy-segments, in increasing order).
+  const IntervalSet& busy() const { return busy_; }
+
+  /// VM ids currently placed here, in placement order.
+  const std::vector<VmId>& vms() const { return vms_; }
+
+  /// Peak CPU / memory usage over an inclusive time range (0 if empty range
+  /// semantics never arise: requires 1 <= lo <= hi <= horizon).
+  double max_cpu_usage(Time lo, Time hi) const;
+  double max_mem_usage(Time lo, Time hi) const;
+
+  /// Usage at a single time unit.
+  double cpu_usage_at(Time t) const { return max_cpu_usage(t, t); }
+  double mem_usage_at(Time t) const { return max_mem_usage(t, t); }
+
+  /// Total busy time units.
+  Time busy_time() const { return busy_.total_length(); }
+
+ private:
+  std::size_t index_of(Time t) const { return static_cast<std::size_t>(t - 1); }
+
+  ServerSpec spec_;
+  Time horizon_;
+  RangeAddMaxTree cpu_;
+  RangeAddMaxTree mem_;
+  IntervalSet busy_;
+  std::vector<VmId> vms_;
+};
+
+/// Builds one timeline per server over the instance horizon.
+std::vector<ServerTimeline> make_timelines(
+    const std::vector<ServerSpec>& servers, Time horizon);
+
+}  // namespace esva

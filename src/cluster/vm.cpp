@@ -1,0 +1,60 @@
+#include "cluster/vm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace esva {
+
+double VmSpec::total_cpu() const {
+  if (!has_profile()) return demand.cpu * static_cast<double>(duration());
+  double total = 0.0;
+  for (const Resources& r : profile) total += r.cpu;
+  return total;
+}
+
+void VmSpec::set_profile(std::vector<Resources> new_profile) {
+  assert(static_cast<Time>(new_profile.size()) == duration());
+  profile = std::move(new_profile);
+  demand = Resources{};
+  for (const Resources& r : profile) {
+    demand.cpu = std::max(demand.cpu, r.cpu);
+    demand.mem = std::max(demand.mem, r.mem);
+  }
+}
+
+bool VmSpec::valid() const {
+  if (start < 1 || end < start || !demand.non_negative()) return false;
+  if (!has_profile()) return true;
+  if (static_cast<Time>(profile.size()) != duration()) return false;
+  Resources peak;
+  for (const Resources& r : profile) {
+    if (!r.non_negative()) return false;
+    peak.cpu = std::max(peak.cpu, r.cpu);
+    peak.mem = std::max(peak.mem, r.mem);
+  }
+  return std::abs(peak.cpu - demand.cpu) <= kEps &&
+         std::abs(peak.mem - demand.mem) <= kEps;
+}
+
+Time horizon_of(const std::vector<VmSpec>& vms) {
+  Time horizon = 0;
+  for (const VmSpec& vm : vms) horizon = std::max(horizon, vm.end);
+  return horizon;
+}
+
+std::vector<std::size_t> order_by_start(const std::vector<VmSpec>& vms) {
+  std::vector<std::size_t> order(vms.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (vms[a].start != vms[b].start)
+                       return vms[a].start < vms[b].start;
+                     if (vms[a].end != vms[b].end) return vms[a].end < vms[b].end;
+                     return vms[a].id < vms[b].id;
+                   });
+  return order;
+}
+
+}  // namespace esva

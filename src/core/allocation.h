@@ -1,0 +1,51 @@
+// Allocation results: the assignment x_ij produced by an allocator, plus
+// validation and total-cost evaluation against an instance.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/problem.h"
+#include "util/types.h"
+
+namespace esva {
+
+struct Allocation {
+  /// assignment[j] = server hosting VM j, or kNoServer if it could not be
+  /// placed (the paper assumes sufficient capacity; we surface failures).
+  std::vector<ServerId> assignment;
+
+  std::size_t num_unallocated() const;
+  bool fully_allocated() const { return num_unallocated() == 0; }
+};
+
+/// Per-instance cost report under the optimal power-state policy.
+struct CostReport {
+  CostBreakdown breakdown;           ///< datacenter-wide components
+  std::vector<Energy> per_server;    ///< Eq. 17 cost of each server
+  std::vector<int> used_servers;     ///< servers hosting >= 1 VM
+
+  Energy total() const { return breakdown.total(); }
+};
+
+/// Groups VM specs by their assigned server; unallocated VMs are skipped.
+std::vector<std::vector<VmSpec>> vms_by_server(const ProblemInstance& problem,
+                                               const Allocation& alloc);
+
+/// Evaluates Eq. 17 (summed over servers) for an allocation.
+CostReport evaluate_cost(const ProblemInstance& problem,
+                         const Allocation& alloc,
+                         const CostOptions& opts = {});
+
+/// Checks that the allocation is feasible: assignment vector sized to the VM
+/// count, server ids in range, every allocated VM's demand within capacity at
+/// every time unit (constraints 9–10), and — if `require_complete` — that all
+/// VMs are allocated (constraint 11). Returns "" when valid, else the first
+/// violation found.
+std::string validate_allocation(const ProblemInstance& problem,
+                                const Allocation& alloc,
+                                bool require_complete = true);
+
+}  // namespace esva

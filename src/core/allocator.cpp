@@ -1,0 +1,48 @@
+#include "core/allocator.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace esva {
+
+std::string to_string(VmOrder order) {
+  switch (order) {
+    case VmOrder::ByStartTime: return "by-start-time";
+    case VmOrder::ByArrivalId: return "by-arrival-id";
+    case VmOrder::ByDurationDesc: return "by-duration-desc";
+    case VmOrder::ByCpuDesc: return "by-cpu-desc";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> ordered_indices(const ProblemInstance& problem,
+                                         VmOrder order) {
+  const auto& vms = problem.vms;
+  std::vector<std::size_t> indices(vms.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  switch (order) {
+    case VmOrder::ByStartTime:
+      return order_by_start(vms);
+    case VmOrder::ByArrivalId:
+      return indices;  // ids are dense and in arrival order
+    case VmOrder::ByDurationDesc:
+      std::stable_sort(indices.begin(), indices.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         if (vms[a].duration() != vms[b].duration())
+                           return vms[a].duration() > vms[b].duration();
+                         return vms[a].id < vms[b].id;
+                       });
+      return indices;
+    case VmOrder::ByCpuDesc:
+      std::stable_sort(indices.begin(), indices.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         if (vms[a].demand.cpu != vms[b].demand.cpu)
+                           return vms[a].demand.cpu > vms[b].demand.cpu;
+                         return vms[a].id < vms[b].id;
+                       });
+      return indices;
+  }
+  return indices;
+}
+
+}  // namespace esva

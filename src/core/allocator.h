@@ -1,0 +1,51 @@
+// Allocator interface shared by the paper's heuristic and all baselines.
+//
+// Allocators are *online in start-time order* (paper §III): they receive the
+// full instance but commit to a server for each VM without revisiting earlier
+// decisions (no migration — §V contrasts this problem with migration-based
+// work). Stochastic allocators (FFPS's server shuffle, RandomFit) draw from
+// the Rng passed to allocate(), keeping runs reproducible.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/problem.h"
+#include "util/rng.h"
+
+namespace esva {
+
+/// Order in which VMs are presented to an allocator. The paper always uses
+/// ByStartTime; the others exist for the ordering ablation
+/// (bench/ablation_ordering).
+enum class VmOrder {
+  ByStartTime,     ///< increasing t^s (the paper's order)
+  ByArrivalId,     ///< request id order (== arrival order for generated loads)
+  ByDurationDesc,  ///< longest VM first (offline, bin-packing style)
+  ByCpuDesc,       ///< largest CPU demand first (offline, FFD style)
+};
+
+std::string to_string(VmOrder order);
+
+/// Indices of problem.vms in the given presentation order (deterministic;
+/// ties broken by id).
+std::vector<std::size_t> ordered_indices(const ProblemInstance& problem,
+                                         VmOrder order);
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Short stable name used in reports ("min-incremental", "ffps", ...).
+  virtual std::string name() const = 0;
+
+  /// Produces an assignment for every VM (kNoServer where infeasible).
+  virtual Allocation allocate(const ProblemInstance& problem, Rng& rng) = 0;
+};
+
+using AllocatorPtr = std::unique_ptr<Allocator>;
+
+}  // namespace esva

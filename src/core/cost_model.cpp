@@ -1,0 +1,98 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <span>
+
+#include "core/power_model.h"
+#include "core/segments.h"
+
+namespace esva {
+
+Energy gap_cost(const ServerSpec& server, Time gap_length) {
+  assert(gap_length >= 1);
+  return std::min(server.p_idle * static_cast<double>(gap_length),
+                  server.transition_cost());
+}
+
+Energy structure_cost(const IntervalSet& busy, const ServerSpec& server,
+                      const CostOptions& opts) {
+  return structure_breakdown(busy, server, opts).total();
+}
+
+CostBreakdown structure_breakdown(const IntervalSet& busy,
+                                  const ServerSpec& server,
+                                  const CostOptions& opts) {
+  CostBreakdown cost;
+  if (busy.empty()) return cost;
+  cost.idle = server.p_idle * static_cast<double>(busy.total_length());
+  if (opts.charge_initial_transition)
+    cost.transition += server.transition_cost();
+  for (const Interval& gap : busy.gaps()) {
+    if (stays_active_through_gap(server, gap.length()))
+      cost.idle += server.p_idle * static_cast<double>(gap.length());
+    else
+      cost.transition += server.transition_cost();
+  }
+  return cost;
+}
+
+namespace {
+
+/// Structure cost restricted to a neighborhood: a run of busy intervals plus
+/// the (optional) gap to a surviving left/right neighbor. Shared by the
+/// before/after sides of the delta computation.
+Energy local_structure_cost(const ServerSpec& server,
+                            std::optional<Time> prev_hi,
+                            std::span<const Interval> run,
+                            std::optional<Time> next_lo) {
+  Energy cost = 0.0;
+  std::optional<Time> last_hi = prev_hi;
+  for (const Interval& iv : run) {
+    if (last_hi) cost += gap_cost(server, iv.lo - *last_hi - 1);
+    cost += server.p_idle * static_cast<double>(iv.length());
+    last_hi = iv.hi;
+  }
+  if (next_lo && last_hi) cost += gap_cost(server, *next_lo - *last_hi - 1);
+  return cost;
+}
+
+}  // namespace
+
+Energy structure_cost_delta(const IntervalSet& busy, Time lo, Time hi,
+                            const ServerSpec& server,
+                            const CostOptions& opts) {
+  assert(lo <= hi);
+  const IntervalSet::Preview preview = busy.preview_insert(lo, hi);
+  std::optional<Time> prev_hi;
+  if (preview.has_left) prev_hi = preview.left.hi;
+  std::optional<Time> next_lo;
+  if (preview.has_right) next_lo = preview.right.lo;
+
+  const Energy before =
+      local_structure_cost(server, prev_hi, preview.absorbed, next_lo);
+  const Energy after = local_structure_cost(
+      server, prev_hi, std::span<const Interval>(&preview.merged, 1), next_lo);
+
+  Energy delta = after - before;
+  if (busy.empty() && opts.charge_initial_transition)
+    delta += server.transition_cost();
+  return delta;
+}
+
+Energy server_cost(const ServerSpec& server, const std::vector<VmSpec>& vms,
+                   const CostOptions& opts) {
+  Energy cost = structure_cost(busy_union(vms), server, opts);
+  for (const VmSpec& vm : vms) cost += run_cost(server, vm);
+  return cost;
+}
+
+Energy incremental_cost(const ServerTimeline& timeline, const VmSpec& vm,
+                        const CostOptions& opts) {
+  return run_cost(timeline.spec(), vm) +
+         structure_cost_delta(timeline.busy(), vm.start, vm.end,
+                              timeline.spec(), opts);
+}
+
+}  // namespace esva

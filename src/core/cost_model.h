@@ -1,0 +1,79 @@
+// Energy cost of a server under the optimal power-state policy (Eqs. 15–17).
+//
+// Given the VMs placed on a server, its energy over [1, T] decomposes into:
+//   run cost        Σ W_ij                      (Eq. 3 / Eq. 15, first term)
+//   idle/base cost  P_idle × (active time)      (Eq. 5 under the optimal y)
+//   transition cost alpha × (#switch-ons)       (Eq. 6 under the optimal y)
+// where the optimal y keeps the server active through an interior gap iff
+// P_idle·gap <= alpha, i.e. each interior gap contributes
+// min(P_idle·gap, alpha) — exactly Eq. 16.
+//
+// NOTE on Eq. 17 vs the ILP objective: the paper's Eq. 17 omits the alpha for
+// the server's *first* switch-on, which Eq. 7 does charge (y_i,0 = 0). We
+// default to the ILP-consistent accounting and expose
+// CostOptions::charge_initial_transition=false for the literal Eq. 17
+// (see DESIGN.md §1 and bench/ablation_cost_terms).
+
+#pragma once
+
+#include "cluster/server_spec.h"
+#include "cluster/timeline.h"
+#include "cluster/vm.h"
+#include "util/interval_set.h"
+#include "util/types.h"
+
+namespace esva {
+
+struct CostOptions {
+  /// Charge alpha for the first power-saving -> active transition (the ILP
+  /// objective does; the literal Eq. 17 does not).
+  bool charge_initial_transition = true;
+};
+
+/// Energy components of one server (or a whole datacenter when aggregated).
+struct CostBreakdown {
+  Energy run = 0.0;         ///< Σ W_ij — marginal energy of VM load
+  Energy idle = 0.0;        ///< P_idle × active time units
+  Energy transition = 0.0;  ///< alpha × number of switch-ons
+
+  Energy total() const { return run + idle + transition; }
+
+  CostBreakdown& operator+=(const CostBreakdown& other) {
+    run += other.run;
+    idle += other.idle;
+    transition += other.transition;
+    return *this;
+  }
+};
+
+/// min(P_idle·gap, alpha): the optimal cost of surviving an interior idle
+/// gap (Eq. 16's summand).
+Energy gap_cost(const ServerSpec& server, Time gap_length);
+
+/// The busy/idle structure cost of a server: everything in Eq. 17 except the
+/// Σ W_ij term (plus the initial transition, per CostOptions).
+Energy structure_cost(const IntervalSet& busy, const ServerSpec& server,
+                      const CostOptions& opts = {});
+
+/// Same, split into idle vs transition energy.
+CostBreakdown structure_breakdown(const IntervalSet& busy,
+                                  const ServerSpec& server,
+                                  const CostOptions& opts = {});
+
+/// structure_cost(busy ∪ [lo,hi]) − structure_cost(busy), computed from the
+/// local neighborhood in O(|absorbed| + log |busy|) without mutating `busy`.
+Energy structure_cost_delta(const IntervalSet& busy, Time lo, Time hi,
+                            const ServerSpec& server,
+                            const CostOptions& opts = {});
+
+/// Full Eq. 17 cost of one server hosting exactly `vms`.
+Energy server_cost(const ServerSpec& server, const std::vector<VmSpec>& vms,
+                   const CostOptions& opts = {});
+
+/// Incremental energy of placing `vm` on the server behind `timeline`
+/// (the quantity the paper's heuristic minimizes, §III):
+/// run_cost + structure_cost_delta.
+Energy incremental_cost(const ServerTimeline& timeline, const VmSpec& vm,
+                        const CostOptions& opts = {});
+
+}  // namespace esva

@@ -1,0 +1,34 @@
+#include "core/min_incremental.h"
+
+#include "cluster/timeline.h"
+
+namespace esva {
+
+Allocation MinIncrementalAllocator::allocate(const ProblemInstance& problem,
+                                             Rng& /*rng*/) {
+  Allocation alloc;
+  alloc.assignment.assign(problem.num_vms(), kNoServer);
+
+  std::vector<ServerTimeline> timelines =
+      make_timelines(problem.servers, problem.horizon);
+
+  for (std::size_t j : ordered_indices(problem, options_.order)) {
+    const VmSpec& vm = problem.vms[j];
+    ServerId best_server = kNoServer;
+    Energy best_delta = kInf;
+    for (std::size_t i = 0; i < timelines.size(); ++i) {
+      if (!timelines[i].can_fit(vm)) continue;
+      const Energy delta = incremental_cost(timelines[i], vm, options_.cost);
+      if (delta < best_delta) {
+        best_delta = delta;
+        best_server = static_cast<ServerId>(i);
+      }
+    }
+    if (best_server == kNoServer) continue;  // reported as unallocated
+    timelines[static_cast<std::size_t>(best_server)].place(vm);
+    alloc.assignment[j] = best_server;
+  }
+  return alloc;
+}
+
+}  // namespace esva

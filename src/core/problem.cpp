@@ -1,0 +1,52 @@
+#include "core/problem.h"
+
+#include <cassert>
+
+namespace esva {
+
+ProblemInstance make_problem(std::vector<VmSpec> vms,
+                             std::vector<ServerSpec> servers) {
+  ProblemInstance problem;
+  problem.horizon = horizon_of(vms);
+  problem.vms = std::move(vms);
+  problem.servers = std::move(servers);
+  for (std::size_t j = 0; j < problem.vms.size(); ++j)
+    assert(problem.vms[j].id == static_cast<VmId>(j));
+  for (std::size_t i = 0; i < problem.servers.size(); ++i)
+    assert(problem.servers[i].id == static_cast<ServerId>(i));
+  return problem;
+}
+
+std::string validate_problem(const ProblemInstance& problem) {
+  for (std::size_t j = 0; j < problem.vms.size(); ++j) {
+    const VmSpec& vm = problem.vms[j];
+    if (vm.id != static_cast<VmId>(j))
+      return "vm ids must be dense: vms[" + std::to_string(j) + "].id == " +
+             std::to_string(vm.id);
+    if (!vm.valid())
+      return "vm " + std::to_string(j) + " is structurally invalid";
+    if (vm.end > problem.horizon)
+      return "vm " + std::to_string(j) + " ends after the horizon";
+    bool fits_somewhere = false;
+    for (const ServerSpec& server : problem.servers) {
+      if (vm.demand.fits_within(server.capacity)) {
+        fits_somewhere = true;
+        break;
+      }
+    }
+    if (!fits_somewhere)
+      return "vm " + std::to_string(j) + " with demand " +
+             vm.demand.to_string() + " fits on no server";
+  }
+  for (std::size_t i = 0; i < problem.servers.size(); ++i) {
+    const ServerSpec& server = problem.servers[i];
+    if (server.id != static_cast<ServerId>(i))
+      return "server ids must be dense: servers[" + std::to_string(i) +
+             "].id == " + std::to_string(server.id);
+    if (!server.valid())
+      return "server " + std::to_string(i) + " is structurally invalid";
+  }
+  return {};
+}
+
+}  // namespace esva

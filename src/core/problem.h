@@ -1,0 +1,35 @@
+// Problem instance: the input of the allocation problem (paper §II).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/server_spec.h"
+#include "cluster/vm.h"
+#include "util/types.h"
+
+namespace esva {
+
+struct ProblemInstance {
+  std::vector<VmSpec> vms;
+  std::vector<ServerSpec> servers;
+  /// Planning horizon T; every VM interval must lie within [1, horizon].
+  Time horizon = 0;
+
+  std::size_t num_vms() const { return vms.size(); }
+  std::size_t num_servers() const { return servers.size(); }
+};
+
+/// Builds an instance, setting the horizon to the latest VM finishing time
+/// and asserting ids are dense (vm[i].id == i, server[i].id == i).
+ProblemInstance make_problem(std::vector<VmSpec> vms,
+                             std::vector<ServerSpec> servers);
+
+/// Structural validation; returns an empty string if the instance is
+/// well-formed, otherwise a description of the first problem found. Checks:
+/// dense ids, valid specs, intervals within [1, horizon], and that every VM
+/// fits on at least one *empty* server (otherwise it can never be placed).
+std::string validate_problem(const ProblemInstance& problem);
+
+}  // namespace esva

@@ -1,0 +1,36 @@
+#include "core/segments.h"
+
+namespace esva {
+
+IntervalSet busy_union(const std::vector<VmSpec>& vms) {
+  IntervalSet set;
+  for (const VmSpec& vm : vms) set.insert(vm.start, vm.end);
+  return set;
+}
+
+bool stays_active_through_gap(const ServerSpec& server, Time gap_length) {
+  return server.p_idle * static_cast<double>(gap_length) <=
+         server.transition_cost() + kEps;
+}
+
+std::vector<Interval> active_intervals(const IntervalSet& busy,
+                                       const ServerSpec& server) {
+  std::vector<Interval> result;
+  for (const Interval& segment : busy.intervals()) {
+    if (!result.empty()) {
+      const Time gap = segment.lo - result.back().hi - 1;
+      if (stays_active_through_gap(server, gap)) {
+        result.back().hi = segment.hi;  // bridge the gap, stay active
+        continue;
+      }
+    }
+    result.push_back(segment);
+  }
+  return result;
+}
+
+int transition_count(const IntervalSet& busy, const ServerSpec& server) {
+  return static_cast<int>(active_intervals(busy, server).size());
+}
+
+}  // namespace esva

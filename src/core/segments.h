@@ -1,0 +1,38 @@
+// Busy/idle segmentation and the optimal power-state policy.
+//
+// Fig. 1 of the paper: a server hosting a VM set experiences alternating
+// busy-segments (>= 1 VM running) and idle-segments. Given the busy
+// structure, the cost-optimal power-state schedule is closed-form: the server
+// is active through every busy segment, stays active through an interior idle
+// gap iff that is cheaper than a transition (P_idle·gap <= alpha), and is in
+// the power-saving state before its first and after its last busy segment.
+
+#pragma once
+
+#include <vector>
+
+#include "cluster/server_spec.h"
+#include "cluster/vm.h"
+#include "util/interval_set.h"
+
+namespace esva {
+
+/// Merged busy intervals of a VM set (the busy-segments of Fig. 1).
+IntervalSet busy_union(const std::vector<VmSpec>& vms);
+
+/// True iff, under the optimal policy, the server stays active through an
+/// interior idle gap of the given length: P_idle·gap <= alpha. (Ties go to
+/// staying active, which avoids a pointless power cycle at equal cost.)
+bool stays_active_through_gap(const ServerSpec& server, Time gap_length);
+
+/// The maximal intervals during which the server is ACTIVE under the optimal
+/// policy, given its busy segments: busy segments, coalesced across the
+/// interior gaps the server bridges while staying active.
+std::vector<Interval> active_intervals(const IntervalSet& busy,
+                                       const ServerSpec& server);
+
+/// Number of power-saving -> active transitions under the optimal policy
+/// (= number of active intervals, since the server starts powered down).
+int transition_count(const IntervalSet& busy, const ServerSpec& server);
+
+}  // namespace esva

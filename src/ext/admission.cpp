@@ -1,0 +1,74 @@
+#include "ext/admission.h"
+
+#include <cassert>
+
+#include "cluster/timeline.h"
+
+namespace esva {
+
+std::size_t AdmissionResult::rejected() const {
+  std::size_t count = 0;
+  for (Time d : delays)
+    if (d < 0) ++count;
+  return count;
+}
+
+double AdmissionResult::mean_delay() const {
+  double total = 0.0;
+  std::size_t admitted = 0;
+  for (Time d : delays) {
+    if (d < 0) continue;
+    total += static_cast<double>(d);
+    ++admitted;
+  }
+  return admitted == 0 ? 0.0 : total / static_cast<double>(admitted);
+}
+
+AdmissionResult DelayedAdmissionAllocator::schedule(
+    const ProblemInstance& problem) const {
+  assert(options_.max_delay >= 0);
+  AdmissionResult result;
+  result.allocation.assignment.assign(problem.num_vms(), kNoServer);
+  result.delays.assign(problem.num_vms(), -1);
+  result.scheduled_vms = problem.vms;
+
+  // Delayed windows may reach past the original horizon.
+  std::vector<ServerTimeline> timelines =
+      make_timelines(problem.servers, problem.horizon + options_.max_delay);
+
+  for (std::size_t j : ordered_indices(problem, VmOrder::ByStartTime)) {
+    const VmSpec& requested = problem.vms[j];
+    for (Time shift = 0; shift <= options_.max_delay; ++shift) {
+      VmSpec candidate = requested;
+      candidate.start = requested.start + shift;
+      candidate.end = requested.end + shift;
+
+      ServerId best_server = kNoServer;
+      Energy best_delta = kInf;
+      for (std::size_t i = 0; i < timelines.size(); ++i) {
+        if (!timelines[i].can_fit(candidate)) continue;
+        const Energy delta =
+            incremental_cost(timelines[i], candidate, options_.cost);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_server = static_cast<ServerId>(i);
+        }
+      }
+      if (best_server == kNoServer) continue;  // try a longer delay
+
+      timelines[static_cast<std::size_t>(best_server)].place(candidate);
+      result.allocation.assignment[j] = best_server;
+      result.delays[j] = shift;
+      result.scheduled_vms[j] = candidate;
+      break;
+    }
+  }
+  return result;
+}
+
+Allocation DelayedAdmissionAllocator::allocate(const ProblemInstance& problem,
+                                               Rng& /*rng*/) {
+  return schedule(problem).allocation;
+}
+
+}  // namespace esva

@@ -1,0 +1,61 @@
+// Delay-based admission control (extension beyond the paper).
+//
+// The paper assumes the fleet always has room ("the resource demands of VMs
+// can be met"). Under overload, a base allocator simply rejects what does
+// not fit. Real clouds queue instead: a request that fits nowhere at its
+// requested start time can be *delayed* — its whole [start, finish] window
+// shifted later — until capacity frees up, subject to a per-request maximum
+// acceptable delay.
+//
+// DelayedAdmissionAllocator wraps any base allocator decision rule: VMs are
+// processed in start-time order; a VM that fits nowhere is re-tried with its
+// window shifted by +1, +2, … up to `max_delay` time units, landing at the
+// first shift where the wrapped placement rule finds a server. The returned
+// schedule reports both the assignment and the realized delays.
+
+#pragma once
+
+#include "core/allocator.h"
+#include "core/cost_model.h"
+
+namespace esva {
+
+struct AdmissionResult {
+  Allocation allocation;
+  /// Realized start-time shift per VM (0 = on time); -1 for rejected VMs.
+  std::vector<Time> delays;
+  /// The shifted VM windows actually scheduled (same demand, moved
+  /// interval); rejected VMs keep their requested window.
+  std::vector<VmSpec> scheduled_vms;
+
+  std::size_t rejected() const;
+  double mean_delay() const;  ///< over admitted VMs
+};
+
+class DelayedAdmissionAllocator final : public Allocator {
+ public:
+  struct Options {
+    CostOptions cost;
+    /// Maximum acceptable start delay per VM, time units.
+    Time max_delay = 30;
+  };
+
+  DelayedAdmissionAllocator() = default;
+  explicit DelayedAdmissionAllocator(Options options) : options_(options) {}
+
+  std::string name() const override { return "min-incremental+delay"; }
+
+  /// Allocator-interface view: returns the assignment only (delays are
+  /// dropped); use schedule() for the full result.
+  Allocation allocate(const ProblemInstance& problem, Rng& rng) override;
+
+  /// Full scheduling result with realized delays. The energy of the result
+  /// must be evaluated against `scheduled_vms` (the shifted windows), e.g.
+  /// via make_problem(result.scheduled_vms, problem.servers).
+  AdmissionResult schedule(const ProblemInstance& problem) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace esva

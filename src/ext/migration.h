@@ -1,0 +1,61 @@
+// Migration-based re-optimization (extension beyond the paper).
+//
+// The paper's related-work section contrasts allocation-time optimization
+// with approaches that "save energy consumption in data centers by dynamic
+// migration of VMs" [refs 6, 18] and leaves migration out of scope. This
+// module supplies that missing piece as a post-pass: a local search that
+// relocates single VMs between servers when the energy saved exceeds a
+// per-migration penalty.
+//
+// Cost model for a relocation: moving VM j charges
+//     migration_cost = cost_per_gib × R^MEM_j
+// (live-migration traffic and service degradation scale with the memory
+// footprint; this is the standard first-order model). The optimizer is
+// strictly conservative: it only applies a move if
+//     ΔEnergy(move) + migration_cost < -epsilon,
+// so the reported net total (energy + migration overhead) never increases.
+
+#pragma once
+
+#include "core/allocation.h"
+#include "core/cost_model.h"
+#include "core/problem.h"
+
+namespace esva {
+
+struct MigrationConfig {
+  CostOptions cost;
+  /// Energy penalty per GiB of moved VM memory (watt-minutes/GiB).
+  Energy cost_per_gib = 25.0;
+  /// Full sweeps over all VMs; the search also stops at the first sweep
+  /// with no improving move.
+  int max_rounds = 8;
+  /// Minimum net gain for a move to be applied.
+  Energy min_gain = 1e-6;
+};
+
+struct MigrationResult {
+  Allocation allocation;       ///< improved assignment
+  int moves = 0;               ///< relocations applied
+  Energy energy_before = 0.0;  ///< Eq. 17 total of the input allocation
+  Energy energy_after = 0.0;   ///< Eq. 17 total of the output allocation
+  Energy migration_overhead = 0.0;  ///< Σ per-move penalties
+
+  /// energy_after + migration_overhead; <= energy_before by construction.
+  Energy net_total() const { return energy_after + migration_overhead; }
+  double net_reduction() const {
+    return energy_before > 0 ? (energy_before - net_total()) / energy_before
+                             : 0.0;
+  }
+};
+
+/// Improves `alloc` (which must be capacity-feasible) by single-VM
+/// relocations. Unallocated VMs are placed unconditionally at their cheapest
+/// feasible server (serving the request dominates energy), also counting as
+/// moves; the "net total never increases" guarantee therefore applies to
+/// fully-allocated inputs.
+MigrationResult optimize_with_migration(const ProblemInstance& problem,
+                                        const Allocation& alloc,
+                                        const MigrationConfig& config = {});
+
+}  // namespace esva

@@ -1,0 +1,21 @@
+#include "ext/register.h"
+
+#include "baselines/registry.h"
+#include "ext/lookahead.h"
+
+namespace esva {
+
+void register_extension_allocators() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  for (int window : {1, 4, 8, 16}) {
+    register_allocator("lookahead-" + std::to_string(window), [window] {
+      LookaheadAllocator::Options options;
+      options.window = window;
+      return std::make_unique<LookaheadAllocator>(options);
+    });
+  }
+}
+
+}  // namespace esva

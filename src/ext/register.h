@@ -1,0 +1,13 @@
+// Registers the extension allocators with the name-based registry so the
+// experiment runner and CLI tools can address them like built-ins:
+//   "lookahead-1" (== min-incremental), "lookahead-4", "lookahead-8",
+//   "lookahead-16".
+// Call once near program start; repeated calls are harmless.
+
+#pragma once
+
+namespace esva {
+
+void register_extension_allocators();
+
+}  // namespace esva

@@ -1,0 +1,51 @@
+// Fixed-timeout power-state policy (extension/ablation).
+//
+// The paper assumes the *optimal* state policy: a server bridges an idle gap
+// iff P_idle·gap <= alpha, which requires knowing when the next VM arrives.
+// Real fleet controllers do not know that; the standard industrial policy is
+// a fixed timeout: power down after the server has been idle for `timeout`
+// time units. This module prices that policy so
+// bench/ablation_power_policy can show how much clairvoyance is worth —
+// and that the paper's comparisons are not an artifact of it (both
+// algorithms get the same policy).
+
+#pragma once
+
+#include "cluster/server_spec.h"
+#include "core/allocation.h"
+#include "core/cost_model.h"
+#include "core/problem.h"
+#include "util/interval_set.h"
+
+namespace esva {
+
+struct TimeoutPolicy {
+  /// Idle time units the server waits before powering down. 0 = power down
+  /// immediately after every busy segment; a value >= the longest gap
+  /// degenerates to always-on between first start and last finish.
+  Time timeout = 5;
+};
+
+/// Active intervals of a server under the timeout policy: each busy segment
+/// is extended by up to `timeout` trailing idle units, and segments whose
+/// gap is <= timeout coalesce (the server never gets to power down).
+std::vector<Interval> timeout_active_intervals(const IntervalSet& busy,
+                                               Time horizon,
+                                               const TimeoutPolicy& policy);
+
+/// Structure cost (idle + transitions) of a server under the timeout policy.
+/// CostOptions::charge_initial_transition applies as in the optimal policy.
+CostBreakdown timeout_structure_breakdown(const IntervalSet& busy,
+                                          const ServerSpec& server,
+                                          Time horizon,
+                                          const TimeoutPolicy& policy,
+                                          const CostOptions& opts = {});
+
+/// Total datacenter cost of an allocation when every server runs the
+/// timeout policy instead of the optimal one. Run costs are unchanged.
+Energy evaluate_cost_with_timeout(const ProblemInstance& problem,
+                                  const Allocation& alloc,
+                                  const TimeoutPolicy& policy,
+                                  const CostOptions& opts = {});
+
+}  // namespace esva

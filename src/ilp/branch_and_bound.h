@@ -1,0 +1,61 @@
+// Exact branch-and-bound solver for small instances.
+//
+// Searches over assignments x (VMs in start-time order, one branch per
+// feasible server); for any partial assignment the optimal power states are
+// implied (Eq. 17), so only x is branched on. Two facts make the bound
+// admissible:
+//   1. structure-cost monotonicity — adding a VM interval to a server never
+//      decreases its optimal-policy structure cost (proved in DESIGN.md §1,
+//      property-tested in tests/test_cost_model.cpp);
+//   2. every unassigned VM j will eventually pay at least
+//      min_i { W_ij : capacity permits j on i } in run cost, independent of
+//      all other decisions.
+// Hence lower_bound = cost(partial) + Σ_unassigned min-run-cost.
+//
+// Symmetry breaking: among servers with identical specs that are still
+// empty, only the lowest-id one is branched on.
+//
+// Intended scale: m ≲ 12 VMs, n ≲ 5 servers (bench/ilp_gap); the node limit
+// makes larger calls fail gracefully (optimal = false).
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/allocation.h"
+#include "core/cost_model.h"
+#include "core/problem.h"
+
+namespace esva {
+
+struct ExactOptions {
+  CostOptions cost;
+  /// Abort after this many search nodes; the incumbent is returned with
+  /// optimal = false.
+  std::uint64_t node_limit = 20'000'000;
+  /// Warm-start upper bound (e.g. the heuristic's cost); kInf to disable.
+  Energy initial_upper_bound = kInf;
+  /// Optional partial assignment: VMs with a server id here are pre-placed
+  /// and not branched on; the solver optimizes only the kNoServer entries,
+  /// conditioned on the fixed load. Empty = everything free. This is what
+  /// makes the solver usable as an exact *re-optimizer* over a VM subset
+  /// (ext/window_reopt). Must be capacity-feasible if non-empty.
+  std::vector<ServerId> fixed_assignment;
+};
+
+struct ExactResult {
+  Allocation best;
+  Energy cost = kInf;
+  bool optimal = false;
+  /// True iff a complete assignment was found at all.
+  bool feasible = false;
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Minimizes total energy (Eq. 7 / Eq. 17 with the configured CostOptions)
+/// over complete assignments (respecting options.fixed_assignment if set;
+/// the returned cost always covers ALL VMs, fixed ones included).
+ExactResult solve_exact(const ProblemInstance& problem,
+                        const ExactOptions& options = {});
+
+}  // namespace esva

@@ -1,0 +1,88 @@
+#include "ilp/lp_export.h"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace esva {
+
+namespace {
+
+/// LP format wants explicit signs between terms; this emits " + 3.5 x_0_1"
+/// or " - 2 y_0_3" style fragments, wrapping lines at a soft limit.
+class TermEmitter {
+ public:
+  TermEmitter(std::ostream& out, const IlpModel& model)
+      : out_(out), model_(model) {}
+
+  void emit(double coefficient, std::size_t var, bool first) {
+    if (coefficient == 0.0) return;
+    const double magnitude = std::abs(coefficient);
+    if (first)
+      out_ << (coefficient < 0 ? "- " : "");
+    else
+      out_ << (coefficient < 0 ? " - " : " + ");
+    out_ << magnitude << ' ' << model_.var_name(var);
+    if (++terms_on_line_ >= 8) {
+      out_ << "\n   ";
+      terms_on_line_ = 0;
+    }
+  }
+
+ private:
+  std::ostream& out_;
+  const IlpModel& model_;
+  int terms_on_line_ = 0;
+};
+
+}  // namespace
+
+void write_lp(std::ostream& out, const IlpModel& model) {
+  out << "\\ esva VM-allocation ILP (Xie et al., ICDCSW'13, Eqs. 8-14)\n";
+  out << "\\ vms=" << model.num_vms << " servers=" << model.num_servers
+      << " horizon=" << model.horizon << "\n";
+
+  out << "Minimize\n obj: ";
+  {
+    TermEmitter emitter(out, model);
+    bool first = true;
+    for (std::size_t v = 0; v < model.objective.size(); ++v) {
+      if (model.objective[v] == 0.0) continue;
+      emitter.emit(model.objective[v], v, first);
+      first = false;
+    }
+    if (first) out << "0 " << model.var_name(0);
+  }
+  out << "\nSubject To\n";
+  for (const IlpModel::Row& row : model.rows) {
+    out << ' ' << row.name << ": ";
+    TermEmitter emitter(out, model);
+    bool first = true;
+    for (const IlpModel::Term& term : row.terms) {
+      emitter.emit(term.coefficient, term.var, first);
+      first = false;
+    }
+    out << (row.sense == IlpModel::Sense::Equal ? " = " : " <= ") << row.rhs
+        << '\n';
+  }
+
+  out << "Bounds\n";
+  for (std::size_t v = model.num_x() + model.num_y(); v < model.num_vars();
+       ++v)
+    out << " 0 <= " << model.var_name(v) << " <= 1\n";
+
+  out << "Binary\n";
+  for (std::size_t v = 0; v < model.num_x() + model.num_y(); ++v)
+    out << ' ' << model.var_name(v) << '\n';
+
+  out << "End\n";
+}
+
+void save_lp(const std::string& path, const IlpModel& model) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_lp(out, model);
+}
+
+}  // namespace esva

@@ -1,0 +1,25 @@
+// CPLEX-LP text export of the boolean program, so instances can be solved
+// with any external MILP solver (cplex, gurobi, scip, cbc, highs):
+//     esva::save_lp("instance.lp", build_ilp(problem));
+//     $ highs instance.lp        # or: cbc instance.lp, scip -f instance.lp
+// This is the substitute for linking proprietary solver bindings
+// (DESIGN.md §2).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ilp/model.h"
+
+namespace esva {
+
+/// Writes the model in CPLEX-LP format (Minimize / Subject To / Bounds /
+/// Binary / End).
+void write_lp(std::ostream& out, const IlpModel& model);
+
+/// File convenience wrapper; throws std::runtime_error if the file cannot be
+/// opened.
+void save_lp(const std::string& path, const IlpModel& model);
+
+}  // namespace esva

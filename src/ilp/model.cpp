@@ -1,0 +1,156 @@
+#include "ilp/model.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/power_model.h"
+
+namespace esva {
+
+std::size_t IlpModel::x_index(int server, int vm) const {
+  assert(server >= 0 && server < num_servers && vm >= 0 && vm < num_vms);
+  return static_cast<std::size_t>(server) * static_cast<std::size_t>(num_vms) +
+         static_cast<std::size_t>(vm);
+}
+
+std::size_t IlpModel::y_index(int server, Time t) const {
+  assert(server >= 0 && server < num_servers && t >= 1 && t <= horizon);
+  return num_x() +
+         static_cast<std::size_t>(server) * static_cast<std::size_t>(horizon) +
+         static_cast<std::size_t>(t - 1);
+}
+
+std::size_t IlpModel::z_index(int server, Time t) const {
+  return y_index(server, t) + num_y();
+}
+
+std::size_t IlpModel::num_x() const {
+  return static_cast<std::size_t>(num_servers) *
+         static_cast<std::size_t>(num_vms);
+}
+
+std::size_t IlpModel::num_y() const {
+  return static_cast<std::size_t>(num_servers) *
+         static_cast<std::size_t>(horizon);
+}
+
+std::string IlpModel::var_name(std::size_t var) const {
+  assert(var < num_vars());
+  if (var < num_x()) {
+    const std::size_t i = var / static_cast<std::size_t>(num_vms);
+    const std::size_t j = var % static_cast<std::size_t>(num_vms);
+    return "x_" + std::to_string(i) + "_" + std::to_string(j);
+  }
+  const bool is_z = var >= num_x() + num_y();
+  const std::size_t offset = var - num_x() - (is_z ? num_y() : 0);
+  const std::size_t i = offset / static_cast<std::size_t>(horizon);
+  const std::size_t t = offset % static_cast<std::size_t>(horizon) + 1;
+  return std::string(is_z ? "z_" : "y_") + std::to_string(i) + "_" +
+         std::to_string(t);
+}
+
+double IlpModel::objective_value(const std::vector<double>& values) const {
+  assert(values.size() == num_vars());
+  double total = 0.0;
+  for (std::size_t v = 0; v < values.size(); ++v)
+    total += objective[v] * values[v];
+  return total;
+}
+
+std::string IlpModel::first_violation(const std::vector<double>& values) const {
+  assert(values.size() == num_vars());
+  for (const Row& row : rows) {
+    double lhs = 0.0;
+    for (const Term& term : row.terms) lhs += term.coefficient * values[term.var];
+    const bool ok = row.sense == Sense::Equal ? std::abs(lhs - row.rhs) <= 1e-6
+                                              : lhs <= row.rhs + 1e-6;
+    if (!ok) return row.name;
+  }
+  return {};
+}
+
+IlpModel build_ilp(const ProblemInstance& problem) {
+  IlpModel model;
+  model.num_vms = static_cast<int>(problem.num_vms());
+  model.num_servers = static_cast<int>(problem.num_servers());
+  model.horizon = problem.horizon;
+  model.objective.assign(model.num_vars(), 0.0);
+
+  // Objective: W_ij on x, P_idle on y, alpha on z (Eq. 8 with the (·)^+
+  // linearized through z).
+  for (int i = 0; i < model.num_servers; ++i) {
+    const ServerSpec& server = problem.servers[static_cast<std::size_t>(i)];
+    for (int j = 0; j < model.num_vms; ++j)
+      model.objective[model.x_index(i, j)] =
+          run_cost(server, problem.vms[static_cast<std::size_t>(j)]);
+    for (Time t = 1; t <= model.horizon; ++t) {
+      model.objective[model.y_index(i, t)] = server.p_idle;
+      model.objective[model.z_index(i, t)] = server.transition_cost();
+    }
+  }
+
+  // Capacity constraints (9)-(10): per server, per time unit.
+  for (int i = 0; i < model.num_servers; ++i) {
+    const ServerSpec& server = problem.servers[static_cast<std::size_t>(i)];
+    for (Time t = 1; t <= model.horizon; ++t) {
+      IlpModel::Row cpu_row;
+      IlpModel::Row mem_row;
+      cpu_row.name = "cap_cpu_" + std::to_string(i) + "_" + std::to_string(t);
+      mem_row.name = "cap_mem_" + std::to_string(i) + "_" + std::to_string(t);
+      for (int j = 0; j < model.num_vms; ++j) {
+        const VmSpec& vm = problem.vms[static_cast<std::size_t>(j)];
+        if (vm.start > t || vm.end < t) continue;  // R_jt = 0 outside window
+        const Resources r = vm.demand_at(t);       // R_jt (Eqs. 9-10)
+        cpu_row.terms.push_back({model.x_index(i, j), r.cpu});
+        mem_row.terms.push_back({model.x_index(i, j), r.mem});
+      }
+      if (cpu_row.terms.empty()) continue;  // vacuous at this time unit
+      cpu_row.terms.push_back({model.y_index(i, t), -server.capacity.cpu});
+      mem_row.terms.push_back({model.y_index(i, t), -server.capacity.mem});
+      model.rows.push_back(std::move(cpu_row));
+      model.rows.push_back(std::move(mem_row));
+    }
+  }
+
+  // Assignment constraints (11): each VM on exactly one server.
+  for (int j = 0; j < model.num_vms; ++j) {
+    IlpModel::Row row;
+    row.name = "assign_" + std::to_string(j);
+    row.sense = IlpModel::Sense::Equal;
+    row.rhs = 1.0;
+    for (int i = 0; i < model.num_servers; ++i)
+      row.terms.push_back({model.x_index(i, j), 1.0});
+    model.rows.push_back(std::move(row));
+  }
+
+  // Activity coupling (12): x_ij <= y_it for t within the VM's window.
+  for (int i = 0; i < model.num_servers; ++i) {
+    for (int j = 0; j < model.num_vms; ++j) {
+      const VmSpec& vm = problem.vms[static_cast<std::size_t>(j)];
+      for (Time t = vm.start; t <= vm.end; ++t) {
+        IlpModel::Row row;
+        row.name = "active_" + std::to_string(i) + "_" + std::to_string(j) +
+                   "_" + std::to_string(t);
+        row.terms.push_back({model.x_index(i, j), 1.0});
+        row.terms.push_back({model.y_index(i, t), -1.0});
+        model.rows.push_back(std::move(row));
+      }
+    }
+  }
+
+  // Transition linearization: y_it - y_i,t-1 - z_it <= 0, with y_i0 = 0.
+  for (int i = 0; i < model.num_servers; ++i) {
+    for (Time t = 1; t <= model.horizon; ++t) {
+      IlpModel::Row row;
+      row.name = "switch_" + std::to_string(i) + "_" + std::to_string(t);
+      row.terms.push_back({model.y_index(i, t), 1.0});
+      if (t > 1) row.terms.push_back({model.y_index(i, t - 1), -1.0});
+      row.terms.push_back({model.z_index(i, t), -1.0});
+      model.rows.push_back(std::move(row));
+    }
+  }
+
+  return model;
+}
+
+}  // namespace esva

@@ -1,0 +1,77 @@
+// Materialization of the paper's boolean integer linear program (Eqs. 8–14).
+//
+// Variables:
+//   x_ij ∈ {0,1}   VM j hosted on server i                  (n·m variables)
+//   y_it ∈ {0,1}   server i active during time unit t       (n·T variables)
+//   z_it ∈ [0,1]   switch-on indicator, the standard linearization of the
+//                  (y_it − y_i,t−1)^+ term in Eq. 7:
+//                      z_it ≥ y_it − y_i,t−1,  z_it ≥ 0
+//                  (z is continuous; integrality follows at any optimum).
+// Objective (Eq. 8): Σ W_ij x_ij + Σ P_idle,i y_it + Σ alpha_i z_it.
+// Constraints: capacity (9)–(10), assignment (11), activity coupling (12).
+//
+// This model exists for two purposes: exporting to the CPLEX-LP text format
+// (ilp/lp_export.h) so users with an external MILP solver can solve instances
+// directly, and documenting the exact formulation the in-tree exact solver
+// (ilp/branch_and_bound.h) optimizes. Size grows as O(n·m·T); build it for
+// small instances only.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace esva {
+
+struct IlpModel {
+  enum class Sense { LessEqual, Equal };
+
+  struct Term {
+    std::size_t var = 0;
+    double coefficient = 0.0;
+  };
+
+  struct Row {
+    std::string name;
+    std::vector<Term> terms;
+    Sense sense = Sense::LessEqual;
+    double rhs = 0.0;
+  };
+
+  int num_vms = 0;
+  int num_servers = 0;
+  Time horizon = 0;
+
+  /// Objective coefficients, one per variable.
+  std::vector<double> objective;
+  std::vector<Row> rows;
+
+  // --- variable indexing ------------------------------------------------
+  std::size_t x_index(int server, int vm) const;
+  std::size_t y_index(int server, Time t) const;
+  std::size_t z_index(int server, Time t) const;
+  std::size_t num_x() const;
+  std::size_t num_y() const;
+  std::size_t num_z() const { return num_y(); }
+  std::size_t num_vars() const { return num_x() + num_y() + num_z(); }
+
+  /// Human-readable variable name ("x_2_7", "y_0_13", "z_0_13").
+  std::string var_name(std::size_t var) const;
+
+  /// True for x and y variables (declared binary); z is continuous in [0,1].
+  bool is_binary(std::size_t var) const { return var < num_x() + num_y(); }
+
+  /// Objective value of a full variable assignment.
+  double objective_value(const std::vector<double>& values) const;
+
+  /// First violated row for a full variable assignment, or "" if feasible.
+  std::string first_violation(const std::vector<double>& values) const;
+};
+
+/// Builds the full model for an instance.
+IlpModel build_ilp(const ProblemInstance& problem);
+
+}  // namespace esva

@@ -1,0 +1,111 @@
+#include "ilp/solution_io.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace esva {
+
+namespace {
+
+bool is_number(const std::string& token) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+double parse_number(const std::string& token) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(token, &consumed);
+    if (consumed != token.size())
+      throw std::runtime_error("solution: bad number '" + token + "'");
+    return value;
+  } catch (const std::logic_error&) {
+    throw std::runtime_error("solution: bad number '" + token + "'");
+  }
+}
+
+bool looks_like_variable(const std::string& token) {
+  // Our exporter emits x_/y_/z_ prefixed names.
+  return token.size() > 2 &&
+         (token[0] == 'x' || token[0] == 'y' || token[0] == 'z') &&
+         token[1] == '_';
+}
+
+}  // namespace
+
+SolverSolution read_solution(std::istream& in) {
+  SolverSolution solution;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream tokens(line);
+    std::vector<std::string> fields;
+    std::string field;
+    while (tokens >> field) fields.push_back(field);
+    if (fields.empty()) continue;
+
+    // Objective header lines: "Objective value: X" / "Objective X" /
+    // "objective X".
+    if (fields[0] == "Objective" || fields[0] == "objective") {
+      for (std::size_t k = fields.size(); k-- > 1;) {
+        if (is_number(fields[k])) {
+          solution.objective = parse_number(fields[k]);
+          solution.has_objective = true;
+          break;
+        }
+      }
+      continue;
+    }
+
+    // "name value [...]" — HiGHS / SCIP style.
+    if (looks_like_variable(fields[0]) && fields.size() >= 2 &&
+        is_number(fields[1])) {
+      solution.values[fields[0]] = parse_number(fields[1]);
+      continue;
+    }
+    // "index name value [reduced-cost]" — CBC style.
+    if (fields.size() >= 3 && is_number(fields[0]) &&
+        looks_like_variable(fields[1]) && is_number(fields[2])) {
+      solution.values[fields[1]] = parse_number(fields[2]);
+      continue;
+    }
+    // Anything else (status banners, comments) is skipped.
+  }
+  return solution;
+}
+
+SolverSolution load_solution(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_solution(in);
+}
+
+Allocation allocation_from_solution(const SolverSolution& solution,
+                                    const ProblemInstance& problem) {
+  Allocation alloc;
+  alloc.assignment.assign(problem.num_vms(), kNoServer);
+  for (const auto& [name, value] : solution.values) {
+    if (name.rfind("x_", 0) != 0 || value < 0.5) continue;
+    const std::size_t sep = name.find('_', 2);
+    if (sep == std::string::npos)
+      throw std::runtime_error("solution: malformed x variable '" + name + "'");
+    const int server = std::stoi(name.substr(2, sep - 2));
+    const int vm = std::stoi(name.substr(sep + 1));
+    if (server < 0 || static_cast<std::size_t>(server) >= problem.num_servers() ||
+        vm < 0 || static_cast<std::size_t>(vm) >= problem.num_vms())
+      throw std::runtime_error("solution: out-of-range variable '" + name + "'");
+    if (alloc.assignment[static_cast<std::size_t>(vm)] != kNoServer)
+      throw std::runtime_error("solution: vm " + std::to_string(vm) +
+                               " assigned to two servers");
+    alloc.assignment[static_cast<std::size_t>(vm)] =
+        static_cast<ServerId>(server);
+  }
+  return alloc;
+}
+
+}  // namespace esva

@@ -1,0 +1,46 @@
+// External-solver round trip: read a MILP solution file produced by an
+// external solver (HiGHS `--solution_file`, CBC `solve … solution`, SCIP
+// `write solution` and plain `<name> <value>` dumps share the same shape:
+// one variable per line, names as emitted by our LP exporter), recover the
+// allocation x_ij, and validate it against the instance. Together with
+// ilp/lp_export.h this closes the loop:
+//     save_lp -> external solver -> read_solution -> validate/evaluate.
+
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "core/allocation.h"
+#include "core/problem.h"
+
+namespace esva {
+
+struct SolverSolution {
+  /// Values keyed by variable name ("x_2_7" = 1, "y_0_13" = 1, ...).
+  /// Only variables present in the file appear; absent means 0.
+  std::map<std::string, double> values;
+  /// Objective value if the file carried one ("Objective ..." header lines);
+  /// NaN otherwise.
+  double objective = 0.0;
+  bool has_objective = false;
+};
+
+/// Parses a solution stream. Recognized line shapes (others are skipped):
+///   x_1_2 1            — plain pairs (HiGHS/CBC columns sections)
+///   3 x_1_2 1 0        — CBC "index name value reduced-cost"
+///   Objective value: 123.4   /  Objective 123.4
+/// Throws std::runtime_error on malformed numeric fields in recognized lines.
+SolverSolution read_solution(std::istream& in);
+
+/// File convenience wrapper; throws std::runtime_error if unreadable.
+SolverSolution load_solution(const std::string& path);
+
+/// Extracts the assignment from x_{i}_{j} variables (values >= 0.5 count as
+/// chosen). Returns kNoServer for VMs with no selected server; duplicate
+/// selections for one VM throw std::runtime_error.
+Allocation allocation_from_solution(const SolverSolution& solution,
+                                    const ProblemInstance& problem);
+
+}  // namespace esva

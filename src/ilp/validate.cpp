@@ -1,0 +1,94 @@
+#include "ilp/validate.h"
+
+#include <cassert>
+
+#include "core/power_model.h"
+#include "core/segments.h"
+
+namespace esva {
+
+std::vector<IntervalSet> derive_active_sets(const ProblemInstance& problem,
+                                            const Allocation& alloc) {
+  std::vector<IntervalSet> active_sets(problem.num_servers());
+  const auto grouped = vms_by_server(problem, alloc);
+  for (std::size_t i = 0; i < problem.num_servers(); ++i) {
+    const IntervalSet busy = busy_union(grouped[i]);
+    for (const Interval& iv :
+         active_intervals(busy, problem.servers[i]))
+      active_sets[i].insert(iv.lo, iv.hi);
+  }
+  return active_sets;
+}
+
+Energy objective_eq7(const ProblemInstance& problem, const Allocation& alloc,
+                     const std::vector<IntervalSet>& active_sets) {
+  assert(active_sets.size() == problem.num_servers());
+  Energy total = 0.0;
+
+  // Σ W_ij x_ij
+  for (std::size_t j = 0; j < problem.num_vms(); ++j) {
+    const ServerId server = alloc.assignment[j];
+    if (server == kNoServer) continue;
+    total += run_cost(problem.servers[static_cast<std::size_t>(server)],
+                      problem.vms[j]);
+  }
+
+  // Σ P_idle y_it + Σ alpha (y_it − y_i,t−1)^+ — each maximal active interval
+  // contributes P_idle × length and exactly one switch-on (y_i,0 = 0).
+  for (std::size_t i = 0; i < problem.num_servers(); ++i) {
+    const ServerSpec& server = problem.servers[i];
+    for (const Interval& iv : active_sets[i].intervals()) {
+      total += server.p_idle * static_cast<double>(iv.length());
+      total += server.transition_cost();
+    }
+  }
+  return total;
+}
+
+std::string check_constraints(const ProblemInstance& problem,
+                              const Allocation& alloc,
+                              const std::vector<IntervalSet>& active_sets) {
+  // (9)-(11) are what validate_allocation checks, given that a VM's whole
+  // window must also be active (12); capacity is vacuously satisfiable only
+  // on active servers because usage > 0 forces y = 1 via (9)-(10).
+  if (std::string err = validate_allocation(problem, alloc, true);
+      !err.empty())
+    return err;
+
+  // (12): each VM's window must lie inside its server's active set.
+  for (std::size_t j = 0; j < problem.num_vms(); ++j) {
+    const ServerId server = alloc.assignment[j];
+    if (server == kNoServer) continue;
+    const VmSpec& vm = problem.vms[j];
+    const IntervalSet& active = active_sets[static_cast<std::size_t>(server)];
+    for (Time t = vm.start; t <= vm.end; ++t) {
+      if (!active.contains(t))
+        return "constraint (12): vm " + std::to_string(j) + " active at t=" +
+               std::to_string(t) + " but server " + std::to_string(server) +
+               " is powered down";
+    }
+  }
+  return {};
+}
+
+std::vector<double> to_variable_assignment(
+    const IlpModel& model, const ProblemInstance& problem,
+    const Allocation& alloc, const std::vector<IntervalSet>& active_sets) {
+  std::vector<double> values(model.num_vars(), 0.0);
+  for (std::size_t j = 0; j < problem.num_vms(); ++j) {
+    const ServerId server = alloc.assignment[j];
+    if (server == kNoServer) continue;
+    values[model.x_index(server, static_cast<int>(j))] = 1.0;
+  }
+  for (int i = 0; i < model.num_servers; ++i) {
+    const IntervalSet& active = active_sets[static_cast<std::size_t>(i)];
+    for (const Interval& iv : active.intervals()) {
+      for (Time t = iv.lo; t <= iv.hi; ++t)
+        values[model.y_index(i, t)] = 1.0;
+      values[model.z_index(i, iv.lo)] = 1.0;  // the switch-on at iv.lo
+    }
+  }
+  return values;
+}
+
+}  // namespace esva

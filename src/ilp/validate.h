@@ -1,0 +1,43 @@
+// Cross-validation between the closed-form cost model (Eq. 17) and the ILP
+// objective (Eq. 7): derive the optimal power states y for a fixed
+// assignment, evaluate Eq. 7 directly, and optionally check the full
+// constraint system. Used heavily by the integration tests.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/problem.h"
+#include "ilp/model.h"
+#include "util/interval_set.h"
+
+namespace esva {
+
+/// Per-server active-time intervals under the optimal power-state policy
+/// given the allocation (the y_it = 1 regions).
+std::vector<IntervalSet> derive_active_sets(const ProblemInstance& problem,
+                                            const Allocation& alloc);
+
+/// Evaluates the paper's Eq. 7 objective literally:
+///   Σ_ij W_ij x_ij + Σ_it P_idle,i y_it + Σ_it alpha_i (y_it − y_i,t−1)^+
+/// with y_i,0 = 0. (Always charges the first switch-on, i.e. matches
+/// CostOptions::charge_initial_transition = true.)
+Energy objective_eq7(const ProblemInstance& problem, const Allocation& alloc,
+                     const std::vector<IntervalSet>& active_sets);
+
+/// Checks constraints (9)-(12) for the given x (allocation) and y (active
+/// sets). Returns "" when satisfied, else the first violation.
+std::string check_constraints(const ProblemInstance& problem,
+                              const Allocation& alloc,
+                              const std::vector<IntervalSet>& active_sets);
+
+/// Expands (x, y) into a flat variable assignment for `model`
+/// (z_it = (y_it − y_i,t−1)^+), suitable for IlpModel::objective_value /
+/// first_violation.
+std::vector<double> to_variable_assignment(
+    const IlpModel& model, const ProblemInstance& problem,
+    const Allocation& alloc, const std::vector<IntervalSet>& active_sets);
+
+}  // namespace esva

@@ -1,0 +1,164 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "core/power_model.h"
+#include "core/segments.h"
+
+namespace esva {
+
+namespace {
+
+// Order matters at equal timestamps on the same server: PowerOn must precede
+// RunStart (a VM only runs on an active server) and RunEnd must precede
+// PowerOff (so the power-off sees the post-VM run power). The enum order is
+// the processing priority.
+enum class EventKind { PowerOn = 0, RunEnd = 1, RunStart = 2, PowerOff = 3 };
+
+struct Event {
+  Time t = 0;
+  EventKind kind = EventKind::PowerOn;
+  int server = 0;
+  /// For Run* events: the marginal-power change P¹_i · ΔR^CPU_j applied at
+  /// this instant (a profiled VM emits one event per demand change).
+  Watts run_power = 0.0;
+  /// For PowerOn: whether this is the server's first switch-on. For Run*
+  /// events: whether this event begins/ends the VM (vs a mid-profile step),
+  /// i.e. whether it moves the running-VM counter.
+  bool boundary = false;
+};
+
+}  // namespace
+
+SimulationEngine::SimulationEngine(const ProblemInstance& problem,
+                                   const Allocation& alloc,
+                                   const CostOptions& opts)
+    : problem_(problem), alloc_(alloc), opts_(opts) {
+  assert(validate_allocation(problem, alloc, /*require_complete=*/false)
+             .empty());
+}
+
+SimulationResult SimulationEngine::run(bool collect_samples) const {
+  SimulationResult result;
+  const std::size_t n = problem_.num_servers();
+  result.per_server.assign(n, CostBreakdown{});
+  if (collect_samples && problem_.horizon > 0)
+    result.samples.reserve(static_cast<std::size_t>(problem_.horizon));
+
+  // Build the event list: power events from each server's optimal-policy
+  // active intervals, run events from each allocated VM.
+  std::vector<Event> events;
+  const auto grouped = vms_by_server(problem_, alloc_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ServerSpec& server = problem_.servers[i];
+    const IntervalSet busy = busy_union(grouped[i]);
+    const std::vector<Interval> actives = active_intervals(busy, server);
+    for (std::size_t k = 0; k < actives.size(); ++k) {
+      events.push_back(Event{actives[k].lo, EventKind::PowerOn,
+                             static_cast<int>(i), 0.0, k == 0});
+      events.push_back(Event{actives[k].hi + 1, EventKind::PowerOff,
+                             static_cast<int>(i), 0.0, false});
+    }
+    for (const VmSpec& vm : grouped[i]) {
+      const Watts p1 = server.unit_run_power();
+      events.push_back(Event{vm.start, EventKind::RunStart,
+                             static_cast<int>(i),
+                             p1 * vm.demand_at(vm.start).cpu, true});
+      // Mid-profile demand changes (no-ops for stable VMs).
+      for (Time t = vm.start + 1; t <= vm.end; ++t) {
+        const double delta = vm.demand_at(t).cpu - vm.demand_at(t - 1).cpu;
+        if (delta > 0.0)
+          events.push_back(Event{t, EventKind::RunStart, static_cast<int>(i),
+                                 p1 * delta, false});
+        else if (delta < 0.0)
+          events.push_back(Event{t, EventKind::RunEnd, static_cast<int>(i),
+                                 p1 * -delta, false});
+      }
+      events.push_back(Event{vm.end + 1, EventKind::RunEnd,
+                             static_cast<int>(i),
+                             p1 * vm.demand_at(vm.end).cpu, true});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  });
+
+  // Per-server live state.
+  std::vector<bool> active(n, false);
+  std::vector<Watts> run_power(n, 0.0);
+  std::vector<Time> last_update(n, 1);
+  // Global live state (for samples).
+  Watts global_power = 0.0;
+  int active_servers = 0;
+  int running_vms = 0;
+  Time clock = 1;
+
+  auto settle_server = [&](std::size_t i, Time now) {
+    const Time elapsed = now - last_update[i];
+    if (elapsed > 0 && active[i]) {
+      result.per_server[i].idle +=
+          problem_.servers[i].p_idle * static_cast<double>(elapsed);
+      result.per_server[i].run += run_power[i] * static_cast<double>(elapsed);
+    }
+    last_update[i] = now;
+  };
+
+  auto emit_samples_until = [&](Time now) {
+    if (!collect_samples) return;
+    for (Time t = clock; t < now && t <= problem_.horizon; ++t)
+      result.samples.push_back(
+          PowerSample{t, global_power, active_servers, running_vms});
+  };
+
+  std::size_t idx = 0;
+  while (idx < events.size()) {
+    const Time now = events[idx].t;
+    emit_samples_until(now);
+    clock = std::max(clock, now);
+    while (idx < events.size() && events[idx].t == now) {
+      const Event& event = events[idx++];
+      const auto i = static_cast<std::size_t>(event.server);
+      settle_server(i, now);
+      switch (event.kind) {
+        case EventKind::PowerOn:
+          assert(!active[i]);
+          active[i] = true;
+          ++active_servers;
+          global_power += problem_.servers[i].p_idle + run_power[i];
+          if (!event.boundary || opts_.charge_initial_transition)
+            result.per_server[i].transition +=
+                problem_.servers[i].transition_cost();
+          break;
+        case EventKind::PowerOff:
+          assert(active[i]);
+          active[i] = false;
+          --active_servers;
+          global_power -= problem_.servers[i].p_idle + run_power[i];
+          break;
+        case EventKind::RunStart:
+          assert(active[i] && "a VM can only run on an active server");
+          run_power[i] += event.run_power;
+          if (active[i]) global_power += event.run_power;
+          if (event.boundary) ++running_vms;
+          break;
+        case EventKind::RunEnd:
+          run_power[i] -= event.run_power;
+          if (active[i]) global_power -= event.run_power;
+          if (event.boundary) --running_vms;
+          break;
+      }
+    }
+  }
+  emit_samples_until(problem_.horizon + 1);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    settle_server(i, problem_.horizon + 1);
+    result.total += result.per_server[i];
+  }
+  return result;
+}
+
+}  // namespace esva

@@ -1,0 +1,85 @@
+#include "sim/experiment.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "baselines/registry.h"
+#include "util/logging.h"
+
+namespace esva {
+
+const AllocatorAggregate& PointOutcome::by_name(const std::string& name) const {
+  for (const AllocatorAggregate& agg : allocators)
+    if (agg.name == name) return agg;
+  throw std::invalid_argument("no aggregate for allocator '" + name + "'");
+}
+
+double PointOutcome::baseline_cpu_load() const {
+  return by_name(baseline_name).cpu_util.mean();
+}
+
+double PointOutcome::baseline_mem_load() const {
+  return by_name(baseline_name).mem_util.mean();
+}
+
+double PointOutcome::headline_reduction() const {
+  assert(!allocators.empty());
+  return allocators.front().reduction_vs_baseline.mean();
+}
+
+PointOutcome run_point(const Scenario& scenario,
+                       const ExperimentConfig& config) {
+  assert(config.runs > 0);
+  PointOutcome outcome;
+  outcome.baseline_name = config.baseline;
+  outcome.allocators.resize(config.allocator_names.size());
+  for (std::size_t a = 0; a < config.allocator_names.size(); ++a)
+    outcome.allocators[a].name = config.allocator_names[a];
+
+  Rng master(config.seed);
+  for (int run = 0; run < config.runs; ++run) {
+    // One child stream per run; within a run, the instance stream is drawn
+    // first and allocator streams afterwards, so the set of allocators under
+    // test never perturbs the instances (or each other's randomness).
+    Rng run_master = master.split();
+    Rng instance_rng = run_master.split();
+    const ProblemInstance problem = scenario.instantiate(instance_rng);
+
+    Energy baseline_cost = 0.0;
+    std::vector<Energy> costs(config.allocator_names.size(), 0.0);
+    for (std::size_t a = 0; a < config.allocator_names.size(); ++a) {
+      Rng alloc_rng = run_master.split();
+      AllocatorPtr allocator = make_allocator(config.allocator_names[a]);
+      const Allocation alloc = allocator->allocate(problem, alloc_rng);
+      const AllocationMetrics metrics =
+          compute_metrics(problem, alloc, config.cost);
+
+      AllocatorAggregate& agg = outcome.allocators[a];
+      agg.total_cost.add(metrics.cost.total());
+      agg.cpu_util.add(metrics.utilization.avg_cpu);
+      agg.mem_util.add(metrics.utilization.avg_mem);
+      agg.servers_used.add(static_cast<double>(metrics.servers_used));
+      agg.unallocated.add(static_cast<double>(metrics.unallocated));
+      costs[a] = metrics.cost.total();
+      if (config.allocator_names[a] == config.baseline)
+        baseline_cost = metrics.cost.total();
+      if (metrics.unallocated > 0)
+        log_warn() << scenario.name << " run " << run << ": "
+                   << config.allocator_names[a] << " left "
+                   << metrics.unallocated << " VMs unallocated";
+    }
+
+    if (baseline_cost > 0) {
+      for (std::size_t a = 0; a < config.allocator_names.size(); ++a) {
+        if (config.allocator_names[a] == config.baseline) continue;
+        const double reduction =
+            energy_reduction_ratio(baseline_cost, costs[a]);
+        outcome.allocators[a].reduction_vs_baseline.add(reduction);
+        outcome.allocators[a].reduction_runs.push_back(reduction);
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace esva

@@ -1,0 +1,71 @@
+// Experiment harness: repeats a scenario over several seeded random runs,
+// evaluates a set of allocators on each drawn instance, and aggregates the
+// paper's metrics. Every figure bench is a loop over sweep values calling
+// run_point().
+//
+// Randomness protocol: a master Rng is seeded from (config.seed); each run
+// derives one child stream for instance generation and one per allocator, so
+// all allocators see the *same* instance within a run (paired comparison,
+// matching the paper's "reduction ratio" definition) while stochastic
+// allocators keep independent randomness.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "sim/metrics.h"
+#include "stats/summary.h"
+#include "workload/scenarios.h"
+
+namespace esva {
+
+struct ExperimentConfig {
+  /// Allocators to evaluate, by registry name. The first entry is "ours" in
+  /// reports; `baseline` is the denominator of reduction ratios.
+  std::vector<std::string> allocator_names = {"min-incremental", "ffps"};
+  std::string baseline = "ffps";
+  /// Paper: "Each simulation result is averaged over 5 random runs."
+  int runs = 5;
+  std::uint64_t seed = 42;
+  CostOptions cost;
+};
+
+/// Aggregates (over runs) for one allocator at one sweep point.
+struct AllocatorAggregate {
+  std::string name;
+  Accumulator total_cost;
+  Accumulator cpu_util;
+  Accumulator mem_util;
+  Accumulator servers_used;
+  Accumulator unallocated;
+  /// Energy reduction ratio vs the configured baseline, per run. Empty for
+  /// the baseline itself.
+  Accumulator reduction_vs_baseline;
+  /// The raw per-run reduction ratios behind the accumulator (same order as
+  /// the runs); kept so reports can bootstrap confidence intervals.
+  std::vector<double> reduction_runs;
+};
+
+struct PointOutcome {
+  /// In config.allocator_names order.
+  std::vector<AllocatorAggregate> allocators;
+
+  const AllocatorAggregate& by_name(const std::string& name) const;
+
+  /// The paper's "system load" x-axes (Figs. 4, 9): the baseline allocator's
+  /// average utilizations.
+  double baseline_cpu_load() const;
+  double baseline_mem_load() const;
+  /// Mean reduction ratio of allocator_names[0] vs the baseline.
+  double headline_reduction() const;
+
+  std::string baseline_name;
+};
+
+/// Runs config.runs paired evaluations of the scenario.
+PointOutcome run_point(const Scenario& scenario, const ExperimentConfig& config);
+
+}  // namespace esva

@@ -1,0 +1,78 @@
+#include "sim/metrics.h"
+
+#include <cassert>
+#include <vector>
+
+namespace esva {
+
+UtilizationStats average_utilization(const ProblemInstance& problem,
+                                     const Allocation& alloc) {
+  UtilizationStats stats;
+  const auto grouped = vms_by_server(problem, alloc);
+  const std::size_t t_len = static_cast<std::size_t>(problem.horizon) + 2;
+
+  double cpu_ratio_sum = 0.0;
+  double mem_ratio_sum = 0.0;
+
+  std::vector<double> cpu_diff;
+  std::vector<double> mem_diff;
+  for (std::size_t i = 0; i < problem.num_servers(); ++i) {
+    if (grouped[i].empty()) continue;
+    cpu_diff.assign(t_len, 0.0);
+    mem_diff.assign(t_len, 0.0);
+    for (const VmSpec& vm : grouped[i]) {
+      if (!vm.has_profile()) {
+        cpu_diff[static_cast<std::size_t>(vm.start)] += vm.demand.cpu;
+        cpu_diff[static_cast<std::size_t>(vm.end) + 1] -= vm.demand.cpu;
+        mem_diff[static_cast<std::size_t>(vm.start)] += vm.demand.mem;
+        mem_diff[static_cast<std::size_t>(vm.end) + 1] -= vm.demand.mem;
+        continue;
+      }
+      for (Time t = vm.start; t <= vm.end; ++t) {
+        const Resources r = vm.demand_at(t);
+        cpu_diff[static_cast<std::size_t>(t)] += r.cpu;
+        cpu_diff[static_cast<std::size_t>(t) + 1] -= r.cpu;
+        mem_diff[static_cast<std::size_t>(t)] += r.mem;
+        mem_diff[static_cast<std::size_t>(t) + 1] -= r.mem;
+      }
+    }
+    const ServerSpec& server = problem.servers[i];
+    double cpu_usage = 0.0;
+    double mem_usage = 0.0;
+    for (Time t = 1; t <= problem.horizon; ++t) {
+      cpu_usage += cpu_diff[static_cast<std::size_t>(t)];
+      mem_usage += mem_diff[static_cast<std::size_t>(t)];
+      if (cpu_usage > kEps) {
+        cpu_ratio_sum += cpu_usage / server.capacity.cpu;
+        ++stats.cpu_samples;
+      }
+      if (mem_usage > kEps) {
+        mem_ratio_sum += mem_usage / server.capacity.mem;
+        ++stats.mem_samples;
+      }
+    }
+  }
+  if (stats.cpu_samples > 0)
+    stats.avg_cpu = cpu_ratio_sum / static_cast<double>(stats.cpu_samples);
+  if (stats.mem_samples > 0)
+    stats.avg_mem = mem_ratio_sum / static_cast<double>(stats.mem_samples);
+  return stats;
+}
+
+AllocationMetrics compute_metrics(const ProblemInstance& problem,
+                                  const Allocation& alloc,
+                                  const CostOptions& opts) {
+  AllocationMetrics metrics;
+  metrics.cost = evaluate_cost(problem, alloc, opts);
+  metrics.utilization = average_utilization(problem, alloc);
+  metrics.unallocated = alloc.num_unallocated();
+  metrics.servers_used = static_cast<int>(metrics.cost.used_servers.size());
+  return metrics;
+}
+
+double energy_reduction_ratio(Energy baseline, Energy ours) {
+  assert(baseline > 0);
+  return (baseline - ours) / baseline;
+}
+
+}  // namespace esva

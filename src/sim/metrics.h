@@ -1,0 +1,48 @@
+// Evaluation metrics from the paper's §IV:
+//   * total energy cost (Eq. 17 summed over servers, optimal state policy);
+//   * energy reduction ratio — "the reduced cost divided by the cost of FFPS"
+//     (§IV-A);
+//   * average CPU / memory utilization — "calculated by averaging nonzero
+//     utilization values, measuring the usage when the server is active"
+//     (§IV-C, Fig. 3);
+//   * system CPU / memory load — "quantified by the average utilization of
+//     servers calculated by the FFPS method" (§IV-C, Figs. 4 and 9).
+
+#pragma once
+
+#include "core/allocation.h"
+#include "core/problem.h"
+
+namespace esva {
+
+struct UtilizationStats {
+  /// Mean of cpu_usage/capacity over all (server, time) pairs with nonzero
+  /// CPU usage; ditto for memory. In [0, 1].
+  double avg_cpu = 0.0;
+  double avg_mem = 0.0;
+  /// Number of nonzero samples behind each average.
+  std::size_t cpu_samples = 0;
+  std::size_t mem_samples = 0;
+};
+
+/// Sweeps every server's usage over [1, horizon] (difference arrays; O(n·T)).
+UtilizationStats average_utilization(const ProblemInstance& problem,
+                                     const Allocation& alloc);
+
+/// Everything the experiment harness records for one (instance, allocator).
+struct AllocationMetrics {
+  CostReport cost;
+  UtilizationStats utilization;
+  std::size_t unallocated = 0;
+  int servers_used = 0;
+};
+
+AllocationMetrics compute_metrics(const ProblemInstance& problem,
+                                  const Allocation& alloc,
+                                  const CostOptions& opts = {});
+
+/// (baseline − ours) / baseline; >0 means `ours` is cheaper. Requires
+/// baseline > 0.
+double energy_reduction_ratio(Energy baseline, Energy ours);
+
+}  // namespace esva

@@ -1,0 +1,52 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace esva {
+
+BootstrapInterval bootstrap_interval(std::span<const double> xs,
+                                     const Statistic& statistic, Rng& rng,
+                                     int resamples, double alpha) {
+  assert(resamples > 0 && alpha > 0.0 && alpha < 1.0);
+  BootstrapInterval interval;
+  if (xs.empty()) return interval;
+
+  interval.point = statistic(xs);
+
+  std::vector<double> replicates;
+  replicates.reserve(static_cast<std::size_t>(resamples));
+  std::vector<double> resample(xs.size());
+  for (int r = 0; r < resamples; ++r) {
+    for (double& value : resample) value = xs[rng.index(xs.size())];
+    replicates.push_back(statistic(resample));
+  }
+  std::sort(replicates.begin(), replicates.end());
+
+  // Nearest-rank percentiles, clamped to valid indices.
+  auto percentile = [&](double q) {
+    const double rank = q * static_cast<double>(replicates.size() - 1);
+    const auto idx = static_cast<std::size_t>(std::llround(rank));
+    return replicates[std::min(idx, replicates.size() - 1)];
+  };
+  interval.lo = percentile(alpha / 2.0);
+  interval.hi = percentile(1.0 - alpha / 2.0);
+  interval.valid = true;
+  return interval;
+}
+
+BootstrapInterval bootstrap_mean(std::span<const double> xs, Rng& rng,
+                                 int resamples, double alpha) {
+  return bootstrap_interval(
+      xs,
+      [](std::span<const double> sample) {
+        double total = 0.0;
+        for (double x : sample) total += x;
+        return total / static_cast<double>(sample.size());
+      },
+      rng, resamples, alpha);
+}
+
+}  // namespace esva

@@ -1,0 +1,41 @@
+// Percentile-bootstrap confidence intervals.
+//
+// With only 5 runs per sweep point (the paper's protocol), normal-theory
+// intervals on ratios are shaky; the bootstrap makes no distributional
+// assumption. Used by the experiment reporting to attach honest uncertainty
+// to energy-reduction ratios, and available for any statistic expressible as
+// a function of a resampled sample.
+
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "util/rng.h"
+
+namespace esva {
+
+struct BootstrapInterval {
+  double point = 0.0;  ///< statistic on the original sample
+  double lo = 0.0;     ///< lower percentile bound
+  double hi = 0.0;     ///< upper percentile bound
+  bool valid = false;  ///< false for empty samples
+};
+
+/// Statistic over a sample (e.g. the mean, a trimmed mean, a ratio of
+/// sums when applied to paired transforms).
+using Statistic = std::function<double(std::span<const double>)>;
+
+/// Percentile bootstrap: resamples `xs` with replacement `resamples` times,
+/// evaluates `statistic` on each, and returns the [alpha/2, 1-alpha/2]
+/// percentile interval. Deterministic given `rng`.
+BootstrapInterval bootstrap_interval(std::span<const double> xs,
+                                     const Statistic& statistic, Rng& rng,
+                                     int resamples = 2000,
+                                     double alpha = 0.05);
+
+/// Convenience: bootstrap CI of the sample mean.
+BootstrapInterval bootstrap_mean(std::span<const double> xs, Rng& rng,
+                                 int resamples = 2000, double alpha = 0.05);
+
+}  // namespace esva

@@ -1,0 +1,67 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace esva {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(lo < hi && bins >= 1);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((x - lo_) / width);
+  bin = std::min(bin, counts_.size() - 1);  // guards x just below hi_
+  ++counts_[bin];
+}
+
+std::pair<double, double> Histogram::bin_range(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return {lo_ + width * static_cast<double>(bin),
+          lo_ + width * static_cast<double>(bin + 1)};
+}
+
+double Histogram::cdf(double x) const {
+  const std::size_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  std::size_t at_or_below = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (bin_range(b).first > x) break;
+    at_or_below += counts_[b];
+  }
+  return static_cast<double>(at_or_below) / static_cast<double>(in_range);
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    auto [blo, bhi] = bin_range(b);
+    char label[64];
+    std::snprintf(label, sizeof label, "[%8.2f, %8.2f)", blo, bhi);
+    const std::size_t bar =
+        counts_[b] == 0
+            ? 0
+            : std::max<std::size_t>(1, counts_[b] * max_bar_width / peak);
+    out << label << ' ' << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+  if (underflow_ > 0) out << "underflow: " << underflow_ << '\n';
+  if (overflow_ > 0) out << "overflow:  " << overflow_ << '\n';
+  return out.str();
+}
+
+}  // namespace esva

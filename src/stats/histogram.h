@@ -1,0 +1,44 @@
+// Fixed-bin histogram used for utilization and duration distributions in the
+// examples and for sanity-checking generated workloads in tests.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace esva {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); values outside are counted in underflow /
+  /// overflow. Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+
+  /// Inclusive-exclusive bounds of a bin.
+  std::pair<double, double> bin_range(std::size_t bin) const;
+
+  /// Fraction of in-range samples at or below the bin containing x.
+  double cdf(double x) const;
+
+  /// ASCII rendering with proportional bars, for example output.
+  std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace esva

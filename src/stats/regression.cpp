@@ -1,0 +1,156 @@
+#include "stats/regression.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace esva {
+
+namespace {
+
+struct LsqResult {
+  double a = 0.0;
+  double b = 0.0;
+  bool ok = false;
+};
+
+/// Ordinary least squares of y on x.
+LsqResult least_squares(std::span<const double> xs,
+                        std::span<const double> ys) {
+  LsqResult r;
+  const std::size_t n = xs.size();
+  if (n < 2 || ys.size() != n) return r;
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  if (sxx == 0.0) return r;  // all x identical
+  r.b = sxy / sxx;
+  r.a = my - r.b * mx;
+  r.ok = true;
+  return r;
+}
+
+/// R² of predictions against observations on the original scale.
+double r_squared(std::span<const double> ys,
+                 const std::vector<double>& predictions) {
+  const std::size_t n = ys.size();
+  double my = 0;
+  for (double y : ys) my += y;
+  my /= static_cast<double>(n);
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ss_res += (ys[i] - predictions[i]) * (ys[i] - predictions[i]);
+    ss_tot += (ys[i] - my) * (ys[i] - my);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double adjust_r2(double r2, std::size_t n) {
+  // One predictor (p = 1); undefined for n <= 2.
+  if (n <= 2) return r2;
+  return 1.0 - (1.0 - r2) * (static_cast<double>(n) - 1.0) /
+                   (static_cast<double>(n) - 2.0);
+}
+
+Fit finalize(FitModel model, double a, double b, std::span<const double> xs,
+             std::span<const double> ys) {
+  Fit fit;
+  fit.model = model;
+  fit.a = a;
+  fit.b = b;
+  fit.n = xs.size();
+  fit.valid = true;
+  std::vector<double> predictions;
+  predictions.reserve(xs.size());
+  for (double x : xs) predictions.push_back(fit.predict(x));
+  fit.r2 = r_squared(ys, predictions);
+  fit.adj_r2 = adjust_r2(fit.r2, fit.n);
+  return fit;
+}
+
+}  // namespace
+
+double Fit::predict(double x) const {
+  switch (model) {
+    case FitModel::Linear: return a + b * x;
+    case FitModel::Logarithmic: return a + b * std::log(x);
+    case FitModel::Exponential: return a * std::exp(b * x);
+  }
+  return 0.0;
+}
+
+std::string Fit::to_string() const {
+  if (!valid) return "(no fit)";
+  char buf[128];
+  switch (model) {
+    case FitModel::Linear:
+      std::snprintf(buf, sizeof buf, "y = %.4f + %.4f*x (Adj.R2 = %.3f)", a, b,
+                    adj_r2);
+      break;
+    case FitModel::Logarithmic:
+      std::snprintf(buf, sizeof buf, "y = %.4f + %.4f*ln(x) (Adj.R2 = %.3f)",
+                    a, b, adj_r2);
+      break;
+    case FitModel::Exponential:
+      std::snprintf(buf, sizeof buf, "y = %.4f*exp(%.4f*x) (Adj.R2 = %.3f)", a,
+                    b, adj_r2);
+      break;
+  }
+  return buf;
+}
+
+Fit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  const LsqResult r = least_squares(xs, ys);
+  if (!r.ok) return Fit{.model = FitModel::Linear};
+  return finalize(FitModel::Linear, r.a, r.b, xs, ys);
+}
+
+Fit fit_logarithmic(std::span<const double> xs, std::span<const double> ys) {
+  Fit invalid{.model = FitModel::Logarithmic};
+  if (xs.size() != ys.size()) return invalid;
+  std::vector<double> lx;
+  lx.reserve(xs.size());
+  for (double x : xs) {
+    if (x <= 0.0) return invalid;
+    lx.push_back(std::log(x));
+  }
+  const LsqResult r = least_squares(lx, ys);
+  if (!r.ok) return invalid;
+  return finalize(FitModel::Logarithmic, r.a, r.b, xs, ys);
+}
+
+Fit fit_exponential(std::span<const double> xs, std::span<const double> ys) {
+  Fit invalid{.model = FitModel::Exponential};
+  if (xs.size() != ys.size()) return invalid;
+  std::vector<double> ly;
+  ly.reserve(ys.size());
+  for (double y : ys) {
+    if (y <= 0.0) return invalid;
+    ly.push_back(std::log(y));
+  }
+  const LsqResult r = least_squares(xs, ly);
+  if (!r.ok) return invalid;
+  return finalize(FitModel::Exponential, std::exp(r.a), r.b, xs, ys);
+}
+
+Fit fit_best(std::span<const double> xs, std::span<const double> ys) {
+  Fit best = fit_linear(xs, ys);
+  for (Fit candidate : {fit_logarithmic(xs, ys), fit_exponential(xs, ys)}) {
+    if (!candidate.valid) continue;
+    if (!best.valid || candidate.adj_r2 > best.adj_r2) best = candidate;
+  }
+  return best;
+}
+
+}  // namespace esva

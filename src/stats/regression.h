@@ -1,0 +1,58 @@
+// Least-squares curve fits with adjusted R².
+//
+// The paper annotates every figure with a fitted trend and its adjusted
+// r-square ("Adj.R^2"): linear fits in Figs. 2, 5, 9; logarithm fits in
+// Figs. 4, 6, 7; an exponential fit in Fig. 5 (3-minute transition series).
+// The bench harness reproduces those annotations with this module.
+
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace esva {
+
+enum class FitModel {
+  /// y = a + b·x
+  Linear,
+  /// y = a + b·ln(x); requires x > 0
+  Logarithmic,
+  /// y = a·exp(b·x); fit on ln(y), requires y > 0
+  Exponential,
+};
+
+struct Fit {
+  FitModel model = FitModel::Linear;
+  /// Model parameters (see FitModel documentation).
+  double a = 0.0;
+  double b = 0.0;
+  /// Coefficient of determination on the original (x, y) data, and the
+  /// adjusted value 1 - (1-R²)(n-1)/(n-p-1) with p = 1 predictor.
+  double r2 = 0.0;
+  double adj_r2 = 0.0;
+  std::size_t n = 0;
+  bool valid = false;
+
+  /// Evaluates the fitted model at x.
+  double predict(double x) const;
+
+  /// e.g. "y = 0.021·x + 0.013 (Adj.R² = 0.96)".
+  std::string to_string() const;
+};
+
+/// Fits y = a + b·x. Needs >= 2 points with distinct x; otherwise
+/// returns Fit{.valid = false}.
+Fit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Fits y = a + b·ln(x). Points with x <= 0 make the fit invalid.
+Fit fit_logarithmic(std::span<const double> xs, std::span<const double> ys);
+
+/// Fits y = a·exp(b·x) via linear regression on ln(y). Points with y <= 0
+/// make the fit invalid. R² is reported on the original scale.
+Fit fit_exponential(std::span<const double> xs, std::span<const double> ys);
+
+/// Fits all three models and returns the one with the best adjusted R²
+/// (invalid fits lose). Mirrors how the paper picks per-series trend shapes.
+Fit fit_best(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace esva

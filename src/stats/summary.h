@@ -1,0 +1,57 @@
+// Descriptive statistics over simulation outputs. Every figure point in the
+// paper is the mean of 5 random runs; the experiment runner aggregates via
+// these helpers and also reports dispersion so readers can judge noise.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace esva {
+
+/// One-pass (Welford) accumulator for mean/variance; numerically stable.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  /// Mean of the added samples; 0 if empty.
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 if fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean; 0 if fewer than 2 samples.
+  double stderr_mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator (parallel Welford combination).
+  void merge(const Accumulator& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Snapshot of the usual descriptive statistics.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double stderr_mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Half-width of the normal-approximation 95% confidence interval
+  /// (1.96 × stderr). With n = 5 runs this understates slightly vs. a
+  /// t-interval; we report it as an indication, matching common practice.
+  double ci95_halfwidth = 0.0;
+};
+
+/// Summarizes a sample; all-zero summary for an empty span.
+Summary summarize(std::span<const double> xs);
+
+}  // namespace esva

@@ -1,0 +1,67 @@
+// Tiny declarative command-line flag parser shared by the examples and bench
+// binaries (`--vms 200 --seed 7 --csv out.csv`). Not a general-purpose
+// library: long flags only, values follow as the next argv entry (or
+// `--flag=value`), plus boolean switches.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace esva {
+
+class CliParser {
+ public:
+  /// `program_summary` is printed at the top of --help output.
+  explicit CliParser(std::string program_summary);
+
+  /// Declares flags with their defaults. Call before parse().
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_bool(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on `--help` or on any
+  /// unknown flag / malformed value; the caller should then exit(0/1).
+  /// `parse_error()` distinguishes the two cases.
+  bool parse(int argc, const char* const* argv);
+
+  bool parse_error() const { return parse_error_; }
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { Int, Double, String, Bool };
+  struct Flag {
+    Kind kind = Kind::Bool;
+    std::string help;
+    std::int64_t int_value = 0;
+    double double_value = 0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  const Flag* find(const std::string& name, Kind kind) const;
+
+  std::string summary_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> declaration_order_;
+  std::vector<std::string> positional_;
+  bool parse_error_ = false;
+};
+
+}  // namespace esva

@@ -1,0 +1,54 @@
+// Minimal CSV writing/reading used by the benchmark harness (raw series
+// export) and the workload trace format.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esva {
+
+/// Streams one CSV row at a time; fields containing separators, quotes or
+/// newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes a header/data row of raw string fields.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arithmetic fields with max round-trip precision.
+  template <typename... Ts>
+  void typed_row(const Ts&... fields) {
+    row(std::vector<std::string>{field_to_string(fields)...});
+  }
+
+  static std::string field_to_string(const std::string& s) { return s; }
+  static std::string field_to_string(const char* s) { return s; }
+  static std::string field_to_string(std::string_view s) {
+    return std::string(s);
+  }
+  static std::string field_to_string(double v);
+  static std::string field_to_string(int v);
+  static std::string field_to_string(long v);
+  static std::string field_to_string(long long v);
+  static std::string field_to_string(unsigned long long v);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Parses one CSV line into fields (RFC 4180 quoting). Throws
+/// std::runtime_error on malformed quoting.
+std::vector<std::string> parse_csv_line(std::string_view line);
+
+/// Reads all rows from a CSV stream, skipping blank lines.
+std::vector<std::vector<std::string>> read_csv(std::istream& in);
+
+}  // namespace esva

@@ -1,0 +1,88 @@
+// Sorted set of disjoint, inclusive integer intervals with merge-on-insert.
+//
+// This is the substrate for the paper's busy-segment bookkeeping (Fig. 1): a
+// server that hosts a set of VMs is busy on the merged union of their
+// [start, finish] intervals, and the idle-segments are the interior gaps.
+// Adjacent intervals ([1,3] and [4,6]) are coalesced because the server is
+// continuously busy across them; a gap must have length >= 1 time unit.
+
+#pragma once
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace esva {
+
+/// Closed integer interval [lo, hi], lo <= hi.
+struct Interval {
+  Time lo = 0;
+  Time hi = 0;
+
+  /// Number of time units covered (inclusive endpoints): hi - lo + 1.
+  Time length() const { return hi - lo + 1; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+class IntervalSet {
+ public:
+  /// Result of an insertion: the coalesced interval that now covers the
+  /// inserted range, and the pre-existing intervals it absorbed (in order).
+  struct InsertDelta {
+    Interval merged;
+    std::vector<Interval> absorbed;
+  };
+
+  /// Like InsertDelta, plus the surviving neighbors of the merged interval
+  /// (if any); this is everything the incremental energy-cost evaluator needs
+  /// to recompute the local busy/idle structure without mutating the set.
+  struct Preview {
+    Interval merged;
+    std::vector<Interval> absorbed;
+    bool has_left = false;
+    bool has_right = false;
+    Interval left;   // valid iff has_left
+    Interval right;  // valid iff has_right
+  };
+
+  /// Inserts [lo, hi] (requires lo <= hi), merging with any overlapping or
+  /// adjacent intervals. Returns what changed so callers (the incremental
+  /// energy-cost evaluator) can update derived quantities in O(|absorbed|).
+  InsertDelta insert(Time lo, Time hi);
+
+  /// Computes the effect insert(lo, hi) would have, without mutating.
+  Preview preview_insert(Time lo, Time hi) const;
+
+  /// Removes [lo, hi] exactly as previously contributed; only supports
+  /// removing a range that is fully covered (used by what-if rollback).
+  /// Splits a covering interval if needed.
+  void erase_covered(Time lo, Time hi);
+
+  /// True iff t lies in some interval.
+  bool contains(Time t) const;
+
+  /// True iff [lo, hi] intersects any interval.
+  bool intersects(Time lo, Time hi) const;
+
+  /// The disjoint intervals in increasing order.
+  const std::vector<Interval>& intervals() const { return ivs_; }
+
+  /// Sum of lengths of all intervals.
+  Time total_length() const;
+
+  /// Interior gaps between consecutive intervals (empty if size() < 2).
+  std::vector<Interval> gaps() const;
+
+  bool empty() const { return ivs_.empty(); }
+  std::size_t size() const { return ivs_.size(); }
+  void clear() { ivs_.clear(); }
+
+  /// Envelope [first.lo, last.hi]. Requires !empty().
+  Interval span() const;
+
+ private:
+  std::vector<Interval> ivs_;
+};
+
+}  // namespace esva

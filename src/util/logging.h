@@ -1,0 +1,49 @@
+// Leveled stderr logging. Kept intentionally tiny: the library itself logs
+// nothing above Debug in hot paths; the experiment runner uses Info to report
+// sweep progress so long bench runs are observable.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace esva {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped. Default: Warn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `msg` to stderr with a level prefix if `level` >= threshold.
+void log_message(LogLevel level, std::string_view msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, out_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::Debug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::Info); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::Warn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::Error); }
+
+}  // namespace esva

@@ -1,0 +1,77 @@
+// Deterministic, seedable random number generation.
+//
+// Simulation results in the paper are averaged over 5 random runs; exact
+// reproducibility across machines matters more than cryptographic quality, so
+// we implement xoshiro256** (public-domain algorithm by Blackman & Vigna)
+// seeded through SplitMix64 instead of relying on implementation-defined
+// std::default_random_engine behaviour. Distribution sampling (uniform,
+// exponential, Poisson-process gaps) is implemented here as well so that a
+// given seed yields the same workload on every platform.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace esva {
+
+/// SplitMix64: used to expand a single 64-bit seed into xoshiro state.
+/// Also usable standalone as a tiny counter-based generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast 64-bit PRNG with 256-bit state.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform_double(double lo, double hi);
+
+  /// Exponential variate with the given mean (mean = 1/rate). Requires
+  /// mean > 0. This is the paper's VM-duration distribution (§IV-B1).
+  double exponential(double mean);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Uniformly selects an index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher–Yates shuffle (FFPS shuffles the server list once, §IV-A).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each simulation run
+  /// its own stream while keeping the experiment seed stable.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace esva

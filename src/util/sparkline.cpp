@@ -1,0 +1,57 @@
+#include "util/sparkline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace esva {
+
+namespace {
+
+// Eight block elements, U+2581..U+2588, each 3 bytes in UTF-8.
+const char* const kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                "▅", "▆", "▇", "█"};
+
+}  // namespace
+
+std::string sparkline(std::span<const double> values) {
+  if (values.empty()) return {};
+  double lo = INFINITY;
+  double hi = -INFINITY;
+  for (double v : values) {
+    if (!std::isfinite(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  out.reserve(values.size() * 3);
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      out.push_back(' ');
+      continue;
+    }
+    int level = 3;  // mid-height for constant series
+    if (hi > lo) {
+      level = static_cast<int>(std::floor((v - lo) / (hi - lo) * 8.0));
+      level = std::clamp(level, 0, 7);
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string sparkline(std::span<const double> values, std::size_t width) {
+  if (values.size() <= width || width == 0) return sparkline(values);
+  std::vector<double> buckets(width, 0.0);
+  std::vector<std::size_t> counts(width, 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::size_t b = i * width / values.size();
+    buckets[b] += values[i];
+    ++counts[b];
+  }
+  for (std::size_t b = 0; b < width; ++b)
+    if (counts[b] > 0) buckets[b] /= static_cast<double>(counts[b]);
+  return sparkline(buckets);
+}
+
+}  // namespace esva

@@ -1,0 +1,21 @@
+// Unicode sparklines for terminal output: renders a numeric series as a
+// one-line bar profile (▁▂▃▄▅▆▇█). Used by the examples to show power
+// profiles and by the CLI's simulate command.
+
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace esva {
+
+/// Renders `values` scaled to [min, max] across eight block heights. Empty
+/// input renders an empty string; a constant series renders mid-height
+/// blocks. Non-finite values render as spaces.
+std::string sparkline(std::span<const double> values);
+
+/// Downsamples `values` to at most `width` buckets (bucket mean) before
+/// rendering, so long series fit a terminal line.
+std::string sparkline(std::span<const double> values, std::size_t width);
+
+}  // namespace esva

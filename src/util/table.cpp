@@ -1,0 +1,78 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace esva {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  assert(rows_.empty() || header.size() == rows_.front().size());
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) assert(row.size() == header_.size());
+  if (!rows_.empty()) assert(row.size() == rows_.front().size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::set_align(std::vector<Align> align) {
+  align_ = std::move(align);
+}
+
+std::string TextTable::render() const {
+  const std::size_t cols =
+      !header_.empty() ? header_.size() : (rows_.empty() ? 0 : rows_[0].size());
+  if (cols == 0) return {};
+
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto align_of = [&](std::size_t c) {
+    if (c < align_.size()) return align_[c];
+    return c == 0 ? Align::Left : Align::Right;
+  };
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c > 0) out << "  ";
+      const std::string& cell = row[c];
+      const std::size_t pad = width[c] - cell.size();
+      if (align_of(c) == Align::Right) out << std::string(pad, ' ');
+      out << cell;
+      if (align_of(c) == Align::Left && c + 1 < cols)
+        out << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < cols; ++c) total += width[c];
+    total += 2 * (cols - 1);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double ratio, int precision) {
+  return fmt_double(ratio * 100.0, precision) + "%";
+}
+
+}  // namespace esva

@@ -1,0 +1,46 @@
+// Fixed-width ASCII table rendering for bench/example output. The paper
+// presents its configuration as Tables I and II and its results as series;
+// bench binaries print both through this renderer so the terminal output can
+// be compared to the paper side by side.
+
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace esva {
+
+class TextTable {
+ public:
+  /// Column alignment.
+  enum class Align { Left, Right };
+
+  /// Sets the header row; column count is fixed from here on.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count if set,
+  /// otherwise the first row fixes the column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Sets per-column alignment (default: Left for col 0, Right otherwise,
+  /// which suits "name | numbers..." tables).
+  void set_align(std::vector<Align> align);
+
+  /// Renders with a box-drawing rule under the header.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> align_;
+};
+
+/// Fixed-precision formatting helpers used throughout bench output.
+std::string fmt_double(double v, int precision = 2);
+/// Formats a ratio (0.1234) as a percentage string ("12.34%").
+std::string fmt_percent(double ratio, int precision = 2);
+
+}  // namespace esva

@@ -1,0 +1,48 @@
+// Core scalar types shared across the esva library.
+//
+// The paper (Xie et al., ICDCSW'13) works on a discretized horizon [1, T] with
+// a one-minute time unit (§IV-B3: "The time unit in our model is 1 minute").
+// We keep time integral and energy/power floating point.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace esva {
+
+/// Discrete simulation time, in time units (minutes). Valid model times are
+/// 1..T inclusive; 0 and T+1 are the virtual "before"/"after" instants at
+/// which every server is in the power-saving state (paper §II).
+using Time = std::int32_t;
+
+/// Identifier of a VM within a problem instance (dense, 0-based).
+using VmId = std::int32_t;
+
+/// Identifier of a server within a problem instance (dense, 0-based).
+using ServerId = std::int32_t;
+
+/// Sentinel for "not allocated to any server".
+inline constexpr ServerId kNoServer = -1;
+
+/// Electrical power in watts.
+using Watts = double;
+
+/// Energy in watt-minutes (power × the paper's one-minute time unit). All
+/// objective values (Eq. 7 / Eq. 17) are expressed in this unit.
+using Energy = double;
+
+/// CPU capacity/demand, in EC2 "compute units" (fractional values occur:
+/// m2.xlarge is 6.5 CU).
+using CpuUnits = double;
+
+/// Memory capacity/demand in GiB (fractional values occur: 1.7, 3.75, ...).
+using GiB = double;
+
+/// Tolerance for floating-point comparisons of energies and resource levels.
+inline constexpr double kEps = 1e-9;
+
+/// +infinity shorthand for cost initializations.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace esva

@@ -1,0 +1,46 @@
+// Diurnal (time-of-day) workload generation — extension beyond the paper.
+//
+// The paper's arrivals are a homogeneous Poisson process. Real datacenter
+// request streams have a strong day/night cycle; energy-saving allocation
+// matters most in the troughs. This generator draws arrivals from a
+// non-homogeneous Poisson process with a sinusoidal rate
+//     lambda(t) = base_rate · (1 + amplitude · sin(2π·(t - phase)/period))
+// via Lewis & Shedler thinning, which is exact. Everything else (durations,
+// demand types) matches the paper's generator.
+
+#pragma once
+
+#include <vector>
+
+#include "cluster/catalog.h"
+#include "cluster/vm.h"
+#include "util/rng.h"
+
+namespace esva {
+
+struct DiurnalConfig {
+  int num_vms = 200;
+  /// Mean arrivals per time unit at the cycle's average (= 1/mean
+  /// inter-arrival of the equivalent homogeneous process). Must be > 0.
+  double base_rate = 0.5;
+  /// Relative swing of the rate, in [0, 1): 0.8 means the peak rate is 1.8×
+  /// base and the trough 0.2× base.
+  double amplitude = 0.8;
+  /// Cycle length in time units (a day = 1440 minutes).
+  double period = 1440.0;
+  /// Offset of the rate maximum within the cycle, time units.
+  double phase = 360.0;
+  double mean_duration = 50.0;
+  std::vector<VmType> vm_types;
+};
+
+/// Instantaneous arrival rate at (continuous) time t.
+double diurnal_rate(const DiurnalConfig& config, double t);
+
+/// Generates `num_vms` requests with non-homogeneous Poisson arrivals
+/// (thinning), integer start/finish times, exponential durations, uniform
+/// type mix — same post-processing contract as generate_workload().
+std::vector<VmSpec> generate_diurnal_workload(const DiurnalConfig& config,
+                                              Rng& rng);
+
+}  // namespace esva

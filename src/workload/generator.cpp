@@ -1,0 +1,66 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace esva {
+
+std::vector<VmSpec> generate_workload(const WorkloadConfig& config, Rng& rng) {
+  assert(config.num_vms >= 0);
+  assert(config.mean_interarrival > 0 && config.mean_duration > 0);
+  assert(!config.vm_types.empty());
+
+  std::vector<VmSpec> vms;
+  vms.reserve(static_cast<std::size_t>(config.num_vms));
+
+  double arrival_clock = 0.0;
+  for (int j = 0; j < config.num_vms; ++j) {
+    arrival_clock += rng.exponential(config.mean_interarrival);
+    const Time start =
+        std::max<Time>(1, static_cast<Time>(std::ceil(arrival_clock)));
+    const Time duration = std::max<Time>(
+        1, static_cast<Time>(std::llround(rng.exponential(config.mean_duration))));
+
+    const VmType& type = config.vm_types[rng.index(config.vm_types.size())];
+    VmSpec vm;
+    vm.id = j;
+    vm.type_name = type.name;
+    vm.demand = type.demand;
+    vm.start = start;
+    vm.end = start + duration - 1;
+    assert(vm.valid());
+    vms.push_back(std::move(vm));
+  }
+  return vms;
+}
+
+std::vector<VmSpec> generate_bursty_workload(const WorkloadConfig& config,
+                                             int phases, double valley_factor,
+                                             Rng& rng) {
+  assert(phases >= 1);
+  assert(valley_factor > 0.0 && valley_factor <= 1.0);
+  std::vector<VmSpec> vms = generate_workload(config, rng);
+  for (VmSpec& vm : vms) {
+    const auto duration = static_cast<std::size_t>(vm.duration());
+    const auto segments =
+        std::min<std::size_t>(static_cast<std::size_t>(phases), duration);
+    const std::size_t peak_segment = rng.index(segments);
+    const Resources nominal = vm.demand;
+
+    std::vector<Resources> profile(duration);
+    for (std::size_t s = 0; s < segments; ++s) {
+      const double scale =
+          s == peak_segment ? 1.0 : rng.uniform_double(valley_factor, 1.0);
+      const std::size_t seg_begin = s * duration / segments;
+      const std::size_t seg_end = (s + 1) * duration / segments;
+      for (std::size_t k = seg_begin; k < seg_end; ++k)
+        profile[k] = nominal * scale;
+    }
+    vm.set_profile(std::move(profile));
+    assert(vm.valid());
+  }
+  return vms;
+}
+
+}  // namespace esva

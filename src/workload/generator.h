@@ -1,0 +1,45 @@
+// Synthetic workload generation per the paper's simulation settings (§IV-B):
+// VM requests arrive as a Poisson process (exponential inter-arrival times),
+// durations are exponential with a configurable mean, start/finish times are
+// integers, and each VM's stable demand is drawn uniformly from a set of
+// Table I types.
+
+#pragma once
+
+#include <vector>
+
+#include "cluster/catalog.h"
+#include "cluster/vm.h"
+#include "util/rng.h"
+
+namespace esva {
+
+struct WorkloadConfig {
+  /// Number of VM requests to generate (the paper sweeps 100–500).
+  int num_vms = 100;
+  /// Mean inter-arrival time, time units (the paper sweeps 0.5–10).
+  double mean_interarrival = 1.0;
+  /// Mean VM duration, time units (the paper uses 20 / 50 / 100).
+  double mean_duration = 50.0;
+  /// Candidate demand types, sampled uniformly (all or standard-only).
+  std::vector<VmType> vm_types;
+};
+
+/// Generates a workload. Start times are the Poisson arrival instants rounded
+/// up to integer time units (>= 1, non-decreasing in request order);
+/// durations are exponential variates rounded to the nearest integer, minimum
+/// one time unit. Ids are dense in arrival order.
+std::vector<VmSpec> generate_workload(const WorkloadConfig& config, Rng& rng);
+
+/// Like generate_workload, but gives each VM a time-varying demand profile
+/// (the paper's general R_jt of Eqs. 3/9/10): the lifetime is split into
+/// `phases` roughly equal piecewise-constant segments, each scaled from the
+/// type's nominal demand by an independent U[valley_factor, 1] draw, with
+/// one randomly chosen segment pinned at scale 1 so the *peak* demand still
+/// equals the catalog demand (reservation-comparable with the stable
+/// workload). Requires phases >= 1 and 0 < valley_factor <= 1.
+std::vector<VmSpec> generate_bursty_workload(const WorkloadConfig& config,
+                                             int phases, double valley_factor,
+                                             Rng& rng);
+
+}  // namespace esva

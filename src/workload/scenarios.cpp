@@ -1,0 +1,80 @@
+#include "workload/scenarios.h"
+
+#include "cluster/datacenter.h"
+
+namespace esva {
+
+ProblemInstance Scenario::instantiate(Rng& rng) const {
+  std::vector<VmSpec> vms = generate_workload(workload, rng);
+  std::vector<ServerSpec> servers =
+      transition_time_max > transition_time
+          ? make_random_fleet(num_servers, server_types, transition_time,
+                              transition_time_max, rng)
+          : make_random_fleet(num_servers, server_types, transition_time, rng);
+  return make_problem(std::move(vms), std::move(servers));
+}
+
+Scenario default_scenario(int num_vms, double mean_interarrival) {
+  Scenario scenario;
+  scenario.name = "default";
+  scenario.workload.num_vms = num_vms;
+  scenario.workload.mean_interarrival = mean_interarrival;
+  scenario.workload.mean_duration = 50.0;
+  scenario.workload.vm_types = all_vm_types();
+  scenario.server_types = all_server_types();
+  scenario.num_servers = num_vms / 2;
+  scenario.transition_time = 1.0;
+  return scenario;
+}
+
+Scenario fig2_scenario(int num_vms, double mean_interarrival) {
+  Scenario scenario = default_scenario(num_vms, mean_interarrival);
+  scenario.name = "fig2";
+  return scenario;
+}
+
+Scenario fig5_scenario(double mean_interarrival, double transition_time) {
+  Scenario scenario = default_scenario(100, mean_interarrival);
+  scenario.name = "fig5";
+  scenario.num_servers = 50;
+  scenario.transition_time = transition_time;
+  return scenario;
+}
+
+Scenario fig6_scenario(double mean_interarrival, double mean_duration) {
+  Scenario scenario = default_scenario(100, mean_interarrival);
+  scenario.name = "fig6";
+  scenario.num_servers = 50;
+  scenario.workload.mean_duration = mean_duration;
+  return scenario;
+}
+
+Scenario fig7_scenario(int num_vms, double mean_interarrival,
+                       bool use_all_server_types) {
+  Scenario scenario = default_scenario(num_vms, mean_interarrival);
+  scenario.name = use_all_server_types ? "fig7-all-servers" : "fig7-types-1-3";
+  scenario.workload.vm_types = standard_vm_types();
+  scenario.server_types =
+      use_all_server_types ? all_server_types() : server_types_1_to(3);
+  return scenario;
+}
+
+Scenario mixed_transition_scenario(int num_vms, double mean_interarrival) {
+  Scenario scenario = default_scenario(num_vms, mean_interarrival);
+  scenario.name = "mixed-transitions";
+  scenario.transition_time = 0.5;
+  scenario.transition_time_max = 3.0;
+  return scenario;
+}
+
+const std::vector<double>& interarrival_sweep() {
+  static const std::vector<double> kSweep = {0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0};
+  return kSweep;
+}
+
+const std::vector<int>& vm_count_sweep() {
+  static const std::vector<int> kSweep = {100, 200, 300, 400, 500};
+  return kSweep;
+}
+
+}  // namespace esva

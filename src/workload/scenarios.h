@@ -1,0 +1,64 @@
+// Named experiment scenarios — one per figure of the paper's §IV, with the
+// paper's parameter defaults baked in (see DESIGN.md §5 for the OCR
+// reconstruction of each numeral).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/catalog.h"
+#include "core/problem.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace esva {
+
+/// A fully-specified random instance family: drawing with a given Rng yields
+/// one concrete ProblemInstance.
+struct Scenario {
+  std::string name;
+  WorkloadConfig workload;
+  /// Candidate server types; the fleet is sampled uniformly from these.
+  std::vector<ServerType> server_types;
+  /// Fleet size; the paper uses VMs/2 for Figs. 2–4 and a fixed 50 for
+  /// §IV-D/E/F.
+  int num_servers = 50;
+  /// Transition time applied to every server, in time units. If
+  /// transition_time_max > transition_time, each server's transition time is
+  /// instead drawn uniformly from [transition_time, transition_time_max]
+  /// (§IV-B3: fleet transition times "range from 30 s to 3 min").
+  double transition_time = 1.0;
+  double transition_time_max = 0.0;
+
+  /// Draws a concrete instance (workload + fleet) from this scenario.
+  ProblemInstance instantiate(Rng& rng) const;
+};
+
+/// Paper defaults shared by all figures (§IV-C): mean VM length 50 min,
+/// transition time 1 min, all VM types, all server types, servers = VMs/2.
+Scenario default_scenario(int num_vms, double mean_interarrival);
+
+/// Fig. 2 / Fig. 3 / Fig. 4: all VM & server types; servers = VMs/2.
+Scenario fig2_scenario(int num_vms, double mean_interarrival);
+
+/// Fig. 5 (§IV-D): 100 VMs on 50 servers, varying transition time.
+Scenario fig5_scenario(double mean_interarrival, double transition_time);
+
+/// Fig. 6 (§IV-E): 100 VMs on 50 servers, varying mean VM length.
+Scenario fig6_scenario(double mean_interarrival, double mean_duration);
+
+/// Fig. 7 / Fig. 8 / Fig. 9 (§IV-F): standard VM types only; either server
+/// types 1-3 or all types.
+Scenario fig7_scenario(int num_vms, double mean_interarrival,
+                       bool all_server_types);
+
+/// §IV-B3 literal reading: heterogeneous transition times drawn uniformly
+/// from [0.5, 3] minutes per server; otherwise the Fig. 2 settings.
+Scenario mixed_transition_scenario(int num_vms, double mean_interarrival);
+
+/// The x-axis sweep values used in the paper's figures.
+const std::vector<double>& interarrival_sweep();  // 0.5 .. 10 time units
+const std::vector<int>& vm_count_sweep();         // 100 .. 500
+
+}  // namespace esva

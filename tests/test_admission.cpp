@@ -1,0 +1,143 @@
+#include "ext/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "core/min_incremental.h"
+#include "test_util.h"
+
+namespace esva {
+namespace {
+
+using testing::basic_server;
+using testing::random_problem;
+using testing::vm;
+
+TEST(Admission, NoDelayWhenCapacitySuffices) {
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 2.0, 2.0), vm(1, 5, 15, 2.0, 2.0)},
+      {basic_server(0), basic_server(1)});
+  DelayedAdmissionAllocator allocator;
+  const AdmissionResult result = allocator.schedule(p);
+  EXPECT_EQ(result.rejected(), 0u);
+  EXPECT_EQ(result.delays, (std::vector<Time>{0, 0}));
+  EXPECT_DOUBLE_EQ(result.mean_delay(), 0.0);
+  // With no delays, the schedule matches the plain greedy.
+  MinIncrementalAllocator greedy;
+  Rng rng(1);
+  EXPECT_EQ(result.allocation.assignment,
+            greedy.allocate(p, rng).assignment);
+}
+
+TEST(Admission, DelaysAnOverlappingVmJustEnough) {
+  // Server holds 10 CPU; VM 1 (8 CPU) requested during VM 0's (8 CPU)
+  // residency [1,10] fits only after VM 0 finishes: delay = 11 - 8 = 3.
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 8.0, 2.0), vm(1, 8, 17, 8.0, 2.0)}, {basic_server(0)});
+  DelayedAdmissionAllocator::Options options;
+  options.max_delay = 10;
+  DelayedAdmissionAllocator allocator(options);
+  const AdmissionResult result = allocator.schedule(p);
+  EXPECT_EQ(result.delays[0], 0);
+  EXPECT_EQ(result.delays[1], 3);
+  EXPECT_EQ(result.scheduled_vms[1].start, 11);
+  EXPECT_EQ(result.scheduled_vms[1].end, 20);
+  EXPECT_EQ(result.rejected(), 0u);
+  EXPECT_DOUBLE_EQ(result.mean_delay(), 1.5);
+
+  // The realized schedule is feasible against the shifted windows.
+  const ProblemInstance realized =
+      make_problem(result.scheduled_vms, p.servers);
+  EXPECT_EQ(validate_allocation(realized, result.allocation), "");
+}
+
+TEST(Admission, RejectsWhenMaxDelayTooShort) {
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 8.0, 2.0), vm(1, 8, 17, 8.0, 2.0)}, {basic_server(0)});
+  DelayedAdmissionAllocator::Options options;
+  options.max_delay = 2;  // needs 3
+  DelayedAdmissionAllocator allocator(options);
+  const AdmissionResult result = allocator.schedule(p);
+  EXPECT_EQ(result.delays[1], -1);
+  EXPECT_EQ(result.allocation.assignment[1], kNoServer);
+  EXPECT_EQ(result.rejected(), 1u);
+  // The rejected VM keeps its requested window for reporting.
+  EXPECT_EQ(result.scheduled_vms[1].start, 8);
+}
+
+TEST(Admission, ZeroMaxDelayDegeneratesToPlainGreedy) {
+  Rng gen(5);
+  const ProblemInstance p = random_problem(gen, 20, 8);
+  DelayedAdmissionAllocator::Options options;
+  options.max_delay = 0;
+  DelayedAdmissionAllocator delayed(options);
+  MinIncrementalAllocator greedy;
+  Rng rng(1);
+  EXPECT_EQ(delayed.schedule(p).allocation.assignment,
+            greedy.allocate(p, rng).assignment);
+}
+
+TEST(Admission, VmTooBigForAnyServerIsRejectedNotLooped) {
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 5, 99.0, 2.0)}, {basic_server(0)});
+  DelayedAdmissionAllocator::Options options;
+  options.max_delay = 1000;
+  DelayedAdmissionAllocator allocator(options);
+  const AdmissionResult result = allocator.schedule(p);
+  EXPECT_EQ(result.rejected(), 1u);
+}
+
+TEST(Admission, DelayedWindowsMayExceedOriginalHorizon) {
+  // The only feasible slot for VM 1 extends past the requested horizon; the
+  // scheduler must allow it (timelines sized horizon + max_delay).
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 8.0, 2.0), vm(1, 6, 10, 8.0, 2.0)}, {basic_server(0)});
+  DelayedAdmissionAllocator::Options options;
+  options.max_delay = 20;
+  DelayedAdmissionAllocator allocator(options);
+  const AdmissionResult result = allocator.schedule(p);
+  EXPECT_EQ(result.rejected(), 0u);
+  EXPECT_EQ(result.scheduled_vms[1].start, 11);
+  EXPECT_GT(result.scheduled_vms[1].end, p.horizon);
+}
+
+TEST(Admission, AllocatorInterfaceDropsDelays) {
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 8.0, 2.0), vm(1, 8, 17, 8.0, 2.0)}, {basic_server(0)});
+  DelayedAdmissionAllocator::Options options;
+  options.max_delay = 10;
+  DelayedAdmissionAllocator allocator(options);
+  Rng rng(1);
+  const Allocation alloc = allocator.allocate(p, rng);
+  EXPECT_EQ(alloc.assignment[1], 0);  // admitted via delay
+}
+
+TEST(Admission, OverloadedClusterSmokeTest) {
+  // Tight fleet: 30 chunky VMs on 3 servers; delays must keep rejections
+  // below the no-delay policy's.
+  std::vector<VmSpec> vms;
+  for (int j = 0; j < 30; ++j)
+    vms.push_back(vm(j, 1 + j / 3, 20 + j / 3, 5.0, 5.0));
+  std::vector<ServerSpec> servers{basic_server(0), basic_server(1),
+                                  basic_server(2)};
+  const ProblemInstance p = make_problem(std::move(vms), std::move(servers));
+
+  MinIncrementalAllocator greedy;
+  Rng rng(1);
+  const std::size_t rejected_plain =
+      greedy.allocate(p, rng).num_unallocated();
+
+  DelayedAdmissionAllocator::Options options;
+  options.max_delay = 200;
+  DelayedAdmissionAllocator delayed(options);
+  const AdmissionResult result = delayed.schedule(p);
+  EXPECT_LT(result.rejected(), rejected_plain);
+  EXPECT_EQ(result.rejected(), 0u);  // enough runway to admit everyone
+  EXPECT_GT(result.mean_delay(), 0.0);
+
+  const ProblemInstance realized =
+      make_problem(result.scheduled_vms, p.servers);
+  EXPECT_EQ(validate_allocation(realized, result.allocation), "");
+}
+
+}  // namespace
+}  // namespace esva

@@ -1,0 +1,165 @@
+#include "core/allocation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/problem.h"
+#include "test_util.h"
+
+namespace esva {
+namespace {
+
+using testing::basic_server;
+using testing::server;
+using testing::vm;
+
+ProblemInstance two_server_problem() {
+  return make_problem({vm(0, 1, 5, 2.0, 1.0), vm(1, 3, 8, 3.0, 2.0),
+                       vm(2, 10, 12, 1.0, 1.0)},
+                      {basic_server(0), basic_server(1)});
+}
+
+TEST(Problem, MakeProblemComputesHorizon) {
+  const ProblemInstance p = two_server_problem();
+  EXPECT_EQ(p.horizon, 12);
+  EXPECT_EQ(p.num_vms(), 3u);
+  EXPECT_EQ(p.num_servers(), 2u);
+}
+
+TEST(Problem, ValidateAcceptsWellFormed) {
+  EXPECT_EQ(validate_problem(two_server_problem()), "");
+}
+
+TEST(Problem, ValidateRejectsVmFittingNowhere) {
+  const ProblemInstance p = make_problem({vm(0, 1, 5, 100.0, 1.0)},
+                                         {basic_server(0)});
+  EXPECT_NE(validate_problem(p).find("fits on no server"), std::string::npos);
+}
+
+TEST(Allocation, UnallocatedCounting) {
+  Allocation alloc;
+  alloc.assignment = {0, kNoServer, 1, kNoServer};
+  EXPECT_EQ(alloc.num_unallocated(), 2u);
+  EXPECT_FALSE(alloc.fully_allocated());
+  alloc.assignment = {0, 1};
+  EXPECT_TRUE(alloc.fully_allocated());
+}
+
+TEST(Allocation, VmsByServerGroups) {
+  const ProblemInstance p = two_server_problem();
+  Allocation alloc;
+  alloc.assignment = {0, 1, 0};
+  const auto grouped = vms_by_server(p, alloc);
+  ASSERT_EQ(grouped.size(), 2u);
+  ASSERT_EQ(grouped[0].size(), 2u);
+  EXPECT_EQ(grouped[0][0].id, 0);
+  EXPECT_EQ(grouped[0][1].id, 2);
+  ASSERT_EQ(grouped[1].size(), 1u);
+  EXPECT_EQ(grouped[1][0].id, 1);
+}
+
+TEST(Allocation, VmsByServerSkipsUnallocated) {
+  const ProblemInstance p = two_server_problem();
+  Allocation alloc;
+  alloc.assignment = {0, kNoServer, kNoServer};
+  const auto grouped = vms_by_server(p, alloc);
+  EXPECT_EQ(grouped[0].size(), 1u);
+  EXPECT_EQ(grouped[1].size(), 0u);
+}
+
+TEST(EvaluateCost, MatchesPerServerHandComputation) {
+  const ProblemInstance p = two_server_problem();
+  Allocation alloc;
+  alloc.assignment = {0, 0, 1};
+  const CostReport report = evaluate_cost(p, alloc);
+  // Server 0: VMs [1,5] 2cpu and [3,8] 3cpu. run = 10·2·5 + 10·3·6 = 280;
+  // busy [1,8]: idle 800; transition 200 -> 1280.
+  EXPECT_DOUBLE_EQ(report.per_server[0], 1280.0);
+  // Server 1: VM [10,12] 1cpu: run 30, idle 300, transition 200 -> 530.
+  EXPECT_DOUBLE_EQ(report.per_server[1], 530.0);
+  EXPECT_DOUBLE_EQ(report.total(), 1810.0);
+  EXPECT_EQ(report.used_servers, (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(report.breakdown.run, 310.0);
+  EXPECT_DOUBLE_EQ(report.breakdown.idle, 1100.0);
+  EXPECT_DOUBLE_EQ(report.breakdown.transition, 400.0);
+}
+
+TEST(EvaluateCost, EmptyServersCostNothing) {
+  const ProblemInstance p = two_server_problem();
+  Allocation alloc;
+  alloc.assignment = {0, 0, 0};
+  const CostReport report = evaluate_cost(p, alloc);
+  EXPECT_DOUBLE_EQ(report.per_server[1], 0.0);
+  EXPECT_EQ(report.used_servers, (std::vector<int>{0}));
+}
+
+TEST(EvaluateCost, RespectsChargeInitialOption) {
+  const ProblemInstance p = two_server_problem();
+  Allocation alloc;
+  alloc.assignment = {0, 0, 1};
+  const CostOptions literal{.charge_initial_transition = false};
+  const CostReport with = evaluate_cost(p, alloc);
+  const CostReport without = evaluate_cost(p, alloc, literal);
+  // Two used servers -> exactly two initial transitions (200 each) removed.
+  EXPECT_DOUBLE_EQ(with.total() - without.total(), 400.0);
+}
+
+TEST(ValidateAllocation, AcceptsFeasible) {
+  const ProblemInstance p = two_server_problem();
+  Allocation alloc;
+  alloc.assignment = {0, 1, 0};
+  EXPECT_EQ(validate_allocation(p, alloc), "");
+}
+
+TEST(ValidateAllocation, RejectsWrongSize) {
+  const ProblemInstance p = two_server_problem();
+  Allocation alloc;
+  alloc.assignment = {0, 1};
+  EXPECT_NE(validate_allocation(p, alloc), "");
+}
+
+TEST(ValidateAllocation, RejectsUnallocatedWhenCompletenessRequired) {
+  const ProblemInstance p = two_server_problem();
+  Allocation alloc;
+  alloc.assignment = {0, kNoServer, 1};
+  EXPECT_NE(validate_allocation(p, alloc, true), "");
+  EXPECT_EQ(validate_allocation(p, alloc, false), "");
+}
+
+TEST(ValidateAllocation, RejectsInvalidServerId) {
+  const ProblemInstance p = two_server_problem();
+  Allocation alloc;
+  alloc.assignment = {0, 5, 1};
+  EXPECT_NE(validate_allocation(p, alloc).find("invalid server"),
+            std::string::npos);
+}
+
+TEST(ValidateAllocation, DetectsCpuOverCommit) {
+  // Two 6-CPU VMs overlap on a 10-CPU server.
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 6.0, 1.0), vm(1, 5, 15, 6.0, 1.0)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0, 0};
+  EXPECT_NE(validate_allocation(p, alloc).find("CPU over capacity"),
+            std::string::npos);
+}
+
+TEST(ValidateAllocation, DetectsMemoryOverCommit) {
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 1.0, 6.0), vm(1, 5, 15, 1.0, 6.0)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0, 0};
+  EXPECT_NE(validate_allocation(p, alloc).find("memory over capacity"),
+            std::string::npos);
+}
+
+TEST(ValidateAllocation, AcceptsBackToBackNonOverlapping) {
+  // [1,10] and [11,20] never coexist: both 6-CPU VMs fit sequentially.
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 6.0, 1.0), vm(1, 11, 20, 6.0, 1.0)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0, 0};
+  EXPECT_EQ(validate_allocation(p, alloc), "");
+}
+
+}  // namespace
+}  // namespace esva

@@ -1,0 +1,232 @@
+// End-to-end tests of the esva CLI subcommands (src/app/commands.h), run
+// in-process against temp files.
+
+#include "app/commands.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "ilp/model.h"
+#include "ilp/validate.h"
+#include "test_util.h"
+#include "workload/trace.h"
+
+namespace esva {
+namespace {
+
+class AppTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) const {
+    return ::testing::TempDir() + "/esva_app_" + name;
+  }
+
+  int run(const std::string& command, std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    std::vector<const char*> argv{"esva", command.c_str()};
+    std::vector<std::string> storage = std::move(args);
+    for (const std::string& arg : storage) argv.push_back(arg.c_str());
+    return app::esva_main(static_cast<int>(argv.size()), argv.data(), out_,
+                          err_);
+  }
+
+  std::string out() const { return out_.str(); }
+  std::string err() const { return err_.str(); }
+
+ private:
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(AppTest, HelpPrintsUsage) {
+  EXPECT_EQ(run("help", {}), 0);
+  EXPECT_NE(out().find("subcommands"), std::string::npos);
+}
+
+TEST_F(AppTest, UnknownSubcommandFails) {
+  EXPECT_EQ(run("frobnicate", {}), 2);
+  EXPECT_NE(err().find("unknown subcommand"), std::string::npos);
+}
+
+TEST_F(AppTest, MissingSubcommandFails) {
+  const char* argv[] = {"esva"};
+  std::ostringstream out_stream;
+  std::ostringstream err_stream;
+  EXPECT_EQ(app::esva_main(1, argv, out_stream, err_stream), 2);
+}
+
+TEST_F(AppTest, GenerateWritesTraces) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "30", "--servers", "15", "--out-vms",
+                 path("g_vms.csv"), "--out-servers", path("g_srv.csv")}),
+            0)
+      << err();
+  EXPECT_EQ(load_vm_trace(path("g_vms.csv")).size(), 30u);
+  EXPECT_EQ(load_server_trace(path("g_srv.csv")).size(), 15u);
+  EXPECT_NE(out().find("wrote 30 VMs"), std::string::npos);
+}
+
+TEST_F(AppTest, GenerateStandardTypesOnly) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "50", "--vm-types", "standard", "--server-types",
+                 "1-3", "--out-vms", path("s_vms.csv"), "--out-servers",
+                 path("s_srv.csv")}),
+            0)
+      << err();
+  for (const VmSpec& vm : load_vm_trace(path("s_vms.csv")))
+    EXPECT_EQ(vm.type_name.rfind("m1.", 0), 0u) << vm.type_name;
+  for (const ServerSpec& s : load_server_trace(path("s_srv.csv")))
+    EXPECT_NE(s.type_name, "server-type-4");
+}
+
+TEST_F(AppTest, GenerateRejectsBadTypeSet) {
+  EXPECT_EQ(run("generate", {"--vm-types", "bogus", "--out-vms",
+                             path("x.csv"), "--out-servers", path("y.csv")}),
+            1);
+  EXPECT_NE(err().find("unknown VM type set"), std::string::npos);
+}
+
+TEST_F(AppTest, GenerateDiurnalWorks) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "40", "--diurnal", "--out-vms", path("d_vms.csv"),
+                 "--out-servers", path("d_srv.csv")}),
+            0)
+      << err();
+  EXPECT_EQ(load_vm_trace(path("d_vms.csv")).size(), 40u);
+}
+
+TEST_F(AppTest, FullPipelineGenerateAllocateEvaluateSimulate) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "40", "--servers", "20", "--out-vms",
+                 path("p_vms.csv"), "--out-servers", path("p_srv.csv")}),
+            0);
+  ASSERT_EQ(run("allocate",
+                {"--vms", path("p_vms.csv"), "--servers", path("p_srv.csv"),
+                 "--out-assignment", path("p_assign.csv")}),
+            0)
+      << err();
+  EXPECT_NE(out().find("min-incremental"), std::string::npos);
+  EXPECT_NE(out().find("total energy"), std::string::npos);
+
+  ASSERT_EQ(run("evaluate",
+                {"--vms", path("p_vms.csv"), "--servers", path("p_srv.csv"),
+                 "--assignment", path("p_assign.csv"), "--timeout", "5"}),
+            0)
+      << err();
+  EXPECT_NE(out().find("fixed timeout 5"), std::string::npos);
+
+  ASSERT_EQ(run("simulate",
+                {"--vms", path("p_vms.csv"), "--servers", path("p_srv.csv"),
+                 "--assignment", path("p_assign.csv"), "--power-csv",
+                 path("p_power.csv")}),
+            0)
+      << err();
+  EXPECT_NE(out().find("simulated energy"), std::string::npos);
+  std::ifstream power(path("p_power.csv"));
+  ASSERT_TRUE(power.good());
+  std::string header;
+  std::getline(power, header);
+  EXPECT_EQ(header, "t,total_power_w,active_servers,running_vms");
+}
+
+TEST_F(AppTest, AllocateAcceptsExtensionAllocators) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "25", "--servers", "12", "--out-vms",
+                 path("l_vms.csv"), "--out-servers", path("l_srv.csv")}),
+            0);
+  ASSERT_EQ(run("allocate",
+                {"--vms", path("l_vms.csv"), "--servers", path("l_srv.csv"),
+                 "--allocator", "lookahead-8"}),
+            0)
+      << err();
+  EXPECT_NE(out().find("lookahead-8"), std::string::npos);
+}
+
+TEST_F(AppTest, AllocateFailsOnUnknownAllocator) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "10", "--servers", "5", "--out-vms",
+                 path("u_vms.csv"), "--out-servers", path("u_srv.csv")}),
+            0);
+  EXPECT_EQ(run("allocate",
+                {"--vms", path("u_vms.csv"), "--servers", path("u_srv.csv"),
+                 "--allocator", "does-not-exist"}),
+            1);
+  EXPECT_NE(err().find("unknown allocator"), std::string::npos);
+}
+
+TEST_F(AppTest, EvaluateRejectsInfeasibleAssignment) {
+  // Build a trivially infeasible assignment by hand: both big VMs on one
+  // tiny server.
+  using testing::server;
+  using testing::vm;
+  const std::vector<VmSpec> vms{vm(0, 1, 10, 6.0, 6.0), vm(1, 3, 12, 6.0, 6.0)};
+  const std::vector<ServerSpec> servers{server(0, 10, 10, 100, 200),
+                                        server(1, 10, 10, 100, 200)};
+  save_vm_trace(path("i_vms.csv"), vms);
+  save_server_trace(path("i_srv.csv"), servers);
+  Allocation bad;
+  bad.assignment = {0, 0};
+  save_assignment(path("i_assign.csv"), bad);
+
+  EXPECT_EQ(run("evaluate",
+                {"--vms", path("i_vms.csv"), "--servers", path("i_srv.csv"),
+                 "--assignment", path("i_assign.csv")}),
+            1);
+  EXPECT_NE(err().find("infeasible"), std::string::npos);
+}
+
+TEST_F(AppTest, ExportLpAndImportSolutionRoundTrip) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "6", "--servers", "3", "--interarrival", "3",
+                 "--duration", "8", "--out-vms", path("e_vms.csv"),
+                 "--out-servers", path("e_srv.csv")}),
+            0);
+  ASSERT_EQ(run("export-lp",
+                {"--vms", path("e_vms.csv"), "--servers", path("e_srv.csv"),
+                 "--out", path("e.lp")}),
+            0)
+      << err();
+  std::ifstream lp(path("e.lp"));
+  ASSERT_TRUE(lp.good());
+
+  // Produce a "solver solution" with our own machinery: allocate, derive
+  // states, dump name/value pairs, then import it.
+  ASSERT_EQ(run("allocate",
+                {"--vms", path("e_vms.csv"), "--servers", path("e_srv.csv"),
+                 "--out-assignment", path("e_assign.csv")}),
+            0);
+  const auto vms = load_vm_trace(path("e_vms.csv"));
+  const auto servers = load_server_trace(path("e_srv.csv"));
+  const ProblemInstance problem = make_problem(vms, servers);
+  const Allocation alloc =
+      load_assignment(path("e_assign.csv"), problem.num_vms());
+  const auto active = derive_active_sets(problem, alloc);
+  const IlpModel model = build_ilp(problem);
+  const auto values = to_variable_assignment(model, problem, alloc, active);
+  {
+    std::ofstream sol(path("e.sol"));
+    sol << "Objective " << model.objective_value(values) << "\n";
+    for (std::size_t v = 0; v < values.size(); ++v)
+      if (values[v] != 0.0) sol << model.var_name(v) << ' ' << values[v] << '\n';
+  }
+  ASSERT_EQ(run("import-solution",
+                {"--vms", path("e_vms.csv"), "--servers", path("e_srv.csv"),
+                 "--solution", path("e.sol"), "--out-assignment",
+                 path("e_assign2.csv")}),
+            0)
+      << err();
+  EXPECT_NE(out().find("feasible"), std::string::npos);
+  EXPECT_NE(out().find("(matches)"), std::string::npos);
+  EXPECT_EQ(load_assignment(path("e_assign2.csv"), problem.num_vms()).assignment,
+            alloc.assignment);
+}
+
+TEST_F(AppTest, MissingTraceFileGivesCleanError) {
+  EXPECT_EQ(run("allocate", {"--vms", "/nonexistent/vms.csv"}), 1);
+  EXPECT_NE(err().find("allocate:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace esva

@@ -1,0 +1,174 @@
+#include "ilp/branch_and_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/registry.h"
+#include "test_util.h"
+
+namespace esva {
+namespace {
+
+using testing::basic_server;
+using testing::random_problem;
+using testing::server;
+using testing::vm;
+
+/// Test-local oracle: enumerate all n^m assignments.
+ExactResult brute_force(const ProblemInstance& p) {
+  ExactResult result;
+  result.best.assignment.assign(p.num_vms(), kNoServer);
+  const std::size_t m = p.num_vms();
+  const std::size_t n = p.num_servers();
+  std::vector<ServerId> assignment(m, 0);
+  const auto total = static_cast<std::uint64_t>(std::pow(n, m) + 0.5);
+  for (std::uint64_t code = 0; code < total; ++code) {
+    std::uint64_t c = code;
+    for (std::size_t j = 0; j < m; ++j) {
+      assignment[j] = static_cast<ServerId>(c % n);
+      c /= n;
+    }
+    Allocation alloc;
+    alloc.assignment = assignment;
+    if (!validate_allocation(p, alloc).empty()) continue;
+    const Energy cost = evaluate_cost(p, alloc).total();
+    if (cost < result.cost) {
+      result.cost = cost;
+      result.best = alloc;
+      result.feasible = true;
+    }
+  }
+  result.optimal = result.feasible;
+  return result;
+}
+
+TEST(BranchAndBound, SingleVmPicksCheapestServer) {
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 2.0, 2.0)},
+      {server(0, 10, 10, 100, 200), server(1, 10, 10, 60, 140)});
+  const ExactResult result = solve_exact(p);
+  ASSERT_TRUE(result.optimal);
+  EXPECT_EQ(result.best.assignment[0], 1);
+  // run 8·2·10 = 160, idle 600, transition 140.
+  EXPECT_DOUBLE_EQ(result.cost, 900.0);
+}
+
+TEST(BranchAndBound, MatchesBruteForceOnRandomTinyInstances) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng gen(seed);
+    const ProblemInstance p = random_problem(gen, 6, 3, 2.0, 6.0);
+    const ExactResult expected = brute_force(p);
+    const ExactResult actual = solve_exact(p);
+    ASSERT_EQ(actual.feasible, expected.feasible) << "seed " << seed;
+    if (expected.feasible) {
+      ASSERT_TRUE(actual.optimal) << "seed " << seed;
+      ASSERT_NEAR(actual.cost, expected.cost, 1e-6) << "seed " << seed;
+      ASSERT_EQ(validate_allocation(p, actual.best), "") << "seed " << seed;
+      ASSERT_NEAR(evaluate_cost(p, actual.best).total(), actual.cost, 1e-6);
+    }
+  }
+}
+
+TEST(BranchAndBound, NeverBeatenByAnyHeuristic) {
+  for (std::uint64_t seed = 30; seed <= 42; ++seed) {
+    Rng gen(seed);
+    const ProblemInstance p = random_problem(gen, 7, 3, 2.0, 6.0);
+    const ExactResult exact = solve_exact(p);
+    if (!exact.feasible) continue;
+    for (const std::string& name : allocator_names()) {
+      AllocatorPtr allocator = make_allocator(name);
+      Rng rng(seed);
+      const Allocation alloc = allocator->allocate(p, rng);
+      if (!alloc.fully_allocated()) continue;
+      EXPECT_GE(evaluate_cost(p, alloc).total(), exact.cost - 1e-6)
+          << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(BranchAndBound, SymmetryBreakingPreservesOptimality) {
+  // Four identical servers: the solver may only branch on the first empty
+  // one, which must not change the optimum.
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 5, 6.0, 6.0), vm(1, 3, 8, 6.0, 6.0), vm(2, 20, 25, 1.0, 1.0)},
+      {basic_server(0), basic_server(1), basic_server(2), basic_server(3)});
+  const ExactResult with_symmetry = solve_exact(p);
+  const ExactResult oracle = brute_force(p);
+  ASSERT_TRUE(with_symmetry.optimal);
+  EXPECT_NEAR(with_symmetry.cost, oracle.cost, 1e-9);
+}
+
+TEST(BranchAndBound, WarmStartUpperBoundStillFindsOptimum) {
+  Rng gen(7);
+  const ProblemInstance p = random_problem(gen, 6, 3, 2.0, 6.0);
+  const ExactResult cold = solve_exact(p);
+  ASSERT_TRUE(cold.optimal);
+
+  ExactOptions warm;
+  warm.initial_upper_bound = cold.cost * 1.0001;  // just above the optimum
+  const ExactResult result = solve_exact(p, warm);
+  ASSERT_TRUE(result.optimal);
+  EXPECT_NEAR(result.cost, cold.cost, 1e-9);
+  EXPECT_LE(result.nodes_explored, cold.nodes_explored);
+}
+
+TEST(BranchAndBound, TooTightUpperBoundYieldsInfeasible) {
+  const ProblemInstance p =
+      make_problem({vm(0, 1, 5)}, {basic_server(0)});
+  ExactOptions options;
+  options.initial_upper_bound = 1.0;  // below any real cost
+  const ExactResult result = solve_exact(p, options);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.cost, kInf);
+}
+
+TEST(BranchAndBound, NodeLimitAborts) {
+  Rng gen(9);
+  const ProblemInstance p = random_problem(gen, 10, 5, 1.0, 20.0);
+  ExactOptions options;
+  options.node_limit = 5;
+  const ExactResult result = solve_exact(p, options);
+  EXPECT_FALSE(result.optimal);
+  EXPECT_LE(result.nodes_explored, 6u);
+}
+
+TEST(BranchAndBound, InfeasibleVmMakesInstanceInfeasible) {
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 5, 2.0, 2.0), vm(1, 1, 5, 99.0, 2.0)}, {basic_server(0)});
+  const ExactResult result = solve_exact(p);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(BranchAndBound, HonorsLiteralEq17CostOption) {
+  // With charge_initial_transition=false, splitting across two servers
+  // avoids no alpha, so consolidation pressure changes; the solver must
+  // still agree with a brute force that uses the same options.
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 4, 2.0, 2.0), vm(1, 30, 33, 2.0, 2.0)},
+      {basic_server(0), basic_server(1)});
+  ExactOptions options;
+  options.cost.charge_initial_transition = false;
+
+  ExactResult oracle;
+  oracle.best.assignment.assign(2, kNoServer);
+  for (ServerId a : {0, 1}) {
+    for (ServerId b : {0, 1}) {
+      Allocation alloc;
+      alloc.assignment = {a, b};
+      if (!validate_allocation(p, alloc).empty()) continue;
+      const Energy cost = evaluate_cost(p, alloc, options.cost).total();
+      if (cost < oracle.cost) {
+        oracle.cost = cost;
+        oracle.best = alloc;
+        oracle.feasible = true;
+      }
+    }
+  }
+  const ExactResult result = solve_exact(p, options);
+  ASSERT_TRUE(result.optimal);
+  EXPECT_NEAR(result.cost, oracle.cost, 1e-9);
+}
+
+}  // namespace
+}  // namespace esva

@@ -1,0 +1,111 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace esva {
+namespace {
+
+TEST(Bootstrap, EmptySampleIsInvalid) {
+  Rng rng(1);
+  EXPECT_FALSE(bootstrap_mean({}, rng).valid);
+}
+
+TEST(Bootstrap, PointEstimateIsSampleMean) {
+  Rng rng(2);
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const BootstrapInterval ci = bootstrap_mean(xs, rng);
+  ASSERT_TRUE(ci.valid);
+  EXPECT_DOUBLE_EQ(ci.point, 2.5);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+}
+
+TEST(Bootstrap, SingleValueCollapsesInterval) {
+  Rng rng(3);
+  const std::vector<double> xs{7.0};
+  const BootstrapInterval ci = bootstrap_mean(xs, rng);
+  EXPECT_DOUBLE_EQ(ci.lo, 7.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.0);
+}
+
+TEST(Bootstrap, ConstantSampleCollapsesInterval) {
+  Rng rng(4);
+  const std::vector<double> xs(20, 3.25);
+  const BootstrapInterval ci = bootstrap_mean(xs, rng);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.25);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.25);
+}
+
+TEST(Bootstrap, IsSeedDeterministic) {
+  const std::vector<double> xs{1.0, 5.0, 2.0, 8.0, 3.0};
+  Rng a(9);
+  Rng b(9);
+  const BootstrapInterval ca = bootstrap_mean(xs, a);
+  const BootstrapInterval cb = bootstrap_mean(xs, b);
+  EXPECT_DOUBLE_EQ(ca.lo, cb.lo);
+  EXPECT_DOUBLE_EQ(ca.hi, cb.hi);
+}
+
+TEST(Bootstrap, IntervalShrinksWithSampleSize) {
+  Rng data_rng(11);
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 10; ++i) small.push_back(data_rng.uniform_double(0, 1));
+  for (int i = 0; i < 1000; ++i) large.push_back(data_rng.uniform_double(0, 1));
+  Rng r1(5);
+  Rng r2(5);
+  const BootstrapInterval cs = bootstrap_mean(small, r1);
+  const BootstrapInterval cl = bootstrap_mean(large, r2);
+  EXPECT_GT(cs.hi - cs.lo, (cl.hi - cl.lo) * 3);
+}
+
+TEST(Bootstrap, CoversTrueMeanMostOfTheTime) {
+  // 95% interval for the mean of U(0,1) samples should cover 0.5 in the
+  // vast majority of repetitions (allowing slack for only 40 reps).
+  Rng data_rng(13);
+  Rng boot_rng(17);
+  int covered = 0;
+  const int reps = 40;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<double> xs;
+    for (int i = 0; i < 30; ++i) xs.push_back(data_rng.uniform_double(0, 1));
+    const BootstrapInterval ci = bootstrap_mean(xs, boot_rng, 500);
+    if (ci.lo <= 0.5 && 0.5 <= ci.hi) ++covered;
+  }
+  EXPECT_GE(covered, 33);  // ~95% nominal; allow a few misses
+}
+
+TEST(Bootstrap, SupportsCustomStatistics) {
+  // Median via the statistic callback.
+  const std::vector<double> xs{1.0, 2.0, 3.0, 100.0};
+  Rng rng(19);
+  const BootstrapInterval ci = bootstrap_interval(
+      xs,
+      [](std::span<const double> sample) {
+        std::vector<double> sorted(sample.begin(), sample.end());
+        std::sort(sorted.begin(), sorted.end());
+        return sorted[sorted.size() / 2];
+      },
+      rng);
+  ASSERT_TRUE(ci.valid);
+  EXPECT_LE(ci.point, 100.0);
+  EXPECT_GE(ci.lo, 1.0);
+  EXPECT_LE(ci.hi, 100.0);
+}
+
+TEST(Bootstrap, WiderAlphaGivesNarrowerInterval) {
+  Rng data_rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(data_rng.uniform_double(0, 10));
+  Rng r1(29);
+  Rng r2(29);
+  const BootstrapInterval ci95 = bootstrap_mean(xs, r1, 2000, 0.05);
+  const BootstrapInterval ci50 = bootstrap_mean(xs, r2, 2000, 0.50);
+  EXPECT_LT(ci50.hi - ci50.lo, ci95.hi - ci95.lo);
+}
+
+}  // namespace
+}  // namespace esva

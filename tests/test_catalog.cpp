@@ -1,0 +1,160 @@
+#include "cluster/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/datacenter.h"
+#include "util/rng.h"
+
+namespace esva {
+namespace {
+
+TEST(VmCatalog, HasNineTypesInThreeFamilies) {
+  EXPECT_EQ(all_vm_types().size(), 9u);       // Table I
+  EXPECT_EQ(standard_vm_types().size(), 4u);  // m1.*
+  EXPECT_EQ(memory_intensive_vm_types().size(), 3u);  // m2.*
+  EXPECT_EQ(cpu_intensive_vm_types().size(), 2u);     // c1.*
+}
+
+TEST(VmCatalog, SurvivingOcrAnchorsHold) {
+  // "2 7" row: c1.xlarge = 20 CU / 7 GB; "15": m1.xlarge memory.
+  const auto cpu_types = cpu_intensive_vm_types();
+  EXPECT_EQ(cpu_types.back().name, "c1.xlarge");
+  EXPECT_DOUBLE_EQ(cpu_types.back().demand.cpu, 20.0);
+  EXPECT_DOUBLE_EQ(cpu_types.back().demand.mem, 7.0);
+  const auto std_types = standard_vm_types();
+  EXPECT_EQ(std_types.back().name, "m1.xlarge");
+  EXPECT_DOUBLE_EQ(std_types.back().demand.mem, 15.0);
+}
+
+TEST(VmCatalog, FamiliesHaveDistinctCharacter) {
+  // Memory-intensive types have > 2 GiB per CU; CPU-intensive < 1.5 GiB/CU.
+  for (const VmType& t : memory_intensive_vm_types())
+    EXPECT_GT(t.demand.mem / t.demand.cpu, 2.0) << t.name;
+  for (const VmType& t : cpu_intensive_vm_types())
+    EXPECT_LT(t.demand.mem / t.demand.cpu, 1.5) << t.name;
+}
+
+TEST(VmCatalog, StandardFamilyDoubles) {
+  const auto types = standard_vm_types();
+  for (std::size_t k = 1; k < types.size(); ++k)
+    EXPECT_DOUBLE_EQ(types[k].demand.cpu, 2.0 * types[k - 1].demand.cpu);
+}
+
+TEST(ServerCatalog, HasFiveTypesOrderedByCapacity) {
+  const auto& types = all_server_types();
+  ASSERT_EQ(types.size(), 5u);  // Table II
+  for (std::size_t k = 1; k < types.size(); ++k) {
+    EXPECT_GT(types[k].capacity.cpu, types[k - 1].capacity.cpu);
+    EXPECT_GT(types[k].capacity.mem, types[k - 1].capacity.mem);
+  }
+}
+
+TEST(ServerCatalog, PowerGrowsWithCapacity) {
+  // Table II rule 3: "server power consumption increases as resource
+  // capacity increases".
+  const auto& types = all_server_types();
+  for (std::size_t k = 1; k < types.size(); ++k) {
+    EXPECT_GT(types[k].p_idle, types[k - 1].p_idle);
+    EXPECT_GT(types[k].p_peak, types[k - 1].p_peak);
+  }
+}
+
+TEST(ServerCatalog, IdlePowerIsFortyToFiftyPercentOfPeak) {
+  // Table II rule 2: idle power is 40%-50% of peak.
+  for (const ServerType& t : all_server_types()) {
+    const double ratio = t.p_idle / t.p_peak;
+    EXPECT_GE(ratio, 0.40) << t.name;
+    EXPECT_LE(ratio, 0.50) << t.name;
+  }
+}
+
+TEST(ServerCatalog, SmallServersAreTheMostEfficientPerComputeUnit) {
+  // §III: "servers with small resource capacity usually consume lower power
+  // than those with large resource capacity" — both idle and peak watts per
+  // CPU unit must be non-decreasing with size, otherwise consolidating onto
+  // small servers (the paper's stated mechanism) would not save energy.
+  const auto& types = all_server_types();
+  for (std::size_t k = 1; k < types.size(); ++k) {
+    EXPECT_GE(types[k].p_peak / types[k].capacity.cpu,
+              types[k - 1].p_peak / types[k - 1].capacity.cpu);
+    EXPECT_GE(types[k].p_idle / types[k].capacity.cpu,
+              types[k - 1].p_idle / types[k - 1].capacity.cpu);
+  }
+}
+
+TEST(ServerCatalog, EveryVmTypeFitsOnSomeServer) {
+  for (const VmType& vm_type : all_vm_types()) {
+    bool fits = false;
+    for (const ServerType& server_type : all_server_types())
+      fits = fits || vm_type.demand.fits_within(server_type.capacity);
+    EXPECT_TRUE(fits) << vm_type.name;
+  }
+}
+
+TEST(ServerCatalog, StandardVmsFitOnTypes1To3) {
+  // §IV-F allocates standard VMs on "types 1-3 of servers"; that only works
+  // if every standard type fits on every one of them.
+  for (const VmType& vm_type : standard_vm_types())
+    for (const ServerType& server_type : server_types_1_to(3))
+      EXPECT_TRUE(vm_type.demand.fits_within(server_type.capacity))
+          << vm_type.name << " on " << server_type.name;
+}
+
+TEST(ServerCatalog, TypePrefixSelection) {
+  EXPECT_EQ(server_types_1_to(1).size(), 1u);
+  EXPECT_EQ(server_types_1_to(3).size(), 3u);
+  EXPECT_EQ(server_types_1_to(5).size(), 5u);
+  EXPECT_EQ(server_types_1_to(3).front().name, "server-type-1");
+  EXPECT_EQ(server_types_1_to(3).back().name, "server-type-3");
+}
+
+TEST(MakeServer, AppliesIdAndTransitionTime) {
+  const ServerSpec spec = make_server(all_server_types()[2], 17, 0.5);
+  EXPECT_EQ(spec.id, 17);
+  EXPECT_EQ(spec.type_name, "server-type-3");
+  EXPECT_DOUBLE_EQ(spec.transition_time, 0.5);
+  EXPECT_DOUBLE_EQ(spec.transition_cost(), spec.p_peak * 0.5);
+  EXPECT_TRUE(spec.valid());
+}
+
+TEST(Datacenter, RandomFleetSamplesRequestedCount) {
+  Rng rng(5);
+  const auto fleet = make_random_fleet(40, all_server_types(), 1.0, rng);
+  ASSERT_EQ(fleet.size(), 40u);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(fleet[i].id, static_cast<ServerId>(i));
+    EXPECT_TRUE(fleet[i].valid());
+  }
+}
+
+TEST(Datacenter, RandomFleetUsesAllTypesEventually) {
+  Rng rng(6);
+  const auto fleet = make_random_fleet(200, all_server_types(), 1.0, rng);
+  std::set<std::string> names;
+  for (const auto& s : fleet) names.insert(s.type_name);
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(Datacenter, FleetByCountsIsDeterministic) {
+  const auto fleet =
+      make_fleet_by_counts(all_server_types(), {2, 0, 1, 0, 3}, 2.0);
+  ASSERT_EQ(fleet.size(), 6u);
+  EXPECT_EQ(fleet[0].type_name, "server-type-1");
+  EXPECT_EQ(fleet[1].type_name, "server-type-1");
+  EXPECT_EQ(fleet[2].type_name, "server-type-3");
+  EXPECT_EQ(fleet[3].type_name, "server-type-5");
+  for (std::size_t i = 0; i < fleet.size(); ++i)
+    EXPECT_EQ(fleet[i].id, static_cast<ServerId>(i));
+}
+
+TEST(Datacenter, TotalCapacitySums) {
+  const auto fleet = make_fleet_by_counts(server_types_1_to(1), {3}, 1.0);
+  const Resources total = total_capacity(fleet);
+  EXPECT_DOUBLE_EQ(total.cpu, 3 * all_server_types()[0].capacity.cpu);
+  EXPECT_DOUBLE_EQ(total.mem, 3 * all_server_types()[0].capacity.mem);
+}
+
+}  // namespace
+}  // namespace esva

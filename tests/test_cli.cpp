@@ -1,0 +1,107 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace esva {
+namespace {
+
+CliParser make_parser() {
+  CliParser parser("test program");
+  parser.add_int("vms", 100, "number of VMs");
+  parser.add_double("interarrival", 1.5, "mean inter-arrival");
+  parser.add_string("csv", "", "csv output path");
+  parser.add_bool("verbose", "enable verbose logging");
+  return parser;
+}
+
+TEST(CliParser, DefaultsWithNoArgs) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get_int("vms"), 100);
+  EXPECT_DOUBLE_EQ(parser.get_double("interarrival"), 1.5);
+  EXPECT_EQ(parser.get_string("csv"), "");
+  EXPECT_FALSE(parser.get_bool("verbose"));
+}
+
+TEST(CliParser, ParsesSeparatedValues) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--vms", "250", "--interarrival", "4.0"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_EQ(parser.get_int("vms"), 250);
+  EXPECT_DOUBLE_EQ(parser.get_double("interarrival"), 4.0);
+}
+
+TEST(CliParser, ParsesEqualsForm) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--vms=7", "--csv=out.csv"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_int("vms"), 7);
+  EXPECT_EQ(parser.get_string("csv"), "out.csv");
+}
+
+TEST(CliParser, BoolSwitchAndExplicitFalse) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.get_bool("verbose"));
+
+  auto parser2 = make_parser();
+  const char* argv2[] = {"prog", "--verbose=false"};
+  ASSERT_TRUE(parser2.parse(2, argv2));
+  EXPECT_FALSE(parser2.get_bool("verbose"));
+}
+
+TEST(CliParser, UnknownFlagFails) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(parser.parse(3, argv));
+  EXPECT_TRUE(parser.parse_error());
+}
+
+TEST(CliParser, MissingValueFails) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--vms"};
+  EXPECT_FALSE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.parse_error());
+}
+
+TEST(CliParser, MalformedNumberFails) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--vms", "not-a-number"};
+  EXPECT_FALSE(parser.parse(3, argv));
+  EXPECT_TRUE(parser.parse_error());
+}
+
+TEST(CliParser, HelpReturnsFalseWithoutError) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv));
+  EXPECT_FALSE(parser.parse_error());
+}
+
+TEST(CliParser, PositionalArgsCollected) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "trace.csv", "--vms", "5", "other"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"trace.csv", "other"}));
+}
+
+TEST(CliParser, TypeMismatchThrows) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_THROW(parser.get_double("vms"), std::logic_error);
+  EXPECT_THROW(parser.get_int("nonexistent"), std::logic_error);
+}
+
+TEST(CliParser, UsageMentionsEveryFlag) {
+  auto parser = make_parser();
+  const std::string usage = parser.usage();
+  for (const char* flag : {"--vms", "--interarrival", "--csv", "--verbose"})
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+}
+
+}  // namespace
+}  // namespace esva

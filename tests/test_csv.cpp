@@ -1,0 +1,98 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace esva {
+namespace {
+
+std::string write_rows(const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  for (const auto& row : rows) csv.row(row);
+  return out.str();
+}
+
+TEST(CsvWriter, PlainFields) {
+  EXPECT_EQ(write_rows({{"a", "b", "c"}}), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesFieldsWithCommas) {
+  EXPECT_EQ(write_rows({{"a,b", "c"}}), "\"a,b\",c\n");
+}
+
+TEST(CsvWriter, EscapesEmbeddedQuotes) {
+  EXPECT_EQ(write_rows({{"say \"hi\""}}), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  EXPECT_EQ(write_rows({{"two\nlines"}}), "\"two\nlines\"\n");
+}
+
+TEST(CsvWriter, TypedRowFormatsNumbers) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.typed_row("name", 42, 2.5);
+  EXPECT_EQ(out.str(), "name,42,2.5\n");
+}
+
+TEST(CsvWriter, DoubleRoundTripPrecision) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.typed_row(0.1 + 0.2);
+  const double parsed = std::stod(out.str());
+  EXPECT_EQ(parsed, 0.1 + 0.2);  // to_chars round-trips exactly
+}
+
+TEST(ParseCsvLine, PlainFields) {
+  EXPECT_EQ(parse_csv_line("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLine, EmptyFields) {
+  EXPECT_EQ(parse_csv_line(",,"), (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(ParseCsvLine, QuotedFieldWithComma) {
+  EXPECT_EQ(parse_csv_line("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(ParseCsvLine, EscapedQuote) {
+  EXPECT_EQ(parse_csv_line("\"say \"\"hi\"\"\""),
+            (std::vector<std::string>{"say \"hi\""}));
+}
+
+TEST(ParseCsvLine, ToleratesCarriageReturn) {
+  EXPECT_EQ(parse_csv_line("a,b\r"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParseCsvLine, ThrowsOnUnterminatedQuote) {
+  EXPECT_THROW(parse_csv_line("\"oops"), std::runtime_error);
+}
+
+TEST(ParseCsvLine, ThrowsOnQuoteInsideUnquotedField) {
+  EXPECT_THROW(parse_csv_line("ab\"cd"), std::runtime_error);
+}
+
+TEST(ReadCsv, SkipsBlankLines) {
+  std::istringstream in("a,b\n\nc,d\n\r\n");
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ReadCsv, RoundTripsWriter) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"id", "name", "note"},
+      {"1", "with,comma", "with \"quote\""},
+      {"2", "plain", ""},
+  };
+  std::istringstream in(write_rows(rows));
+  EXPECT_EQ(read_csv(in), rows);
+}
+
+}  // namespace
+}  // namespace esva

@@ -1,0 +1,105 @@
+#include "workload/diurnal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.h"
+
+namespace esva {
+namespace {
+
+DiurnalConfig standard_config(int n = 500) {
+  DiurnalConfig config;
+  config.num_vms = n;
+  config.base_rate = 0.5;
+  config.amplitude = 0.8;
+  config.period = 1440.0;
+  config.phase = 360.0;
+  config.mean_duration = 50.0;
+  config.vm_types = all_vm_types();
+  return config;
+}
+
+TEST(Diurnal, RateOscillatesAroundBase) {
+  const DiurnalConfig config = standard_config();
+  // Peak at t where sin = 1: t = phase + period/4.
+  const double peak_t = config.phase + config.period / 4.0;
+  EXPECT_NEAR(diurnal_rate(config, peak_t), 0.5 * 1.8, 1e-9);
+  const double trough_t = config.phase + 3.0 * config.period / 4.0;
+  EXPECT_NEAR(diurnal_rate(config, trough_t), 0.5 * 0.2, 1e-9);
+  EXPECT_NEAR(diurnal_rate(config, config.phase), 0.5, 1e-9);
+}
+
+TEST(Diurnal, RateIsPeriodic) {
+  const DiurnalConfig config = standard_config();
+  for (double t : {10.0, 400.0, 1000.0})
+    EXPECT_NEAR(diurnal_rate(config, t),
+                diurnal_rate(config, t + config.period), 1e-9);
+}
+
+TEST(Diurnal, GeneratesRequestedCountWithValidSpecs) {
+  Rng rng(3);
+  const auto vms = generate_diurnal_workload(standard_config(300), rng);
+  ASSERT_EQ(vms.size(), 300u);
+  Time prev = 0;
+  for (std::size_t j = 0; j < vms.size(); ++j) {
+    EXPECT_EQ(vms[j].id, static_cast<VmId>(j));
+    EXPECT_TRUE(vms[j].valid());
+    EXPECT_GE(vms[j].start, prev);
+    prev = vms[j].start;
+  }
+}
+
+TEST(Diurnal, ArrivalsConcentrateInThePeakHalf) {
+  // Count arrivals (mod period) in the high half-cycle vs the low one; with
+  // amplitude 0.8 the high half carries ~75% of arrivals.
+  Rng rng(7);
+  DiurnalConfig config = standard_config(4000);
+  const auto vms = generate_diurnal_workload(config, rng);
+  int high = 0;
+  int low = 0;
+  for (const VmSpec& vm : vms) {
+    const double cycle_pos = std::fmod(
+        static_cast<double>(vm.start) - config.phase + 10 * config.period,
+        config.period);
+    (cycle_pos < config.period / 2.0 ? high : low)++;
+  }
+  EXPECT_GT(high, low * 2);
+}
+
+TEST(Diurnal, ZeroAmplitudeMatchesHomogeneousRate) {
+  Rng rng(11);
+  DiurnalConfig config = standard_config(4000);
+  config.amplitude = 0.0;
+  const auto vms = generate_diurnal_workload(config, rng);
+  // Effective mean inter-arrival should be 1/base_rate = 2 time units.
+  const double span =
+      static_cast<double>(vms.back().start - vms.front().start);
+  EXPECT_NEAR(span / static_cast<double>(vms.size()), 2.0, 0.2);
+}
+
+TEST(Diurnal, SeedDeterminism) {
+  Rng a(42);
+  Rng b(42);
+  const auto va = generate_diurnal_workload(standard_config(100), a);
+  const auto vb = generate_diurnal_workload(standard_config(100), b);
+  for (std::size_t j = 0; j < va.size(); ++j) {
+    EXPECT_EQ(va[j].start, vb[j].start);
+    EXPECT_EQ(va[j].end, vb[j].end);
+    EXPECT_EQ(va[j].type_name, vb[j].type_name);
+  }
+}
+
+TEST(Diurnal, DurationsFollowConfiguredMean) {
+  Rng rng(13);
+  DiurnalConfig config = standard_config(8000);
+  config.mean_duration = 30.0;
+  Accumulator acc;
+  for (const VmSpec& vm : generate_diurnal_workload(config, rng))
+    acc.add(static_cast<double>(vm.duration()));
+  EXPECT_NEAR(acc.mean(), 30.0, 1.2);
+}
+
+}  // namespace
+}  // namespace esva

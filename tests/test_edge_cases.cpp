@@ -1,0 +1,196 @@
+// Degenerate-parameter and boundary-condition tests across the stack: free
+// transitions, free idling, flat power curves, empty instances, exact-fit
+// capacities, one-minute horizons. Each case pins down behaviour the main
+// suites never hit.
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "core/cost_model.h"
+#include "core/min_incremental.h"
+#include "core/segments.h"
+#include "ilp/branch_and_bound.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+#include "test_util.h"
+
+namespace esva {
+namespace {
+
+using testing::server;
+using testing::vm;
+
+TEST(EdgeCases, FreeTransitionsPowerDownEveryGap) {
+  // alpha = 0 (transition_time = 0): powering off is always optimal, every
+  // gap costs nothing, cost = idle over busy time only (+ 0 transitions).
+  const ServerSpec s = server(0, 10, 10, 100, 200, /*transition_time=*/0.0);
+  IntervalSet busy;
+  busy.insert(1, 5);
+  busy.insert(100, 104);
+  const CostBreakdown bd = structure_breakdown(busy, s);
+  EXPECT_DOUBLE_EQ(bd.idle, 1000.0);  // 10 busy units only
+  EXPECT_DOUBLE_EQ(bd.transition, 0.0);
+  EXPECT_EQ(active_intervals(busy, s).size(), 2u);
+}
+
+TEST(EdgeCases, FreeIdlingBridgesEveryGap) {
+  // p_idle = 0: staying active is always optimal; one transition total.
+  const ServerSpec s = server(0, 10, 10, 0, 200, 1.0);
+  IntervalSet busy;
+  busy.insert(1, 5);
+  busy.insert(1000, 1004);
+  const CostBreakdown bd = structure_breakdown(busy, s);
+  EXPECT_DOUBLE_EQ(bd.idle, 0.0);
+  EXPECT_DOUBLE_EQ(bd.transition, 200.0);  // the initial switch-on only
+  EXPECT_EQ(active_intervals(busy, s).size(), 1u);
+}
+
+TEST(EdgeCases, FlatPowerCurveHasZeroRunCost) {
+  // p_idle == p_peak: P¹ = 0, so W_ij = 0 for every VM; cost is purely
+  // structural.
+  const ServerSpec s = server(0, 10, 10, 150, 150, 1.0);
+  EXPECT_DOUBLE_EQ(s.unit_run_power(), 0.0);
+  EXPECT_DOUBLE_EQ(server_cost(s, {vm(0, 1, 10, 5.0, 5.0)}),
+                   150.0 * 10 + 150.0);
+}
+
+TEST(EdgeCases, EmptyProblemIsHandledEverywhere) {
+  const ProblemInstance p = make_problem({}, {testing::basic_server(0)});
+  EXPECT_EQ(p.horizon, 0);
+  EXPECT_EQ(validate_problem(p), "");
+  for (const std::string& name : allocator_names()) {
+    AllocatorPtr allocator = make_allocator(name);
+    Rng rng(1);
+    const Allocation alloc = allocator->allocate(p, rng);
+    EXPECT_TRUE(alloc.assignment.empty()) << name;
+    EXPECT_DOUBLE_EQ(evaluate_cost(p, alloc).total(), 0.0) << name;
+    EXPECT_DOUBLE_EQ(SimulationEngine(p, alloc).run().total_energy(), 0.0)
+        << name;
+  }
+}
+
+TEST(EdgeCases, SingleTimeUnitHorizon) {
+  const ProblemInstance p =
+      make_problem({vm(0, 1, 1, 3.0, 3.0)}, {testing::basic_server(0)});
+  EXPECT_EQ(p.horizon, 1);
+  MinIncrementalAllocator allocator;
+  Rng rng(1);
+  const Allocation alloc = allocator.allocate(p, rng);
+  EXPECT_EQ(alloc.assignment[0], 0);
+  // 1 unit idle + alpha + run 10·3·1.
+  EXPECT_DOUBLE_EQ(evaluate_cost(p, alloc).total(), 100.0 + 200.0 + 30.0);
+  EXPECT_NEAR(SimulationEngine(p, alloc).run().total_energy(), 330.0, 1e-9);
+}
+
+TEST(EdgeCases, ExactCapacityFitsAreAccepted) {
+  // Demands summing exactly to capacity must fit (no off-by-epsilon
+  // rejection), in both dimensions simultaneously.
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 6.0, 4.0), vm(1, 1, 10, 4.0, 6.0)},
+      {testing::basic_server(0)});
+  MinIncrementalAllocator allocator;
+  Rng rng(1);
+  const Allocation alloc = allocator.allocate(p, rng);
+  EXPECT_EQ(alloc.assignment[0], 0);
+  EXPECT_EQ(alloc.assignment[1], 0);
+  EXPECT_EQ(validate_allocation(p, alloc), "");
+}
+
+TEST(EdgeCases, FullUtilizationReadsExactlyOne) {
+  const ProblemInstance p =
+      make_problem({vm(0, 1, 10, 10.0, 10.0)}, {testing::basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0};
+  const UtilizationStats stats = average_utilization(p, alloc);
+  EXPECT_DOUBLE_EQ(stats.avg_cpu, 1.0);
+  EXPECT_DOUBLE_EQ(stats.avg_mem, 1.0);
+}
+
+TEST(EdgeCases, MemoryOnlyVmStillCostsIdleAndTransition) {
+  // Zero CPU demand: W = 0, but the server must still be active.
+  const ProblemInstance p =
+      make_problem({vm(0, 1, 10, 0.0, 5.0)}, {testing::basic_server(0)});
+  MinIncrementalAllocator allocator;
+  Rng rng(1);
+  const Allocation alloc = allocator.allocate(p, rng);
+  ASSERT_EQ(alloc.assignment[0], 0);
+  const CostReport report = evaluate_cost(p, alloc);
+  EXPECT_DOUBLE_EQ(report.breakdown.run, 0.0);
+  EXPECT_DOUBLE_EQ(report.breakdown.idle, 1000.0);
+  EXPECT_DOUBLE_EQ(report.breakdown.transition, 200.0);
+}
+
+TEST(EdgeCases, FractionalTransitionTime) {
+  // 30-second transition (0.5 min): alpha = 100; the gap threshold becomes
+  // alpha/P_idle = 1 time unit.
+  const ServerSpec s = server(0, 10, 10, 100, 200, 0.5);
+  EXPECT_DOUBLE_EQ(s.transition_cost(), 100.0);
+  EXPECT_TRUE(stays_active_through_gap(s, 1));
+  EXPECT_FALSE(stays_active_through_gap(s, 2));
+}
+
+TEST(EdgeCases, BnbSolvesAlphaZeroInstancesExactly) {
+  // With free transitions the optimum decomposes per busy segment; the
+  // solver must still agree with brute force.
+  std::vector<VmSpec> vms{vm(0, 1, 5, 4.0, 4.0), vm(1, 3, 9, 4.0, 4.0),
+                          vm(2, 20, 24, 4.0, 4.0)};
+  std::vector<ServerSpec> servers{server(0, 10, 10, 100, 200, 0.0),
+                                  server(1, 10, 10, 60, 140, 0.0)};
+  const ProblemInstance p = make_problem(std::move(vms), std::move(servers));
+  const ExactResult exact = solve_exact(p);
+  ASSERT_TRUE(exact.optimal);
+
+  Energy best = kInf;
+  for (ServerId a : {0, 1})
+    for (ServerId b : {0, 1})
+      for (ServerId c : {0, 1}) {
+        Allocation alloc;
+        alloc.assignment = {a, b, c};
+        if (!validate_allocation(p, alloc).empty()) continue;
+        best = std::min(best, evaluate_cost(p, alloc).total());
+      }
+  EXPECT_NEAR(exact.cost, best, 1e-9);
+}
+
+TEST(EdgeCases, BackToBackVmsNeverPowerCycle) {
+  // [1,10] and [11,20]: adjacent, zero-length gap — one busy segment, one
+  // transition, regardless of alpha.
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 8.0, 8.0), vm(1, 11, 20, 8.0, 8.0)},
+      {testing::basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0, 0};
+  const auto grouped = vms_by_server(p, alloc);
+  EXPECT_EQ(busy_union(grouped[0]).size(), 1u);
+  EXPECT_DOUBLE_EQ(evaluate_cost(p, alloc).breakdown.transition, 200.0);
+}
+
+TEST(EdgeCases, HugeTransitionCostKeepsServerAlwaysOnBetweenJobs) {
+  // alpha enormous: bridging is always preferred within the busy span.
+  const ServerSpec s = server(0, 10, 10, 100, 200, 1e6);
+  IntervalSet busy;
+  busy.insert(1, 2);
+  busy.insert(500, 501);
+  const auto actives = active_intervals(busy, s);
+  ASSERT_EQ(actives.size(), 1u);
+  EXPECT_EQ(actives[0], (Interval{1, 501}));
+}
+
+TEST(EdgeCases, IdenticalVmsTieBreakDeterministically) {
+  // Ten identical VMs, two identical servers: determinism means the same
+  // result on every call (and all consolidate while capacity lasts).
+  std::vector<VmSpec> vms;
+  for (int j = 0; j < 10; ++j) vms.push_back(vm(j, 1, 10, 1.0, 1.0));
+  const ProblemInstance p = make_problem(
+      std::move(vms), {testing::basic_server(0), testing::basic_server(1)});
+  MinIncrementalAllocator allocator;
+  Rng r1(1);
+  Rng r2(999);
+  const Allocation a1 = allocator.allocate(p, r1);
+  const Allocation a2 = allocator.allocate(p, r2);
+  EXPECT_EQ(a1.assignment, a2.assignment);
+  for (ServerId s_id : a1.assignment) EXPECT_EQ(s_id, 0);
+}
+
+}  // namespace
+}  // namespace esva

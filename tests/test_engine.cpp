@@ -1,0 +1,153 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "test_util.h"
+
+namespace esva {
+namespace {
+
+using testing::basic_server;
+using testing::random_problem;
+using testing::vm;
+
+TEST(Engine, SingleVmLedgerHandComputed) {
+  const ProblemInstance p =
+      make_problem({vm(0, 5, 14, 4.0, 1.0)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0};
+  const SimulationResult result = SimulationEngine(p, alloc).run();
+  EXPECT_DOUBLE_EQ(result.per_server[0].idle, 1000.0);        // 10 × 100 W
+  EXPECT_DOUBLE_EQ(result.per_server[0].run, 400.0);          // 10 × 40 W
+  EXPECT_DOUBLE_EQ(result.per_server[0].transition, 200.0);   // one switch-on
+  EXPECT_DOUBLE_EQ(result.total_energy(), 1600.0);
+}
+
+TEST(Engine, MatchesAnalyticCostModelExactly) {
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 2.0, 1.0), vm(1, 8, 20, 3.0, 2.0), vm(2, 40, 45, 1.0, 1.0)},
+      {basic_server(0), basic_server(1)});
+  Allocation alloc;
+  alloc.assignment = {0, 0, 1};
+  const CostReport analytic = evaluate_cost(p, alloc);
+  const SimulationResult simulated = SimulationEngine(p, alloc).run();
+  for (std::size_t i = 0; i < p.num_servers(); ++i)
+    EXPECT_NEAR(simulated.per_server[i].total(), analytic.per_server[i], 1e-9);
+  EXPECT_NEAR(simulated.total_energy(), analytic.total(), 1e-9);
+}
+
+TEST(Engine, GapBridgingShowsUpAsIdleNotTransition) {
+  // Gap of 2 (== alpha/P_idle) is bridged: energy appears as idle power.
+  const ProblemInstance p =
+      make_problem({vm(0, 1, 5), vm(1, 8, 10)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0, 0};
+  const SimulationResult result = SimulationEngine(p, alloc).run();
+  EXPECT_DOUBLE_EQ(result.per_server[0].idle, 1000.0);  // (5+2+3) × 100
+  EXPECT_DOUBLE_EQ(result.per_server[0].transition, 200.0);
+}
+
+TEST(Engine, LongGapCausesSecondTransition) {
+  const ProblemInstance p =
+      make_problem({vm(0, 1, 5), vm(1, 50, 54)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0, 0};
+  const SimulationResult result = SimulationEngine(p, alloc).run();
+  EXPECT_DOUBLE_EQ(result.per_server[0].transition, 400.0);
+  EXPECT_DOUBLE_EQ(result.per_server[0].idle, 1000.0);  // only busy time
+}
+
+TEST(Engine, ChargeInitialOptionDropsFirstAlpha) {
+  const ProblemInstance p =
+      make_problem({vm(0, 1, 5), vm(1, 50, 54)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0, 0};
+  const CostOptions literal{.charge_initial_transition = false};
+  const SimulationResult result = SimulationEngine(p, alloc, literal).run();
+  EXPECT_DOUBLE_EQ(result.per_server[0].transition, 200.0);  // only re-switch
+}
+
+TEST(Engine, UnallocatedVmsConsumeNothing) {
+  const ProblemInstance p =
+      make_problem({vm(0, 1, 5)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {kNoServer};
+  const SimulationResult result = SimulationEngine(p, alloc).run();
+  EXPECT_DOUBLE_EQ(result.total_energy(), 0.0);
+}
+
+TEST(Engine, SamplesCoverEveryTimeUnit) {
+  const ProblemInstance p =
+      make_problem({vm(0, 3, 7, 5.0, 1.0)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0};
+  const SimulationResult result = SimulationEngine(p, alloc).run(true);
+  ASSERT_EQ(result.samples.size(), static_cast<std::size_t>(p.horizon));
+  // Before start: powered down.
+  EXPECT_DOUBLE_EQ(result.samples[0].total_power, 0.0);
+  EXPECT_EQ(result.samples[0].active_servers, 0);
+  // During the VM: idle + 5 CPU × 10 W/CU.
+  EXPECT_DOUBLE_EQ(result.samples[3].total_power, 150.0);  // t = 4
+  EXPECT_EQ(result.samples[3].active_servers, 1);
+  EXPECT_EQ(result.samples[3].running_vms, 1);
+  // Last unit (t = 7) still running.
+  EXPECT_DOUBLE_EQ(result.samples[6].total_power, 150.0);
+}
+
+TEST(Engine, SampledEnergyIntegratesToLedger) {
+  // Σ power over time units + transitions == total energy (power is
+  // piecewise constant on unit intervals).
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 2.0, 1.0), vm(1, 4, 8, 3.0, 2.0), vm(2, 30, 35, 1.0, 1.0)},
+      {basic_server(0), basic_server(1)});
+  Allocation alloc;
+  alloc.assignment = {0, 1, 0};
+  const SimulationResult result = SimulationEngine(p, alloc).run(true);
+  double integral = 0.0;
+  for (const PowerSample& sample : result.samples)
+    integral += sample.total_power;
+  EXPECT_NEAR(integral + result.total.transition, result.total_energy(), 1e-9);
+}
+
+TEST(Engine, ConcurrentVmCountsAreTracked) {
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 1.0, 1.0), vm(1, 5, 15, 1.0, 1.0)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0, 0};
+  const SimulationResult result = SimulationEngine(p, alloc).run(true);
+  EXPECT_EQ(result.samples[2].running_vms, 1);   // t = 3
+  EXPECT_EQ(result.samples[7].running_vms, 2);   // t = 8
+  EXPECT_EQ(result.samples[12].running_vms, 1);  // t = 13
+}
+
+TEST(EngineProperty, AgreesWithCostModelOnRandomInstances) {
+  // The strongest internal-consistency check in the repo: operational
+  // accounting == closed form, for every allocator, across random instances,
+  // in both cost conventions.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng gen(seed * 13);
+    const ProblemInstance p = random_problem(gen, 20, 8);
+    for (const std::string& name : allocator_names()) {
+      AllocatorPtr allocator = make_allocator(name);
+      Rng rng(seed);
+      const Allocation alloc = allocator->allocate(p, rng);
+      for (bool charge_initial : {true, false}) {
+        const CostOptions opts{.charge_initial_transition = charge_initial};
+        const CostReport analytic = evaluate_cost(p, alloc, opts);
+        const SimulationResult simulated =
+            SimulationEngine(p, alloc, opts).run();
+        ASSERT_NEAR(simulated.total_energy(), analytic.total(),
+                    1e-6 * std::max(1.0, analytic.total()))
+            << name << " seed " << seed << " charge=" << charge_initial;
+        for (std::size_t i = 0; i < p.num_servers(); ++i)
+          ASSERT_NEAR(simulated.per_server[i].total(), analytic.per_server[i],
+                      1e-6)
+              << name << " seed " << seed << " server " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esva

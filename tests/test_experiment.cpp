@@ -1,0 +1,112 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace esva {
+namespace {
+
+ExperimentConfig quick_config(int runs = 3) {
+  ExperimentConfig config;
+  config.runs = runs;
+  config.seed = 7;
+  return config;
+}
+
+TEST(Experiment, ProducesOneAggregatePerAllocator) {
+  const Scenario scenario = fig2_scenario(60, 2.0);
+  const PointOutcome outcome = run_point(scenario, quick_config());
+  ASSERT_EQ(outcome.allocators.size(), 2u);
+  EXPECT_EQ(outcome.allocators[0].name, "min-incremental");
+  EXPECT_EQ(outcome.allocators[1].name, "ffps");
+  EXPECT_EQ(outcome.baseline_name, "ffps");
+}
+
+TEST(Experiment, AggregatesHaveOneSamplePerRun) {
+  const Scenario scenario = fig2_scenario(60, 2.0);
+  const PointOutcome outcome = run_point(scenario, quick_config(4));
+  for (const AllocatorAggregate& agg : outcome.allocators) {
+    EXPECT_EQ(agg.total_cost.count(), 4u) << agg.name;
+    EXPECT_EQ(agg.cpu_util.count(), 4u) << agg.name;
+  }
+  // Reduction ratios only exist for non-baseline allocators.
+  EXPECT_EQ(outcome.by_name("min-incremental").reduction_vs_baseline.count(),
+            4u);
+  EXPECT_EQ(outcome.by_name("ffps").reduction_vs_baseline.count(), 0u);
+}
+
+TEST(Experiment, SameSeedReproducesExactly) {
+  const Scenario scenario = fig2_scenario(60, 2.0);
+  const PointOutcome a = run_point(scenario, quick_config());
+  const PointOutcome b = run_point(scenario, quick_config());
+  for (std::size_t k = 0; k < a.allocators.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.allocators[k].total_cost.mean(),
+                     b.allocators[k].total_cost.mean());
+    EXPECT_DOUBLE_EQ(a.allocators[k].cpu_util.mean(),
+                     b.allocators[k].cpu_util.mean());
+  }
+}
+
+TEST(Experiment, DifferentSeedsDiffer) {
+  const Scenario scenario = fig2_scenario(60, 2.0);
+  ExperimentConfig c1 = quick_config();
+  ExperimentConfig c2 = quick_config();
+  c2.seed = 8;
+  const PointOutcome a = run_point(scenario, c1);
+  const PointOutcome b = run_point(scenario, c2);
+  EXPECT_NE(a.allocators[0].total_cost.mean(),
+            b.allocators[0].total_cost.mean());
+}
+
+TEST(Experiment, HeadlineReductionIsPositiveAtLightLoad) {
+  // The paper's central claim, at a sweep point where it is most pronounced
+  // (long inter-arrival, light load).
+  const Scenario scenario = fig2_scenario(100, 8.0);
+  const PointOutcome outcome = run_point(scenario, quick_config(5));
+  EXPECT_GT(outcome.headline_reduction(), 0.0);
+}
+
+TEST(Experiment, BaselineLoadsAreExposed) {
+  const Scenario scenario = fig2_scenario(60, 1.0);
+  const PointOutcome outcome = run_point(scenario, quick_config());
+  EXPECT_GT(outcome.baseline_cpu_load(), 0.0);
+  EXPECT_LE(outcome.baseline_cpu_load(), 1.0);
+  EXPECT_GT(outcome.baseline_mem_load(), 0.0);
+  EXPECT_LE(outcome.baseline_mem_load(), 1.0);
+}
+
+TEST(Experiment, ByNameThrowsOnUnknown) {
+  const Scenario scenario = fig2_scenario(40, 2.0);
+  const PointOutcome outcome = run_point(scenario, quick_config(1));
+  EXPECT_THROW(outcome.by_name("nope"), std::invalid_argument);
+}
+
+TEST(Experiment, SupportsCustomAllocatorSets) {
+  ExperimentConfig config = quick_config(2);
+  config.allocator_names = {"min-incremental", "best-fit-cpu", "ffps"};
+  const Scenario scenario = fig2_scenario(50, 2.0);
+  const PointOutcome outcome = run_point(scenario, config);
+  ASSERT_EQ(outcome.allocators.size(), 3u);
+  EXPECT_EQ(outcome.by_name("best-fit-cpu").reduction_vs_baseline.count(), 2u);
+}
+
+TEST(Experiment, AllAllocatorsSeeTheSameInstancePerRun) {
+  // Paired comparison: with one run and a deterministic allocator listed
+  // twice under different names... not possible; instead check that two
+  // deterministic allocators measure the same total when they are the same
+  // algorithm (min-incremental listed once) across two configs sharing the
+  // seed — instance generation must not depend on the allocator list order.
+  ExperimentConfig c1 = quick_config(2);
+  c1.allocator_names = {"min-incremental", "ffps"};
+  ExperimentConfig c2 = quick_config(2);
+  c2.allocator_names = {"min-incremental", "ffps", "best-fit-cpu"};
+  const Scenario scenario = fig2_scenario(50, 2.0);
+  const PointOutcome a = run_point(scenario, c1);
+  const PointOutcome b = run_point(scenario, c2);
+  // min-incremental is deterministic and sees the same instances (the extra
+  // allocator draws its rng *after* the shared ones).
+  EXPECT_DOUBLE_EQ(a.by_name("min-incremental").total_cost.mean(),
+                   b.by_name("min-incremental").total_cost.mean());
+}
+
+}  // namespace
+}  // namespace esva

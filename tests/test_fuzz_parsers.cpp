@@ -1,0 +1,159 @@
+// Robustness fuzzing for every text parser: random byte soup and structured
+// mutations must either parse or throw std::runtime_error — never crash,
+// hang, or return out-of-contract data.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "ilp/solution_io.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "workload/trace.h"
+
+namespace esva {
+namespace {
+
+std::string random_bytes(Rng& rng, std::size_t max_len) {
+  const std::size_t len = rng.index(max_len + 1);
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    // Printable-heavy mix with occasional control characters.
+    if (rng.bernoulli(0.9))
+      s.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+    else
+      s.push_back(static_cast<char>(rng.uniform_int(0, 31)));
+  }
+  return s;
+}
+
+/// Characters the CSV layer treats specially, to bias mutations.
+std::string random_csvish(Rng& rng, std::size_t max_len) {
+  static const char kAlphabet[] = "abc123,\"\n\r.-";
+  const std::size_t len = rng.index(max_len + 1);
+  std::string s;
+  for (std::size_t i = 0; i < len; ++i)
+    s.push_back(kAlphabet[rng.index(sizeof(kAlphabet) - 1)]);
+  return s;
+}
+
+TEST(FuzzParsers, CsvLineNeverCrashes) {
+  Rng rng(0xc5f);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::string line =
+        rng.bernoulli(0.5) ? random_bytes(rng, 80) : random_csvish(rng, 80);
+    try {
+      const auto fields = parse_csv_line(line);
+      // Contract: joined field lengths can't exceed input length.
+      std::size_t total = 0;
+      for (const auto& f : fields) total += f.size();
+      ASSERT_LE(total, line.size() + 1);
+    } catch (const std::runtime_error&) {
+      // acceptable outcome
+    }
+  }
+}
+
+TEST(FuzzParsers, VmTraceNeverCrashes) {
+  Rng rng(0xbee);
+  const std::string header = "id,type,cpu,mem,start,end\n";
+  for (int trial = 0; trial < 1500; ++trial) {
+    std::string body = header;
+    const int rows = static_cast<int>(rng.uniform_int(0, 5));
+    for (int r = 0; r < rows; ++r) body += random_csvish(rng, 40) + "\n";
+    std::istringstream in(body);
+    try {
+      const auto vms = read_vm_trace(in);
+      for (const VmSpec& vm : vms) ASSERT_TRUE(vm.valid());
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(FuzzParsers, VmTraceFieldMutationsAreCaught) {
+  // Start from a valid row and corrupt one field at a time.
+  const std::string header = "id,type,cpu,mem,start,end\n";
+  const std::vector<std::string> good{"0", "m1.small", "1", "1.7", "1", "5"};
+  const std::vector<std::string> bad_values{"", "x", "1e999", "-3", "1.2.3",
+                                            "NaN?", "\"", "9999999999999999999"};
+  for (std::size_t field = 0; field < good.size(); ++field) {
+    for (const std::string& bad : bad_values) {
+      auto row = good;
+      row[field] = bad;
+      std::string body = header;
+      for (std::size_t k = 0; k < row.size(); ++k)
+        body += (k ? "," : "") + row[k];
+      body += "\n";
+      std::istringstream in(body);
+      try {
+        const auto vms = read_vm_trace(in);
+        for (const VmSpec& vm : vms) ASSERT_TRUE(vm.valid());
+      } catch (const std::runtime_error&) {
+      }
+    }
+  }
+}
+
+TEST(FuzzParsers, ServerTraceNeverCrashes) {
+  Rng rng(0xdad);
+  const std::string header = "id,type,cpu,mem,p_idle,p_peak,transition_time\n";
+  for (int trial = 0; trial < 1500; ++trial) {
+    std::string body = header;
+    const int rows = static_cast<int>(rng.uniform_int(0, 4));
+    for (int r = 0; r < rows; ++r) body += random_csvish(rng, 50) + "\n";
+    std::istringstream in(body);
+    try {
+      const auto servers = read_server_trace(in);
+      for (const ServerSpec& s : servers) ASSERT_TRUE(s.valid());
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(FuzzParsers, AssignmentNeverCrashes) {
+  Rng rng(0xace);
+  for (int trial = 0; trial < 1500; ++trial) {
+    std::string body = "vm_id,server_id\n";
+    const int rows = static_cast<int>(rng.uniform_int(0, 6));
+    for (int r = 0; r < rows; ++r) body += random_csvish(rng, 20) + "\n";
+    std::istringstream in(body);
+    const std::size_t num_vms = rng.index(5);
+    try {
+      const Allocation alloc = read_assignment(in, num_vms);
+      ASSERT_EQ(alloc.assignment.size(), num_vms);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(FuzzParsers, SolutionReaderNeverCrashes) {
+  Rng rng(0xf00);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string body;
+    const int lines = static_cast<int>(rng.uniform_int(0, 8));
+    for (int l = 0; l < lines; ++l) {
+      switch (rng.index(4)) {
+        case 0: body += random_bytes(rng, 40); break;
+        case 1: body += "x_" + std::to_string(rng.index(9)) + "_" +
+                        std::to_string(rng.index(9)) + " " +
+                        std::to_string(rng.next_double());
+                break;
+        case 2: body += "Objective " + random_csvish(rng, 10); break;
+        default: body += random_csvish(rng, 40); break;
+      }
+      body += "\n";
+    }
+    std::istringstream in(body);
+    try {
+      const SolverSolution solution = read_solution(in);
+      for (const auto& [name, value] : solution.values)
+        ASSERT_FALSE(name.empty());
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esva

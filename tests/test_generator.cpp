@@ -1,0 +1,132 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "stats/summary.h"
+#include "test_util.h"
+
+namespace esva {
+namespace {
+
+WorkloadConfig standard_config(int n = 100) {
+  WorkloadConfig config;
+  config.num_vms = n;
+  config.mean_interarrival = 2.0;
+  config.mean_duration = 50.0;
+  config.vm_types = all_vm_types();
+  return config;
+}
+
+TEST(Generator, ProducesRequestedCountWithDenseIds) {
+  Rng rng(1);
+  const auto vms = generate_workload(standard_config(250), rng);
+  ASSERT_EQ(vms.size(), 250u);
+  for (std::size_t j = 0; j < vms.size(); ++j) {
+    EXPECT_EQ(vms[j].id, static_cast<VmId>(j));
+    EXPECT_TRUE(vms[j].valid());
+  }
+}
+
+TEST(Generator, ZeroVmsIsFine) {
+  Rng rng(1);
+  EXPECT_TRUE(generate_workload(standard_config(0), rng).empty());
+}
+
+TEST(Generator, StartTimesAreNonDecreasingAndPositive) {
+  Rng rng(2);
+  const auto vms = generate_workload(standard_config(500), rng);
+  Time prev = 1;
+  for (const VmSpec& vm : vms) {
+    EXPECT_GE(vm.start, prev);
+    prev = vm.start;
+  }
+  EXPECT_GE(vms.front().start, 1);
+}
+
+TEST(Generator, DurationsAreAtLeastOneTimeUnit) {
+  WorkloadConfig config = standard_config(500);
+  config.mean_duration = 0.2;  // most raw draws round to zero
+  Rng rng(3);
+  for (const VmSpec& vm : generate_workload(config, rng))
+    EXPECT_GE(vm.duration(), 1);
+}
+
+TEST(Generator, MeanDurationMatchesConfiguration) {
+  WorkloadConfig config = standard_config(20000);
+  config.mean_duration = 50.0;
+  Rng rng(4);
+  Accumulator acc;
+  for (const VmSpec& vm : generate_workload(config, rng))
+    acc.add(static_cast<double>(vm.duration()));
+  EXPECT_NEAR(acc.mean(), 50.0, 1.5);
+}
+
+TEST(Generator, MeanInterarrivalMatchesConfiguration) {
+  WorkloadConfig config = standard_config(20000);
+  config.mean_interarrival = 4.0;
+  Rng rng(5);
+  const auto vms = generate_workload(config, rng);
+  // Total span / count estimates the mean inter-arrival time.
+  const double span = static_cast<double>(vms.back().start - vms.front().start);
+  EXPECT_NEAR(span / static_cast<double>(vms.size()), 4.0, 0.2);
+}
+
+TEST(Generator, DemandsComeFromTheConfiguredTypes) {
+  WorkloadConfig config = standard_config(300);
+  config.vm_types = standard_vm_types();
+  Rng rng(6);
+  std::set<std::string> allowed;
+  for (const VmType& t : config.vm_types) allowed.insert(t.name);
+  std::set<std::string> seen;
+  for (const VmSpec& vm : generate_workload(config, rng)) {
+    EXPECT_TRUE(allowed.count(vm.type_name)) << vm.type_name;
+    seen.insert(vm.type_name);
+  }
+  // With 300 draws over 4 types, every type should appear.
+  EXPECT_EQ(seen.size(), allowed.size());
+}
+
+TEST(Generator, TypeSamplingIsRoughlyUniform) {
+  WorkloadConfig config = standard_config(9000);
+  Rng rng(7);
+  std::map<std::string, int> counts;
+  for (const VmSpec& vm : generate_workload(config, rng))
+    ++counts[vm.type_name];
+  ASSERT_EQ(counts.size(), 9u);
+  for (const auto& [name, count] : counts) {
+    EXPECT_GT(count, 800) << name;  // expected 1000 each
+    EXPECT_LT(count, 1200) << name;
+  }
+}
+
+TEST(Generator, SeedDeterminism) {
+  Rng a(42);
+  Rng b(42);
+  const auto va = generate_workload(standard_config(100), a);
+  const auto vb = generate_workload(standard_config(100), b);
+  ASSERT_EQ(va.size(), vb.size());
+  for (std::size_t j = 0; j < va.size(); ++j) {
+    EXPECT_EQ(va[j].start, vb[j].start);
+    EXPECT_EQ(va[j].end, vb[j].end);
+    EXPECT_EQ(va[j].type_name, vb[j].type_name);
+  }
+}
+
+TEST(Generator, ShorterInterarrivalMeansMoreConcurrency) {
+  WorkloadConfig fast = standard_config(400);
+  fast.mean_interarrival = 0.5;
+  WorkloadConfig slow = standard_config(400);
+  slow.mean_interarrival = 10.0;
+  Rng r1(8);
+  Rng r2(8);
+  const auto fast_vms = generate_workload(fast, r1);
+  const auto slow_vms = generate_workload(slow, r2);
+  // The same number of VMs squeezed into a shorter horizon.
+  EXPECT_LT(horizon_of(fast_vms), horizon_of(slow_vms));
+}
+
+}  // namespace
+}  // namespace esva

@@ -1,0 +1,76 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace esva {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);  // bins of width 2
+  h.add(0.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinRange) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_range(0).first, 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_range(0).second, 12.5);
+  EXPECT_DOUBLE_EQ(h.bin_range(3).first, 17.5);
+  EXPECT_DOUBLE_EQ(h.bin_range(3).second, 20.0);
+}
+
+TEST(Histogram, CdfReachesOne) {
+  Histogram h(0.0, 10.0, 10);
+  for (double x : {1.0, 2.0, 3.0, 7.0}) h.add(x);
+  EXPECT_DOUBLE_EQ(h.cdf(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.cdf(0.5), 0.0);  // bin [0,1) holds nothing <= ... below first value's bin
+  EXPECT_NEAR(h.cdf(3.5), 0.75, 1e-12);
+}
+
+TEST(Histogram, CdfEmptyIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_EQ(h.cdf(0.5), 0.0);
+}
+
+TEST(Histogram, RenderListsEveryBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string out = h.render();
+  // 4 bin lines.
+  std::size_t lines = 0;
+  for (char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4u);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Histogram, ExponentialShapeIsMonotoneDecreasing) {
+  Rng rng(13);
+  Histogram h(0.0, 50.0, 5);
+  for (int i = 0; i < 20000; ++i) h.add(rng.exponential(10.0));
+  for (std::size_t b = 1; b < h.bins(); ++b)
+    EXPECT_LT(h.count(b), h.count(b - 1)) << "bin " << b;
+}
+
+}  // namespace
+}  // namespace esva

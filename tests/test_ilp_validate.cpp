@@ -1,0 +1,122 @@
+#include "ilp/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "test_util.h"
+
+namespace esva {
+namespace {
+
+using testing::basic_server;
+using testing::random_problem;
+using testing::server;
+using testing::vm;
+
+TEST(DeriveActiveSets, BridgesShortGapsPowersDownLongOnes) {
+  // basic_server: alpha 200, P_idle 100 -> bridge gaps <= 2.
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 5), vm(1, 8, 10), vm(2, 50, 55)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0, 0, 0};
+  const auto active = derive_active_sets(p, alloc);
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].intervals(),
+            (std::vector<Interval>{{1, 10}, {50, 55}}));
+}
+
+TEST(DeriveActiveSets, EmptyServerStaysDown) {
+  const ProblemInstance p =
+      make_problem({vm(0, 1, 5)}, {basic_server(0), basic_server(1)});
+  Allocation alloc;
+  alloc.assignment = {0};
+  const auto active = derive_active_sets(p, alloc);
+  EXPECT_FALSE(active[0].empty());
+  EXPECT_TRUE(active[1].empty());
+}
+
+TEST(ObjectiveEq7, HandComputedValue) {
+  const ProblemInstance p = make_problem({vm(0, 3, 7, 2.0, 1.0)},
+                                         {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0};
+  const auto active = derive_active_sets(p, alloc);
+  // W = 10·2·5 = 100; y active [3,7]: 5·100 = 500; one switch-on: 200.
+  EXPECT_DOUBLE_EQ(objective_eq7(p, alloc, active), 800.0);
+}
+
+TEST(ObjectiveEq7, EqualsClosedFormCostOnRandomInstances) {
+  // The central consistency identity: Eq. 7 evaluated on the derived optimal
+  // y equals the Eq. 17 closed form, for every allocator's output.
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    Rng gen(seed);
+    const ProblemInstance p = random_problem(gen, 16, 8);
+    for (const std::string& name : allocator_names()) {
+      AllocatorPtr allocator = make_allocator(name);
+      Rng rng(seed + 100);
+      const Allocation alloc = allocator->allocate(p, rng);
+      if (!alloc.fully_allocated()) continue;
+      const auto active = derive_active_sets(p, alloc);
+      ASSERT_NEAR(objective_eq7(p, alloc, active),
+                  evaluate_cost(p, alloc).total(), 1e-6)
+          << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(CheckConstraints, PassesForFeasibleAllocations) {
+  Rng gen(3);
+  const ProblemInstance p = random_problem(gen, 12, 6);
+  AllocatorPtr allocator = make_allocator("min-incremental");
+  Rng rng(1);
+  const Allocation alloc = allocator->allocate(p, rng);
+  ASSERT_TRUE(alloc.fully_allocated());
+  const auto active = derive_active_sets(p, alloc);
+  EXPECT_EQ(check_constraints(p, alloc, active), "");
+}
+
+TEST(CheckConstraints, CatchesPoweredDownHost) {
+  const ProblemInstance p = make_problem({vm(0, 1, 5)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0};
+  std::vector<IntervalSet> active(1);
+  active[0].insert(1, 3);  // powered down during [4,5] though VM runs
+  EXPECT_NE(check_constraints(p, alloc, active).find("constraint (12)"),
+            std::string::npos);
+}
+
+TEST(CheckConstraints, CatchesIncompleteAssignment) {
+  const ProblemInstance p =
+      make_problem({vm(0, 1, 5)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {kNoServer};
+  EXPECT_NE(check_constraints(p, alloc, derive_active_sets(p, alloc)), "");
+}
+
+TEST(DerivedStatesAreOptimal, NoCheaperYExistsForFixedX) {
+  // For a single server with two busy segments, compare the derived policy
+  // against both alternatives (always-on vs power-cycle) explicitly.
+  for (Time gap : {1, 2, 3, 10, 50}) {
+    const ProblemInstance p = make_problem(
+        {vm(0, 1, 10), vm(1, 10 + gap + 1, 10 + gap + 10)}, {basic_server(0)});
+    Allocation alloc;
+    alloc.assignment = {0, 0};
+    const auto active = derive_active_sets(p, alloc);
+    const Energy derived = objective_eq7(p, alloc, active);
+
+    // Alternative A: stay active through the gap.
+    std::vector<IntervalSet> always_on(1);
+    always_on[0].insert(1, 20 + gap);
+    // Alternative B: power-cycle across the gap.
+    std::vector<IntervalSet> cycled(1);
+    cycled[0].insert(1, 10);
+    cycled[0].insert(10 + gap + 1, 10 + gap + 10);
+
+    const Energy alt = std::min(objective_eq7(p, alloc, always_on),
+                                objective_eq7(p, alloc, cycled));
+    EXPECT_NEAR(derived, alt, 1e-9) << "gap " << gap;
+  }
+}
+
+}  // namespace
+}  // namespace esva

@@ -1,0 +1,137 @@
+// End-to-end checks tying the whole pipeline together: scenario → allocators
+// → cost model / simulator / ILP objective, plus the paper's headline
+// qualitative claims on small-but-real instances.
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "ilp/branch_and_bound.h"
+#include "ilp/validate.h"
+#include "sim/engine.h"
+#include "sim/experiment.h"
+#include "sim/metrics.h"
+#include "test_util.h"
+#include "workload/scenarios.h"
+
+namespace esva {
+namespace {
+
+using testing::random_problem;
+
+TEST(Integration, HeuristicBeatsFfpsOnAverageAtModerateLoad) {
+  const Scenario scenario = fig2_scenario(100, 4.0);
+  ExperimentConfig config;
+  config.runs = 5;
+  config.seed = 2013;
+  const PointOutcome outcome = run_point(scenario, config);
+  EXPECT_GT(outcome.headline_reduction(), 0.02)
+      << "expected a clear energy reduction vs FFPS";
+  EXPECT_LT(outcome.headline_reduction(), 0.6)
+      << "suspiciously large reduction suggests an accounting bug";
+}
+
+TEST(Integration, HeuristicImprovesCpuUtilization) {
+  const Scenario scenario = fig2_scenario(100, 4.0);
+  ExperimentConfig config;
+  config.runs = 5;
+  config.seed = 99;
+  const PointOutcome outcome = run_point(scenario, config);
+  EXPECT_GT(outcome.by_name("min-incremental").cpu_util.mean(),
+            outcome.by_name("ffps").cpu_util.mean());
+}
+
+TEST(Integration, AllPipelineViewsOfCostAgree) {
+  // evaluate_cost (closed form), SimulationEngine (operational), and
+  // objective_eq7 (ILP view) must produce the same number.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng gen(seed * 31);
+    const ProblemInstance p = random_problem(gen, 24, 10);
+    AllocatorPtr allocator = make_allocator("min-incremental");
+    Rng rng(seed);
+    const Allocation alloc = allocator->allocate(p, rng);
+    ASSERT_TRUE(alloc.fully_allocated());
+
+    const Energy closed_form = evaluate_cost(p, alloc).total();
+    const Energy operational = SimulationEngine(p, alloc).run().total_energy();
+    const Energy ilp_view =
+        objective_eq7(p, alloc, derive_active_sets(p, alloc));
+    ASSERT_NEAR(closed_form, operational, 1e-6) << "seed " << seed;
+    ASSERT_NEAR(closed_form, ilp_view, 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(Integration, HeuristicIsNearOptimalOnTinyInstances) {
+  // Measure the optimality gap the ilp_gap bench reports; on tiny instances
+  // the greedy heuristic should be within a modest factor of optimal.
+  double worst_gap = 0.0;
+  int measured = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng gen(seed * 17);
+    const ProblemInstance p = random_problem(gen, 6, 3, 2.0, 6.0);
+    const ExactResult exact = solve_exact(p);
+    if (!exact.feasible) continue;
+    AllocatorPtr allocator = make_allocator("min-incremental");
+    Rng rng(seed);
+    const Allocation alloc = allocator->allocate(p, rng);
+    if (!alloc.fully_allocated()) continue;
+    const Energy heuristic_cost = evaluate_cost(p, alloc).total();
+    ASSERT_GE(heuristic_cost, exact.cost - 1e-6);
+    worst_gap = std::max(worst_gap, heuristic_cost / exact.cost - 1.0);
+    ++measured;
+  }
+  ASSERT_GT(measured, 5);
+  // Greedy can be meaningfully suboptimal on adversarial tiny instances;
+  // anything beyond ~60% would indicate a cost-accounting bug rather than
+  // ordinary myopia.
+  EXPECT_LT(worst_gap, 0.6) << "heuristic unexpectedly far from optimal";
+}
+
+TEST(Integration, StandardVmsOnTypes13ReachHighUtilization) {
+  // Fig. 8(b): with standard VMs on server types 1-3 the heuristic pushes
+  // both utilizations well above FFPS.
+  const Scenario scenario = fig7_scenario(100, 1.0, /*all_server_types=*/false);
+  ExperimentConfig config;
+  config.runs = 5;
+  config.seed = 7;
+  const PointOutcome outcome = run_point(scenario, config);
+  const auto& ours = outcome.by_name("min-incremental");
+  EXPECT_GT(ours.cpu_util.mean(), 0.5);
+  EXPECT_GT(ours.mem_util.mean(), 0.5);
+}
+
+TEST(Integration, ReductionShrinksAsLoadGrows) {
+  // Figs. 4/9 trend: higher load (short inter-arrival) leaves less slack to
+  // exploit, so the reduction ratio should drop.
+  ExperimentConfig config;
+  config.runs = 5;
+  config.seed = 11;
+  const PointOutcome heavy = run_point(fig2_scenario(100, 0.5), config);
+  const PointOutcome light = run_point(fig2_scenario(100, 8.0), config);
+  EXPECT_GT(light.headline_reduction(), heavy.headline_reduction());
+  EXPECT_GT(heavy.baseline_cpu_load(), light.baseline_cpu_load());
+}
+
+TEST(Integration, ShorterTransitionTimeSavesMore) {
+  // Fig. 5 trend at a fixed sweep point.
+  ExperimentConfig config;
+  config.runs = 5;
+  config.seed = 5;
+  const PointOutcome fast = run_point(fig5_scenario(8.0, 0.5), config);
+  const PointOutcome slow = run_point(fig5_scenario(8.0, 3.0), config);
+  EXPECT_GT(fast.headline_reduction(), slow.headline_reduction());
+}
+
+TEST(Integration, EveryAllocatorProducesValidAllocationsOnPaperScenario) {
+  Rng gen(2);
+  const ProblemInstance p = fig2_scenario(80, 2.0).instantiate(gen);
+  for (const std::string& name : allocator_names()) {
+    AllocatorPtr allocator = make_allocator(name);
+    Rng rng(3);
+    const Allocation alloc = allocator->allocate(p, rng);
+    ASSERT_EQ(validate_allocation(p, alloc, false), "") << name;
+    EXPECT_EQ(alloc.num_unallocated(), 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace esva

@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace esva {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+
+ private:
+  LogLevel previous_ = LogLevel::Warn;
+};
+
+TEST_F(LoggingTest, DefaultThresholdSuppressesInfo) {
+  set_log_level(LogLevel::Warn);
+  ::testing::internal::CaptureStderr();
+  log_info() << "should be dropped";
+  log_warn() << "should appear";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("should be dropped"), std::string::npos);
+  EXPECT_NE(captured.find("should appear"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelPrefixesAreEmitted) {
+  set_log_level(LogLevel::Debug);
+  ::testing::internal::CaptureStderr();
+  log_debug() << "d";
+  log_error() << "e";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[DEBUG]"), std::string::npos);
+  EXPECT_NE(captured.find("[ERROR]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::Off);
+  ::testing::internal::CaptureStderr();
+  log_error() << "even errors";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, StreamingFormatsValues) {
+  set_log_level(LogLevel::Info);
+  ::testing::internal::CaptureStderr();
+  log_info() << "x=" << 42 << " y=" << 2.5;
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("x=42 y=2.5"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+}
+
+}  // namespace
+}  // namespace esva

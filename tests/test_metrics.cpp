@@ -1,0 +1,104 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace esva {
+namespace {
+
+using testing::basic_server;
+using testing::vm;
+
+TEST(Utilization, SingleVmSingleServer) {
+  // 4/10 CPU and 2/10 memory for 10 time units; zero elsewhere. Averaging
+  // nonzero samples gives exactly 0.4 and 0.2.
+  const ProblemInstance p =
+      make_problem({vm(0, 11, 20, 4.0, 2.0)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0};
+  const UtilizationStats stats = average_utilization(p, alloc);
+  EXPECT_DOUBLE_EQ(stats.avg_cpu, 0.4);
+  EXPECT_DOUBLE_EQ(stats.avg_mem, 0.2);
+  EXPECT_EQ(stats.cpu_samples, 10u);
+  EXPECT_EQ(stats.mem_samples, 10u);
+}
+
+TEST(Utilization, NonzeroAveragingIgnoresIdleTime) {
+  // Same VM, much longer horizon (implied by a second, far-away VM on
+  // another server): the idle time must not dilute the average (§IV-C:
+  // "averaging nonzero utilization values").
+  const ProblemInstance p = make_problem(
+      {vm(0, 11, 20, 4.0, 2.0), vm(1, 990, 1000, 5.0, 5.0)},
+      {basic_server(0), basic_server(1)});
+  Allocation alloc;
+  alloc.assignment = {0, 1};
+  const UtilizationStats stats = average_utilization(p, alloc);
+  // Samples: 10 × 0.4 (server 0) + 11 × 0.5 (server 1) over 21 samples.
+  EXPECT_NEAR(stats.avg_cpu, (10 * 0.4 + 11 * 0.5) / 21.0, 1e-12);
+  EXPECT_EQ(stats.cpu_samples, 21u);
+}
+
+TEST(Utilization, OverlappingVmsStackUsage) {
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 2.0, 1.0), vm(1, 6, 15, 3.0, 2.0)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0, 0};
+  const UtilizationStats stats = average_utilization(p, alloc);
+  // t 1-5: 0.2; t 6-10: 0.5; t 11-15: 0.3 -> mean over 15 samples.
+  EXPECT_NEAR(stats.avg_cpu, (5 * 0.2 + 5 * 0.5 + 5 * 0.3) / 15.0, 1e-12);
+}
+
+TEST(Utilization, CpuAndMemorySampleSetsDiffer) {
+  // A VM with zero memory demand creates CPU samples but no memory samples.
+  const ProblemInstance p =
+      make_problem({vm(0, 1, 5, 2.0, 0.0)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0};
+  const UtilizationStats stats = average_utilization(p, alloc);
+  EXPECT_EQ(stats.cpu_samples, 5u);
+  EXPECT_EQ(stats.mem_samples, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_mem, 0.0);
+}
+
+TEST(Utilization, EmptyAllocationYieldsZero) {
+  const ProblemInstance p =
+      make_problem({vm(0, 1, 5, 2.0, 1.0)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {kNoServer};
+  const UtilizationStats stats = average_utilization(p, alloc);
+  EXPECT_EQ(stats.cpu_samples, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_cpu, 0.0);
+}
+
+TEST(ReductionRatio, Definition) {
+  EXPECT_DOUBLE_EQ(energy_reduction_ratio(1000.0, 900.0), 0.1);
+  EXPECT_DOUBLE_EQ(energy_reduction_ratio(1000.0, 1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(energy_reduction_ratio(500.0, 600.0), -0.2);
+}
+
+TEST(ComputeMetrics, BundlesEverything) {
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 2.0, 1.0), vm(1, 5, 12, 1.0, 1.0)},
+      {basic_server(0), basic_server(1)});
+  Allocation alloc;
+  alloc.assignment = {0, 0};
+  const AllocationMetrics metrics = compute_metrics(p, alloc);
+  EXPECT_DOUBLE_EQ(metrics.cost.total(), evaluate_cost(p, alloc).total());
+  EXPECT_EQ(metrics.servers_used, 1);
+  EXPECT_EQ(metrics.unallocated, 0u);
+  EXPECT_GT(metrics.utilization.avg_cpu, 0.0);
+}
+
+TEST(ComputeMetrics, CountsUnallocated) {
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 10, 2.0, 1.0), vm(1, 5, 12, 99.0, 1.0)}, {basic_server(0)});
+  Allocation alloc;
+  alloc.assignment = {0, kNoServer};
+  const AllocationMetrics metrics = compute_metrics(p, alloc);
+  EXPECT_EQ(metrics.unallocated, 1u);
+  EXPECT_EQ(metrics.servers_used, 1);
+}
+
+}  // namespace
+}  // namespace esva

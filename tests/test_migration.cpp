@@ -1,0 +1,126 @@
+#include "ext/migration.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "test_util.h"
+
+namespace esva {
+namespace {
+
+using testing::basic_server;
+using testing::random_problem;
+using testing::server;
+using testing::vm;
+
+TEST(Migration, ImprovesAnObviouslyBadAllocation) {
+  // Two overlapping small VMs spread over two servers; consolidating saves
+  // a whole server's idle + transition.
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 50, 2.0, 2.0), vm(1, 1, 50, 2.0, 2.0)},
+      {basic_server(0), basic_server(1)});
+  Allocation spread;
+  spread.assignment = {0, 1};
+
+  MigrationConfig config;
+  config.cost_per_gib = 10.0;
+  const MigrationResult result = optimize_with_migration(p, spread, config);
+  EXPECT_EQ(result.moves, 1);
+  EXPECT_EQ(result.allocation.assignment[0], result.allocation.assignment[1]);
+  EXPECT_LT(result.net_total(), result.energy_before);
+  EXPECT_DOUBLE_EQ(result.migration_overhead, 10.0 * 2.0);
+  EXPECT_GT(result.net_reduction(), 0.0);
+}
+
+TEST(Migration, RespectsMigrationPenalty) {
+  // Same scenario, but a penalty larger than the possible saving: no move.
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 50, 2.0, 2.0), vm(1, 1, 50, 2.0, 2.0)},
+      {basic_server(0), basic_server(1)});
+  Allocation spread;
+  spread.assignment = {0, 1};
+
+  MigrationConfig config;
+  config.cost_per_gib = 1e9;
+  const MigrationResult result = optimize_with_migration(p, spread, config);
+  EXPECT_EQ(result.moves, 0);
+  EXPECT_EQ(result.allocation.assignment, spread.assignment);
+  EXPECT_DOUBLE_EQ(result.energy_after, result.energy_before);
+}
+
+TEST(Migration, NetTotalNeverIncreases) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    Rng gen(seed * 3);
+    const ProblemInstance p = random_problem(gen, 20, 8);
+    for (const std::string name : {"ffps", "random-fit"}) {
+      Rng rng(seed);
+      const Allocation alloc = make_allocator(name)->allocate(p, rng);
+      const MigrationResult result = optimize_with_migration(p, alloc);
+      ASSERT_LE(result.net_total(), result.energy_before + 1e-6)
+          << name << " seed " << seed;
+      ASSERT_EQ(validate_allocation(p, result.allocation, false), "")
+          << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(Migration, ReportsConsistentEnergies) {
+  Rng gen(11);
+  const ProblemInstance p = random_problem(gen, 16, 6);
+  Rng rng(2);
+  const Allocation alloc = make_allocator("random-fit")->allocate(p, rng);
+  const MigrationResult result = optimize_with_migration(p, alloc);
+  EXPECT_NEAR(result.energy_before, evaluate_cost(p, alloc).total(), 1e-9);
+  EXPECT_NEAR(result.energy_after,
+              evaluate_cost(p, result.allocation).total(), 1e-9);
+}
+
+TEST(Migration, PlacesPreviouslyUnallocatedVms) {
+  // VM 1 starts unallocated; with a free server available it should be
+  // placed (counted as a move).
+  const ProblemInstance p = make_problem(
+      {vm(0, 1, 20, 2.0, 2.0), vm(1, 1, 20, 3.0, 3.0)},
+      {basic_server(0), basic_server(1)});
+  Allocation partial;
+  partial.assignment = {0, kNoServer};
+  MigrationConfig config;
+  config.cost_per_gib = 0.1;
+  const MigrationResult result = optimize_with_migration(p, partial, config);
+  EXPECT_NE(result.allocation.assignment[1], kNoServer);
+  EXPECT_GE(result.moves, 1);
+}
+
+TEST(Migration, NeverDegradesMinIncremental) {
+  // min-incremental on an easy instance is often locally optimal wrt
+  // single-VM moves; at minimum, migration must not undo it into
+  // something worse.
+  Rng gen(7);
+  const ProblemInstance p = random_problem(gen, 12, 6);
+  Rng rng(3);
+  const Allocation alloc =
+      make_allocator("min-incremental")->allocate(p, rng);
+  const Energy before = evaluate_cost(p, alloc).total();
+  const MigrationResult result = optimize_with_migration(p, alloc);
+  EXPECT_LE(result.net_total(), before + 1e-6);
+}
+
+TEST(Migration, HonorsRoundLimit) {
+  Rng gen(9);
+  const ProblemInstance p = random_problem(gen, 25, 10);
+  Rng rng(5);
+  const Allocation alloc = make_allocator("random-fit")->allocate(p, rng);
+  MigrationConfig one_round;
+  one_round.max_rounds = 1;
+  one_round.cost_per_gib = 0.0;
+  MigrationConfig many_rounds;
+  many_rounds.max_rounds = 20;
+  many_rounds.cost_per_gib = 0.0;
+  const MigrationResult quick = optimize_with_migration(p, alloc, one_round);
+  const MigrationResult thorough =
+      optimize_with_migration(p, alloc, many_rounds);
+  EXPECT_LE(thorough.energy_after, quick.energy_after + 1e-6);
+  EXPECT_GE(thorough.moves, quick.moves);
+}
+
+}  // namespace
+}  // namespace esva

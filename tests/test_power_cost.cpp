@@ -1,0 +1,243 @@
+// Tests of the power model (Eqs. 1–3) and the cost model (Eqs. 15–17),
+// including the incremental-delta fast path and the monotonicity lemma that
+// the exact solver's bound relies on.
+
+#include <gtest/gtest.h>
+
+#include "cluster/timeline.h"
+#include "core/cost_model.h"
+#include "core/power_model.h"
+#include "core/segments.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace esva {
+namespace {
+
+using testing::basic_server;
+using testing::server;
+using testing::vm;
+
+// basic_server(): 10 CPU / 10 GiB, P_idle 100 W, P_peak 200 W, alpha = 200.
+
+TEST(PowerModel, RunCostEq3) {
+  // W_ij = P¹ · cpu · duration = 10 W/CU × 4 CU × 11 min.
+  EXPECT_DOUBLE_EQ(run_cost(basic_server(), vm(0, 10, 20, 4.0, 1.0)), 440.0);
+}
+
+TEST(PowerModel, PowerAtUsage) {
+  const ServerSpec s = basic_server();
+  EXPECT_DOUBLE_EQ(power_at_usage(s, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(power_at_usage(s, 10.0), 200.0);
+  EXPECT_DOUBLE_EQ(power_at_usage(s, 2.5), 125.0);
+}
+
+TEST(Segments, BusyUnionMergesVmIntervals) {
+  const IntervalSet busy =
+      busy_union({vm(0, 1, 5), vm(1, 4, 8), vm(2, 12, 14)});
+  EXPECT_EQ(busy.intervals(), (std::vector<Interval>{{1, 8}, {12, 14}}));
+}
+
+TEST(Segments, GapPolicyThreshold) {
+  // alpha = 200, P_idle = 100: stay active iff gap <= 2.
+  const ServerSpec s = basic_server();
+  EXPECT_TRUE(stays_active_through_gap(s, 1));
+  EXPECT_TRUE(stays_active_through_gap(s, 2));  // tie -> stay active
+  EXPECT_FALSE(stays_active_through_gap(s, 3));
+}
+
+TEST(Segments, ActiveIntervalsBridgeShortGapsOnly) {
+  const ServerSpec s = basic_server();
+  IntervalSet busy;
+  busy.insert(1, 5);
+  busy.insert(8, 10);   // gap of 2 -> bridged
+  busy.insert(20, 25);  // gap of 9 -> power cycle
+  const auto actives = active_intervals(busy, s);
+  EXPECT_EQ(actives, (std::vector<Interval>{{1, 10}, {20, 25}}));
+  EXPECT_EQ(transition_count(busy, s), 2);
+}
+
+TEST(GapCost, MinOfIdleAndTransition) {
+  const ServerSpec s = basic_server();
+  EXPECT_DOUBLE_EQ(gap_cost(s, 1), 100.0);   // idle through
+  EXPECT_DOUBLE_EQ(gap_cost(s, 2), 200.0);   // tie
+  EXPECT_DOUBLE_EQ(gap_cost(s, 50), 200.0);  // power cycle
+}
+
+TEST(StructureCost, EmptyServerCostsNothing) {
+  EXPECT_DOUBLE_EQ(structure_cost(IntervalSet{}, basic_server()), 0.0);
+}
+
+TEST(StructureCost, SingleSegmentChargesIdleAndInitialTransition) {
+  IntervalSet busy;
+  busy.insert(5, 14);  // 10 units
+  // 100 W × 10 + alpha 200 (first switch-on).
+  EXPECT_DOUBLE_EQ(structure_cost(busy, basic_server()), 1200.0);
+}
+
+TEST(StructureCost, LiteralEq17OmitsInitialTransition) {
+  IntervalSet busy;
+  busy.insert(5, 14);
+  const CostOptions literal{.charge_initial_transition = false};
+  EXPECT_DOUBLE_EQ(structure_cost(busy, basic_server(), literal), 1000.0);
+}
+
+TEST(StructureCost, ShortGapChargedAsIdle) {
+  IntervalSet busy;
+  busy.insert(1, 5);
+  busy.insert(8, 10);  // gap {6,7}: 2 units, 200 == alpha, stays active
+  // idle: (5 + 3 + 2) × 100 = 1000; transitions: 1 × 200.
+  EXPECT_DOUBLE_EQ(structure_cost(busy, basic_server()), 1200.0);
+  const CostBreakdown bd = structure_breakdown(busy, basic_server());
+  EXPECT_DOUBLE_EQ(bd.idle, 1000.0);
+  EXPECT_DOUBLE_EQ(bd.transition, 200.0);
+  EXPECT_DOUBLE_EQ(bd.run, 0.0);
+}
+
+TEST(StructureCost, LongGapChargedAsTransition) {
+  IntervalSet busy;
+  busy.insert(1, 5);
+  busy.insert(50, 59);  // gap of 44 -> power cycle (alpha = 200 < 4400)
+  // idle: (5 + 10) × 100; transitions: initial + one re-switch-on.
+  const CostBreakdown bd = structure_breakdown(busy, basic_server());
+  EXPECT_DOUBLE_EQ(bd.idle, 1500.0);
+  EXPECT_DOUBLE_EQ(bd.transition, 400.0);
+}
+
+TEST(StructureCost, LeadingAndTrailingIdleAreFree) {
+  // The server is in power-saving before its first and after its last busy
+  // segment; shifting a segment in time must not change cost.
+  IntervalSet early;
+  early.insert(1, 10);
+  IntervalSet late;
+  late.insert(500, 509);
+  EXPECT_DOUBLE_EQ(structure_cost(early, basic_server()),
+                   structure_cost(late, basic_server()));
+}
+
+TEST(ServerCost, FullEq17HandComputed) {
+  // VM A [1,5] 2 CPU, VM B [8,10] 5 CPU on the basic server.
+  // run: 10·2·5 + 10·5·3 = 250; idle: (5 + 2 + 3)·100 = 1000 (the gap of 2 is
+  // bridged at tie cost); transitions: the initial 200. Total 1450.
+  const Energy cost =
+      server_cost(basic_server(), {vm(0, 1, 5, 2.0, 1.0), vm(1, 8, 10, 5.0, 1.0)});
+  EXPECT_DOUBLE_EQ(cost, 1450.0);
+}
+
+TEST(IncrementalCost, FirstVmPaysTransitionIdleAndRun) {
+  ServerTimeline timeline(basic_server(), 100);
+  const VmSpec first = vm(0, 10, 19, 3.0, 1.0);
+  // run 10·3·10 = 300, idle 100·10 = 1000, transition 200.
+  EXPECT_DOUBLE_EQ(incremental_cost(timeline, first), 1500.0);
+}
+
+TEST(IncrementalCost, OverlappingVmPaysOnlyRunCost) {
+  ServerTimeline timeline(basic_server(), 100);
+  timeline.place(vm(0, 10, 19, 3.0, 1.0));
+  // Fully inside the existing busy segment: only W is added.
+  EXPECT_DOUBLE_EQ(incremental_cost(timeline, vm(1, 12, 17, 2.0, 1.0)),
+                   10.0 * 2.0 * 6.0);
+}
+
+TEST(IncrementalCost, ExtendingSegmentAddsIdleTime) {
+  ServerTimeline timeline(basic_server(), 100);
+  timeline.place(vm(0, 10, 19, 3.0, 1.0));
+  // [15, 25] extends the busy segment by 6 units: run + 6·100 idle.
+  EXPECT_DOUBLE_EQ(incremental_cost(timeline, vm(1, 15, 25, 1.0, 1.0)),
+                   10.0 * 11.0 + 600.0);
+}
+
+TEST(IncrementalCost, BridgingALongGapRefundsTheSecondTransition) {
+  ServerTimeline timeline(basic_server(), 200);
+  timeline.place(vm(0, 1, 10));
+  timeline.place(vm(1, 100, 110));
+  // Before: two power cycles. A VM covering [5, 104] merges everything:
+  // structure delta = idle for the 89 gap units (+0 new busy outside) minus
+  // the refunded alpha of the second switch-on.
+  const VmSpec bridge = vm(2, 5, 104, 1.0, 1.0);
+  const Energy expected_delta =
+      run_cost(basic_server(), bridge) + 89.0 * 100.0 - 200.0;
+  EXPECT_DOUBLE_EQ(incremental_cost(timeline, bridge), expected_delta);
+}
+
+// --- Properties -----------------------------------------------------------
+
+ServerSpec random_server(Rng& rng, ServerId id) {
+  const double cpu = rng.uniform_double(8.0, 64.0);
+  const double p_idle = rng.uniform_double(50.0, 250.0);
+  const double p_peak = p_idle + rng.uniform_double(10.0, 300.0);
+  return server(id, cpu, 64.0, p_idle, p_peak,
+                rng.uniform_double(0.0, 3.0));
+}
+
+TEST(CostModelProperty, DeltaFastPathMatchesFullRecompute) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 500; ++trial) {
+    const ServerSpec spec = random_server(rng, 0);
+    IntervalSet busy;
+    const int existing = static_cast<int>(rng.uniform_int(0, 8));
+    for (int k = 0; k < existing; ++k) {
+      const Time lo = static_cast<Time>(rng.uniform_int(1, 150));
+      const Time hi = static_cast<Time>(
+          rng.uniform_int(lo, std::min<Time>(160, lo + 30)));
+      busy.insert(lo, hi);
+    }
+    const Time lo = static_cast<Time>(rng.uniform_int(1, 150));
+    const Time hi = static_cast<Time>(
+        rng.uniform_int(lo, std::min<Time>(160, lo + 40)));
+
+    for (bool charge_initial : {true, false}) {
+      const CostOptions opts{.charge_initial_transition = charge_initial};
+      const Energy before = structure_cost(busy, spec, opts);
+      const Energy fast_delta = structure_cost_delta(busy, lo, hi, spec, opts);
+      IntervalSet after = busy;
+      after.insert(lo, hi);
+      const Energy recomputed = structure_cost(after, spec, opts) - before;
+      ASSERT_NEAR(fast_delta, recomputed, 1e-6)
+          << "trial " << trial << " charge_initial=" << charge_initial;
+    }
+  }
+}
+
+TEST(CostModelProperty, StructureCostIsMonotoneUnderInsertion) {
+  // The branch-and-bound lower bound is admissible only if adding a VM
+  // interval never lowers the optimal-policy structure cost (DESIGN.md §1).
+  Rng rng(4096);
+  for (int trial = 0; trial < 500; ++trial) {
+    const ServerSpec spec = random_server(rng, 0);
+    IntervalSet busy;
+    const int existing = static_cast<int>(rng.uniform_int(0, 8));
+    for (int k = 0; k < existing; ++k) {
+      const Time lo = static_cast<Time>(rng.uniform_int(1, 150));
+      busy.insert(lo, static_cast<Time>(
+                          rng.uniform_int(lo, std::min<Time>(160, lo + 25))));
+    }
+    const Time lo = static_cast<Time>(rng.uniform_int(1, 150));
+    const Time hi = static_cast<Time>(
+        rng.uniform_int(lo, std::min<Time>(160, lo + 50)));
+    const Energy delta = structure_cost_delta(busy, lo, hi, spec);
+    ASSERT_GE(delta, -1e-9) << "trial " << trial;
+  }
+}
+
+TEST(CostModelProperty, BreakdownComponentsSumToTotal) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ServerSpec spec = random_server(rng, 0);
+    IntervalSet busy;
+    const int existing = static_cast<int>(rng.uniform_int(1, 8));
+    for (int k = 0; k < existing; ++k) {
+      const Time lo = static_cast<Time>(rng.uniform_int(1, 150));
+      busy.insert(lo, static_cast<Time>(
+                          rng.uniform_int(lo, std::min<Time>(160, lo + 25))));
+    }
+    const CostBreakdown bd = structure_breakdown(busy, spec);
+    ASSERT_NEAR(bd.total(), structure_cost(busy, spec), 1e-9);
+    ASSERT_GE(bd.idle, 0.0);
+    ASSERT_GE(bd.transition, 0.0);
+    ASSERT_EQ(bd.run, 0.0);  // structure has no run component
+  }
+}
+
+}  // namespace
+}  // namespace esva

@@ -1,0 +1,160 @@
+// Parameterized property sweeps across (allocator × seed) pairs: every
+// invariant that must hold for every algorithm on every instance.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/registry.h"
+#include "core/cost_model.h"
+#include "ilp/validate.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+#include "test_util.h"
+
+namespace esva {
+namespace {
+
+using testing::random_problem;
+
+class AllocatorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+ protected:
+  ProblemInstance draw_problem() {
+    Rng gen(std::get<1>(GetParam()) * 977 + 5);
+    return random_problem(gen, 22, 9);
+  }
+
+  Allocation allocate(const ProblemInstance& problem) {
+    AllocatorPtr allocator = make_allocator(std::get<0>(GetParam()));
+    Rng rng(std::get<1>(GetParam()));
+    return allocator->allocate(problem, rng);
+  }
+};
+
+TEST_P(AllocatorPropertyTest, AllocationsAreCapacityFeasible) {
+  const ProblemInstance p = draw_problem();
+  const Allocation alloc = allocate(p);
+  EXPECT_EQ(validate_allocation(p, alloc, false), "");
+}
+
+TEST_P(AllocatorPropertyTest, EveryVmIsPlacedWhenCapacityIsAmple) {
+  const ProblemInstance p = draw_problem();
+  const Allocation alloc = allocate(p);
+  EXPECT_EQ(alloc.num_unallocated(), 0u);
+}
+
+TEST_P(AllocatorPropertyTest, CostIsPositiveAndComponentsSum) {
+  const ProblemInstance p = draw_problem();
+  const Allocation alloc = allocate(p);
+  const CostReport report = evaluate_cost(p, alloc);
+  EXPECT_GT(report.total(), 0.0);
+  EXPECT_NEAR(report.breakdown.run + report.breakdown.idle +
+                  report.breakdown.transition,
+              report.total(), 1e-9);
+  Energy per_server_sum = 0.0;
+  for (Energy e : report.per_server) per_server_sum += e;
+  EXPECT_NEAR(per_server_sum, report.total(), 1e-6);
+}
+
+TEST_P(AllocatorPropertyTest, SimulatorConfirmsClosedFormCost) {
+  const ProblemInstance p = draw_problem();
+  const Allocation alloc = allocate(p);
+  const Energy analytic = evaluate_cost(p, alloc).total();
+  const Energy simulated = SimulationEngine(p, alloc).run().total_energy();
+  EXPECT_NEAR(simulated, analytic, 1e-6 * std::max(1.0, analytic));
+}
+
+TEST_P(AllocatorPropertyTest, IlpConstraintsHoldUnderDerivedStates) {
+  const ProblemInstance p = draw_problem();
+  const Allocation alloc = allocate(p);
+  if (!alloc.fully_allocated()) GTEST_SKIP();
+  const auto active = derive_active_sets(p, alloc);
+  EXPECT_EQ(check_constraints(p, alloc, active), "");
+}
+
+TEST_P(AllocatorPropertyTest, UtilizationStaysWithinPhysicalBounds) {
+  const ProblemInstance p = draw_problem();
+  const Allocation alloc = allocate(p);
+  const UtilizationStats stats = average_utilization(p, alloc);
+  EXPECT_GE(stats.avg_cpu, 0.0);
+  EXPECT_LE(stats.avg_cpu, 1.0 + 1e-9);
+  EXPECT_GE(stats.avg_mem, 0.0);
+  EXPECT_LE(stats.avg_mem, 1.0 + 1e-9);
+}
+
+TEST_P(AllocatorPropertyTest, LiteralEq17IsExactlyInitialAlphasCheaper) {
+  const ProblemInstance p = draw_problem();
+  const Allocation alloc = allocate(p);
+  const CostReport charged = evaluate_cost(p, alloc);
+  const CostReport literal = evaluate_cost(
+      p, alloc, CostOptions{.charge_initial_transition = false});
+  Energy expected_difference = 0.0;
+  for (int i : charged.used_servers)
+    expected_difference +=
+        p.servers[static_cast<std::size_t>(i)].transition_cost();
+  EXPECT_NEAR(charged.total() - literal.total(), expected_difference, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAllocatorsAcrossSeeds, AllocatorPropertyTest,
+    ::testing::Combine(::testing::Values("min-incremental", "ffps",
+                                         "ffps-noshuffle", "best-fit-cpu",
+                                         "random-fit", "lowest-idle-power"),
+                       ::testing::Range<std::uint64_t>(1, 6)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::string, std::uint64_t>>& param_info) {
+      std::string name = std::get<0>(param_info.param);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name + "_seed" + std::to_string(std::get<1>(param_info.param));
+    });
+
+// Cost-model algebra properties over random busy structures.
+class StructureCostProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StructureCostProperty, DeltaDecomposesSequencesOfInsertions) {
+  // Summing incremental deltas along any insertion order reproduces the
+  // final structure cost (telescoping), which is what makes greedy
+  // accounting in the allocator exact.
+  Rng rng(GetParam() * 7919);
+  const ServerSpec spec = testing::server(
+      0, 32, 64, rng.uniform_double(60, 200), rng.uniform_double(210, 400),
+      rng.uniform_double(0.1, 2.5));
+  IntervalSet busy;
+  Energy accumulated = 0.0;
+  for (int k = 0; k < 12; ++k) {
+    const Time lo = static_cast<Time>(rng.uniform_int(1, 120));
+    const Time hi = static_cast<Time>(
+        rng.uniform_int(lo, std::min<Time>(140, lo + 30)));
+    accumulated += structure_cost_delta(busy, lo, hi, spec);
+    busy.insert(lo, hi);
+  }
+  EXPECT_NEAR(accumulated, structure_cost(busy, spec), 1e-6);
+}
+
+TEST_P(StructureCostProperty, CostInvariantUnderInsertionOrder) {
+  // The structure cost depends only on the final busy set.
+  Rng rng(GetParam() * 104729);
+  const ServerSpec spec = testing::basic_server();
+  std::vector<Interval> intervals;
+  for (int k = 0; k < 8; ++k) {
+    const Time lo = static_cast<Time>(rng.uniform_int(1, 100));
+    intervals.push_back(Interval{
+        lo, static_cast<Time>(rng.uniform_int(lo, std::min<Time>(120, lo + 20)))});
+  }
+  IntervalSet forward;
+  for (const Interval& iv : intervals) forward.insert(iv.lo, iv.hi);
+  IntervalSet backward;
+  for (auto it = intervals.rbegin(); it != intervals.rend(); ++it)
+    backward.insert(it->lo, it->hi);
+  EXPECT_EQ(forward.intervals(), backward.intervals());
+  EXPECT_DOUBLE_EQ(structure_cost(forward, spec),
+                   structure_cost(backward, spec));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructureCostProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace esva

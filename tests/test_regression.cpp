@@ -1,0 +1,136 @@
+#include "stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace esva {
+namespace {
+
+TEST(FitLinear, RecoversExactLine) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 + 2.0 * x);
+  const Fit fit = fit_linear(xs, ys);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.a, 3.0, 1e-12);
+  EXPECT_NEAR(fit.b, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.adj_r2, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoisyDataHasHighButImperfectR2) {
+  Rng rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(1.0 + 0.5 * x + rng.uniform_double(-1, 1));
+  }
+  const Fit fit = fit_linear(xs, ys);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.b, 0.5, 0.05);
+  EXPECT_GT(fit.adj_r2, 0.95);
+  EXPECT_LT(fit.adj_r2, 1.0);
+}
+
+TEST(FitLinear, InvalidWithFewerThanTwoPoints) {
+  EXPECT_FALSE(fit_linear({}, {}).valid);
+  EXPECT_FALSE(fit_linear(std::vector<double>{1.0}, std::vector<double>{2.0}).valid);
+}
+
+TEST(FitLinear, InvalidWhenAllXIdentical) {
+  std::vector<double> xs{2, 2, 2};
+  std::vector<double> ys{1, 2, 3};
+  EXPECT_FALSE(fit_linear(xs, ys).valid);
+}
+
+TEST(FitLinear, AdjustedR2IsBelowR2ForImperfectFits) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6};
+  std::vector<double> ys{1.0, 2.2, 2.8, 4.1, 4.9, 6.2};
+  const Fit fit = fit_linear(xs, ys);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_LT(fit.adj_r2, fit.r2);
+}
+
+TEST(FitLogarithmic, RecoversExactLogCurve) {
+  std::vector<double> xs{0.5, 1, 2, 4, 8, 16};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(0.2 - 0.05 * std::log(x));
+  const Fit fit = fit_logarithmic(xs, ys);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.a, 0.2, 1e-12);
+  EXPECT_NEAR(fit.b, -0.05, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLogarithmic, RejectsNonPositiveX) {
+  std::vector<double> xs{0.0, 1, 2};
+  std::vector<double> ys{1, 2, 3};
+  EXPECT_FALSE(fit_logarithmic(xs, ys).valid);
+}
+
+TEST(FitExponential, RecoversExactExponential) {
+  std::vector<double> xs{0, 1, 2, 3, 4};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.0 * std::exp(-0.3 * x));
+  const Fit fit = fit_exponential(xs, ys);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.a, 2.0, 1e-9);
+  EXPECT_NEAR(fit.b, -0.3, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(FitExponential, RejectsNonPositiveY) {
+  std::vector<double> xs{1, 2, 3};
+  std::vector<double> ys{1.0, -0.5, 2.0};
+  EXPECT_FALSE(fit_exponential(xs, ys).valid);
+}
+
+TEST(FitPredict, EvaluatesEachModel) {
+  Fit linear{.model = FitModel::Linear, .a = 1.0, .b = 2.0, .valid = true};
+  EXPECT_DOUBLE_EQ(linear.predict(3.0), 7.0);
+  Fit logarithmic{
+      .model = FitModel::Logarithmic, .a = 1.0, .b = 2.0, .valid = true};
+  EXPECT_DOUBLE_EQ(logarithmic.predict(std::exp(1.0)), 3.0);
+  Fit exponential{
+      .model = FitModel::Exponential, .a = 2.0, .b = 1.0, .valid = true};
+  EXPECT_NEAR(exponential.predict(1.0), 2.0 * std::exp(1.0), 1e-12);
+}
+
+TEST(FitBest, PrefersTheGeneratingModel) {
+  std::vector<double> xs{1, 2, 4, 8, 16, 32};
+  std::vector<double> log_ys;
+  for (double x : xs) log_ys.push_back(0.1 + 0.04 * std::log(x));
+  EXPECT_EQ(fit_best(xs, log_ys).model, FitModel::Logarithmic);
+
+  std::vector<double> lin_ys;
+  for (double x : xs) lin_ys.push_back(0.1 + 0.04 * x);
+  EXPECT_EQ(fit_best(xs, lin_ys).model, FitModel::Linear);
+}
+
+TEST(FitToString, MentionsAdjR2) {
+  std::vector<double> xs{1, 2, 3};
+  std::vector<double> ys{2, 4, 6};
+  const Fit fit = fit_linear(xs, ys);
+  EXPECT_NE(fit.to_string().find("Adj.R2"), std::string::npos);
+  Fit invalid;
+  invalid.valid = false;
+  EXPECT_EQ(invalid.to_string(), "(no fit)");
+}
+
+TEST(FitConstantData, R2DefinedAsPerfect) {
+  // All y identical and predictions exact: R² = 1 by our convention.
+  std::vector<double> xs{1, 2, 3};
+  std::vector<double> ys{5, 5, 5};
+  const Fit fit = fit_linear(xs, ys);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.b, 0.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace esva

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "cluster/resources.h"
+#include "cluster/server_spec.h"
+#include "cluster/vm.h"
+#include "test_util.h"
+
+namespace esva {
+namespace {
+
+using testing::server;
+using testing::vm;
+
+TEST(Resources, Arithmetic) {
+  Resources a{2.0, 4.0};
+  Resources b{1.0, 1.5};
+  EXPECT_EQ(a + b, (Resources{3.0, 5.5}));
+  EXPECT_EQ(a - b, (Resources{1.0, 2.5}));
+  EXPECT_EQ(a * 2.0, (Resources{4.0, 8.0}));
+  a += b;
+  EXPECT_EQ(a, (Resources{3.0, 5.5}));
+  a -= b;
+  EXPECT_EQ(a, (Resources{2.0, 4.0}));
+}
+
+TEST(Resources, FitsWithinBothDimensions) {
+  Resources demand{2.0, 4.0};
+  EXPECT_TRUE(demand.fits_within({2.0, 4.0}));
+  EXPECT_TRUE(demand.fits_within({3.0, 5.0}));
+  EXPECT_FALSE(demand.fits_within({1.9, 5.0}));  // CPU too small
+  EXPECT_FALSE(demand.fits_within({3.0, 3.9}));  // memory too small
+}
+
+TEST(Resources, FitsWithinToleratesRoundoff) {
+  Resources demand{1.0 + 1e-12, 1.0};
+  EXPECT_TRUE(demand.fits_within({1.0, 1.0}));
+}
+
+TEST(Resources, NonNegative) {
+  EXPECT_TRUE((Resources{0.0, 0.0}).non_negative());
+  EXPECT_TRUE((Resources{1.0, 2.0}).non_negative());
+  EXPECT_FALSE((Resources{-1.0, 2.0}).non_negative());
+  EXPECT_FALSE((Resources{1.0, -0.5}).non_negative());
+}
+
+TEST(Resources, ToStringMentionsBothComponents) {
+  const std::string s = Resources{2.5, 7.25}.to_string();
+  EXPECT_NE(s.find("2.50"), std::string::npos);
+  EXPECT_NE(s.find("7.25"), std::string::npos);
+}
+
+TEST(VmSpec, DurationIsInclusive) {
+  EXPECT_EQ(vm(0, 5, 5).duration(), 1);
+  EXPECT_EQ(vm(0, 5, 9).duration(), 5);
+}
+
+TEST(VmSpec, Validity) {
+  EXPECT_TRUE(vm(0, 1, 1).valid());
+  EXPECT_FALSE(vm(0, 0, 3).valid());   // start < 1
+  EXPECT_FALSE(vm(0, 5, 4).valid());   // end < start
+  EXPECT_FALSE(vm(0, 1, 2, -1.0).valid());  // negative demand
+}
+
+TEST(HorizonOf, EmptyAndNonEmpty) {
+  EXPECT_EQ(horizon_of({}), 0);
+  EXPECT_EQ(horizon_of({vm(0, 1, 7), vm(1, 3, 12), vm(2, 2, 5)}), 12);
+}
+
+TEST(OrderByStart, SortsByStartThenEndThenId) {
+  std::vector<VmSpec> vms{vm(0, 5, 9), vm(1, 2, 10), vm(2, 5, 7),
+                          vm(3, 2, 10)};
+  const auto order = order_by_start(vms);
+  // start=2: ids 1,3 (same end, id order). start=5: end 7 (id 2) before 9.
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 3, 2, 0}));
+}
+
+TEST(ServerSpec, DerivedQuantities) {
+  const ServerSpec s = server(0, 10.0, 16.0, 100.0, 200.0, 1.5);
+  EXPECT_DOUBLE_EQ(s.unit_run_power(), 10.0);       // (200-100)/10
+  EXPECT_DOUBLE_EQ(s.transition_cost(), 300.0);     // 200 × 1.5
+  EXPECT_DOUBLE_EQ(s.power_at_load(0.0), 100.0);    // Eq. 1 at idle
+  EXPECT_DOUBLE_EQ(s.power_at_load(1.0), 200.0);    // Eq. 1 at peak
+  EXPECT_DOUBLE_EQ(s.power_at_load(0.5), 150.0);
+}
+
+TEST(ServerSpec, Validity) {
+  EXPECT_TRUE(server(0, 1, 1, 0, 0).valid());
+  EXPECT_FALSE(server(0, 0, 1, 10, 20).valid());   // zero CPU capacity
+  EXPECT_FALSE(server(0, 1, 1, 30, 20).valid());   // idle > peak
+  EXPECT_FALSE(server(0, 1, 1, -1, 20).valid());   // negative idle power
+  EXPECT_FALSE(server(0, 1, 1, 10, 20, -1).valid());  // negative transition
+}
+
+TEST(ServerSpec, DescribeMentionsKeyFields) {
+  const std::string text = describe(server(3, 16, 32, 105, 210, 1.0, "t1"));
+  EXPECT_NE(text.find("t1"), std::string::npos);
+  EXPECT_NE(text.find("#3"), std::string::npos);
+  EXPECT_NE(text.find("105.0"), std::string::npos);
+  EXPECT_NE(text.find("210.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace esva

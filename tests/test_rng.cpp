@@ -1,0 +1,187 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace esva {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234);
+  SplitMix64 b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() != b.next()) ++differing;
+  EXPECT_GE(differing, 60);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsProduceDifferentStreams) {
+  Rng a(42);
+  Rng b(43);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntStaysWithinBoundsAndHitsThem) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 4);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);  // all 8 values observed
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, UniformIntIsApproximatelyUniform) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 - n / 100);
+    EXPECT_LT(c, n / 10 + n / 100);
+  }
+}
+
+TEST(Rng, UniformDoubleRespectsBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_double(2.5, 7.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(Rng, ExponentialHasConfiguredMean) {
+  Rng rng(31);
+  const double mean = 50.0;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(mean);
+  // stderr of the mean of n exponentials is mean/sqrt(n) ≈ 0.11.
+  EXPECT_NEAR(sum / n, mean, 0.5);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ExponentialMedianMatchesTheory) {
+  Rng rng(41);
+  std::vector<double> xs;
+  const int n = 50001;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(rng.exponential(10.0));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  // Median of Exp(mean=10) is 10·ln 2 ≈ 6.93.
+  EXPECT_NEAR(xs[n / 2], 10.0 * std::log(2.0), 0.3);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(43);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, IndexCoversAllSlots) {
+  Rng rng(47);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.index(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ShuffleProducesAPermutation) {
+  Rng rng(53);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(59);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);
+}
+
+TEST(Rng, ShuffleIsSeedDeterministic) {
+  std::vector<int> a{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> b = a;
+  Rng r1(61);
+  Rng r2(61);
+  r1.shuffle(a);
+  r2.shuffle(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfParentContinuation) {
+  Rng parent(67);
+  Rng child = parent.split();
+  // The child should not replicate the parent's continuing stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next_u64() == child.next_u64()) ++same;
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng p1(71);
+  Rng p2(71);
+  Rng c1 = p1.split();
+  Rng c2 = p2.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+}  // namespace
+}  // namespace esva

@@ -1,0 +1,115 @@
+#include "workload/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace esva {
+namespace {
+
+TEST(Scenarios, DefaultMatchesPaperSettings) {
+  const Scenario s = default_scenario(200, 4.0);
+  EXPECT_EQ(s.workload.num_vms, 200);
+  EXPECT_DOUBLE_EQ(s.workload.mean_interarrival, 4.0);
+  EXPECT_DOUBLE_EQ(s.workload.mean_duration, 50.0);  // §IV-C default
+  EXPECT_EQ(s.workload.vm_types.size(), 9u);         // all Table I types
+  EXPECT_EQ(s.server_types.size(), 5u);              // all Table II types
+  EXPECT_EQ(s.num_servers, 100);                     // VMs / 2
+  EXPECT_DOUBLE_EQ(s.transition_time, 1.0);          // §IV-C default
+}
+
+TEST(Scenarios, Fig5VariesTransitionTime) {
+  const Scenario s = fig5_scenario(4.0, 3.0);
+  EXPECT_EQ(s.workload.num_vms, 100);  // §IV-D: 100 VMs on 50 servers
+  EXPECT_EQ(s.num_servers, 50);
+  EXPECT_DOUBLE_EQ(s.transition_time, 3.0);
+}
+
+TEST(Scenarios, Fig6VariesMeanLength) {
+  const Scenario s = fig6_scenario(2.0, 20.0);
+  EXPECT_EQ(s.workload.num_vms, 100);
+  EXPECT_EQ(s.num_servers, 50);
+  EXPECT_DOUBLE_EQ(s.workload.mean_duration, 20.0);
+  EXPECT_DOUBLE_EQ(s.transition_time, 1.0);
+}
+
+TEST(Scenarios, Fig7UsesStandardVmsAndSelectedServers) {
+  const Scenario types13 = fig7_scenario(300, 2.0, false);
+  EXPECT_EQ(types13.workload.vm_types.size(), 4u);  // standard only
+  EXPECT_EQ(types13.server_types.size(), 3u);       // types 1-3
+  EXPECT_EQ(types13.server_types.back().name, "server-type-3");
+
+  const Scenario all = fig7_scenario(300, 2.0, true);
+  EXPECT_EQ(all.server_types.size(), 5u);
+  EXPECT_NE(all.name, types13.name);
+}
+
+TEST(Scenarios, InstantiateProducesValidProblem) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Rng rng(seed);
+    const Scenario s = fig2_scenario(100, 2.0);
+    const ProblemInstance p = s.instantiate(rng);
+    EXPECT_EQ(p.num_vms(), 100u);
+    EXPECT_EQ(p.num_servers(), 50u);
+    EXPECT_EQ(validate_problem(p), "");
+    EXPECT_GT(p.horizon, 0);
+  }
+}
+
+TEST(Scenarios, InstantiateIsSeedDeterministic) {
+  const Scenario s = fig2_scenario(80, 1.0);
+  Rng a(9);
+  Rng b(9);
+  const ProblemInstance pa = s.instantiate(a);
+  const ProblemInstance pb = s.instantiate(b);
+  ASSERT_EQ(pa.num_vms(), pb.num_vms());
+  for (std::size_t j = 0; j < pa.num_vms(); ++j) {
+    EXPECT_EQ(pa.vms[j].start, pb.vms[j].start);
+    EXPECT_EQ(pa.vms[j].type_name, pb.vms[j].type_name);
+  }
+  for (std::size_t i = 0; i < pa.num_servers(); ++i)
+    EXPECT_EQ(pa.servers[i].type_name, pb.servers[i].type_name);
+}
+
+TEST(Scenarios, Fig7FleetOnlyUsesRequestedTypes) {
+  Rng rng(4);
+  const ProblemInstance p = fig7_scenario(100, 2.0, false).instantiate(rng);
+  std::set<std::string> names;
+  for (const ServerSpec& s : p.servers) names.insert(s.type_name);
+  for (const std::string& name : names)
+    EXPECT_TRUE(name == "server-type-1" || name == "server-type-2" ||
+                name == "server-type-3")
+        << name;
+}
+
+TEST(Scenarios, SweepsMatchPaperAxes) {
+  EXPECT_EQ(interarrival_sweep().front(), 0.5);
+  EXPECT_EQ(interarrival_sweep().back(), 10.0);
+  EXPECT_EQ(vm_count_sweep(),
+            (std::vector<int>{100, 200, 300, 400, 500}));
+}
+
+TEST(Scenarios, MixedTransitionsDrawPerServerTimes) {
+  Rng rng(8);
+  const Scenario s = mixed_transition_scenario(100, 2.0);
+  const ProblemInstance p = s.instantiate(rng);
+  std::set<double> distinct;
+  for (const ServerSpec& server : p.servers) {
+    EXPECT_GE(server.transition_time, 0.5);
+    EXPECT_LE(server.transition_time, 3.0);
+    distinct.insert(server.transition_time);
+  }
+  EXPECT_GT(distinct.size(), 10u);  // genuinely heterogeneous
+}
+
+TEST(Scenarios, TransitionTimePropagatesToEveryServer) {
+  Rng rng(5);
+  const ProblemInstance p = fig5_scenario(2.0, 0.5).instantiate(rng);
+  for (const ServerSpec& s : p.servers) {
+    EXPECT_DOUBLE_EQ(s.transition_time, 0.5);
+    EXPECT_DOUBLE_EQ(s.transition_cost(), s.p_peak * 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace esva

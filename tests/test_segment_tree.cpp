@@ -1,0 +1,106 @@
+#include "util/segment_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace esva {
+namespace {
+
+TEST(RangeAddMaxTree, EmptyTree) {
+  RangeAddMaxTree tree(0);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.max_all(), 0.0);
+}
+
+TEST(RangeAddMaxTree, SingleElement) {
+  RangeAddMaxTree tree(1);
+  EXPECT_EQ(tree.max(0, 0), 0.0);
+  tree.add(0, 0, 3.5);
+  EXPECT_EQ(tree.max(0, 0), 3.5);
+  tree.add(0, 0, -1.0);
+  EXPECT_EQ(tree.max(0, 0), 2.5);
+  EXPECT_EQ(tree.max_all(), 2.5);
+}
+
+TEST(RangeAddMaxTree, InitiallyAllZero) {
+  RangeAddMaxTree tree(16);
+  EXPECT_EQ(tree.max(0, 15), 0.0);
+  EXPECT_EQ(tree.max(3, 7), 0.0);
+}
+
+TEST(RangeAddMaxTree, DisjointRangeAdds) {
+  RangeAddMaxTree tree(10);
+  tree.add(0, 4, 1.0);
+  tree.add(5, 9, 2.0);
+  EXPECT_EQ(tree.max(0, 4), 1.0);
+  EXPECT_EQ(tree.max(5, 9), 2.0);
+  EXPECT_EQ(tree.max(0, 9), 2.0);
+  EXPECT_EQ(tree.max(4, 5), 2.0);
+}
+
+TEST(RangeAddMaxTree, OverlappingAddsAccumulate) {
+  RangeAddMaxTree tree(10);
+  tree.add(0, 6, 1.0);
+  tree.add(4, 9, 1.0);
+  EXPECT_EQ(tree.max(0, 3), 1.0);
+  EXPECT_EQ(tree.max(4, 6), 2.0);
+  EXPECT_EQ(tree.max(7, 9), 1.0);
+  EXPECT_EQ(tree.max_all(), 2.0);
+}
+
+TEST(RangeAddMaxTree, NegativeDeltasRelease) {
+  RangeAddMaxTree tree(8);
+  tree.add(0, 7, 5.0);
+  tree.add(2, 5, -5.0);
+  EXPECT_EQ(tree.max(2, 5), 0.0);
+  EXPECT_EQ(tree.max(0, 7), 5.0);
+}
+
+TEST(RangeAddMaxTree, QueryDoesNotMutate) {
+  RangeAddMaxTree tree(8);
+  tree.add(1, 6, 2.0);
+  const double first = tree.max(0, 7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(tree.max(0, 7), first);
+}
+
+TEST(RangeAddMaxTree, NonPowerOfTwoSize) {
+  RangeAddMaxTree tree(13);
+  tree.add(12, 12, 7.0);
+  EXPECT_EQ(tree.max(12, 12), 7.0);
+  EXPECT_EQ(tree.max(0, 11), 0.0);
+  EXPECT_EQ(tree.max_all(), 7.0);
+}
+
+// Property: behaves identically to a plain array under random operations.
+TEST(RangeAddMaxTreeProperty, MatchesNaiveArray) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 200));
+    RangeAddMaxTree tree(n);
+    std::vector<double> naive(n, 0.0);
+    for (int op = 0; op < 200; ++op) {
+      const auto lo = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      const auto hi = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(n) - 1));
+      if (rng.bernoulli(0.6)) {
+        const double delta = rng.uniform_double(-5.0, 10.0);
+        tree.add(lo, hi, delta);
+        for (std::size_t k = lo; k <= hi; ++k) naive[k] += delta;
+      } else {
+        const double expected = *std::max_element(naive.begin() + static_cast<std::ptrdiff_t>(lo),
+                                                  naive.begin() + static_cast<std::ptrdiff_t>(hi) + 1);
+        ASSERT_NEAR(tree.max(lo, hi), expected, 1e-9)
+            << "trial " << trial << " op " << op;
+      }
+    }
+    ASSERT_NEAR(tree.max_all(), *std::max_element(naive.begin(), naive.end()),
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace esva

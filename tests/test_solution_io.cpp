@@ -1,0 +1,154 @@
+#include "ilp/solution_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ilp/model.h"
+#include "ilp/validate.h"
+#include "test_util.h"
+
+namespace esva {
+namespace {
+
+using testing::basic_server;
+using testing::vm;
+
+ProblemInstance small_problem() {
+  return make_problem({vm(0, 1, 3, 2.0, 1.0), vm(1, 4, 6, 3.0, 2.0)},
+                      {basic_server(0), basic_server(1)});
+}
+
+TEST(SolutionIo, ParsesPlainNameValuePairs) {
+  std::istringstream in(
+      "x_0_0 1\n"
+      "x_1_1 1\n"
+      "y_0_1 1\n"
+      "z_0_1 1\n");
+  const SolverSolution solution = read_solution(in);
+  EXPECT_EQ(solution.values.size(), 4u);
+  EXPECT_DOUBLE_EQ(solution.values.at("x_0_0"), 1.0);
+  EXPECT_FALSE(solution.has_objective);
+}
+
+TEST(SolutionIo, ParsesHighsStyleWithBanner) {
+  std::istringstream in(
+      "Model status\n"
+      "Optimal\n"
+      "\n"
+      "# Primal solution values\n"
+      "Feasible\n"
+      "Objective 1234.5\n"
+      "# Columns 4\n"
+      "x_0_0 1\n"
+      "x_1_1 0.9999999\n"
+      "y_0_2 1\n");
+  const SolverSolution solution = read_solution(in);
+  EXPECT_TRUE(solution.has_objective);
+  EXPECT_DOUBLE_EQ(solution.objective, 1234.5);
+  EXPECT_DOUBLE_EQ(solution.values.at("x_1_1"), 0.9999999);
+}
+
+TEST(SolutionIo, ParsesCbcStyleIndexedRows) {
+  std::istringstream in(
+      "Optimal - objective value 987.0\n"
+      "0 x_0_0 1 0\n"
+      "7 y_1_3 1 0\n");
+  const SolverSolution solution = read_solution(in);
+  EXPECT_DOUBLE_EQ(solution.values.at("x_0_0"), 1.0);
+  EXPECT_DOUBLE_EQ(solution.values.at("y_1_3"), 1.0);
+}
+
+TEST(SolutionIo, ParsesObjectiveValueColonForm) {
+  std::istringstream in("Objective value: 42.25\n");
+  const SolverSolution solution = read_solution(in);
+  EXPECT_TRUE(solution.has_objective);
+  EXPECT_DOUBLE_EQ(solution.objective, 42.25);
+}
+
+TEST(SolutionIo, SkipsUnrecognizedLines)
+{
+  std::istringstream in(
+      "this is a banner\n"
+      "status: optimal\n"
+      "x_0_0 1\n");
+  EXPECT_EQ(read_solution(in).values.size(), 1u);
+}
+
+TEST(SolutionIo, AllocationFromSolution) {
+  const ProblemInstance p = small_problem();
+  std::istringstream in(
+      "x_0_0 1\n"
+      "x_1_1 1\n"
+      "x_0_1 0\n");
+  const SolverSolution solution = read_solution(in);
+  const Allocation alloc = allocation_from_solution(solution, p);
+  EXPECT_EQ(alloc.assignment, (std::vector<ServerId>{0, 1}));
+  EXPECT_EQ(validate_allocation(p, alloc), "");
+}
+
+TEST(SolutionIo, FractionalBelowHalfIsNotChosen) {
+  const ProblemInstance p = small_problem();
+  std::istringstream in(
+      "x_0_0 0.4\n"
+      "x_1_0 0.6\n"
+      "x_0_1 1\n");
+  const Allocation alloc =
+      allocation_from_solution(read_solution(in), p);
+  EXPECT_EQ(alloc.assignment[0], 1);
+  EXPECT_EQ(alloc.assignment[1], 0);
+}
+
+TEST(SolutionIo, MissingAssignmentBecomesNoServer) {
+  const ProblemInstance p = small_problem();
+  std::istringstream in("x_0_0 1\n");
+  const Allocation alloc =
+      allocation_from_solution(read_solution(in), p);
+  EXPECT_EQ(alloc.assignment[1], kNoServer);
+}
+
+TEST(SolutionIo, DuplicateAssignmentThrows) {
+  const ProblemInstance p = small_problem();
+  std::istringstream in(
+      "x_0_0 1\n"
+      "x_1_0 1\n");
+  EXPECT_THROW(allocation_from_solution(read_solution(in), p),
+               std::runtime_error);
+}
+
+TEST(SolutionIo, OutOfRangeVariableThrows) {
+  const ProblemInstance p = small_problem();
+  std::istringstream in("x_9_0 1\n");
+  EXPECT_THROW(allocation_from_solution(read_solution(in), p),
+               std::runtime_error);
+}
+
+TEST(SolutionIo, RoundTripWithModelAndValidator) {
+  // Write out the solution our own exact machinery would produce, parse it
+  // back, and verify the allocation and objective agree.
+  const ProblemInstance p = small_problem();
+  Allocation alloc;
+  alloc.assignment = {0, 0};
+  const auto active = derive_active_sets(p, alloc);
+  const IlpModel model = build_ilp(p);
+  const auto values = to_variable_assignment(model, p, alloc, active);
+
+  std::ostringstream out;
+  out << "Objective " << model.objective_value(values) << "\n";
+  for (std::size_t v = 0; v < values.size(); ++v)
+    if (values[v] != 0.0) out << model.var_name(v) << ' ' << values[v] << '\n';
+
+  std::istringstream in(out.str());
+  const SolverSolution solution = read_solution(in);
+  const Allocation parsed = allocation_from_solution(solution, p);
+  EXPECT_EQ(parsed.assignment, alloc.assignment);
+  ASSERT_TRUE(solution.has_objective);
+  EXPECT_NEAR(solution.objective, evaluate_cost(p, alloc).total(), 1e-6);
+}
+
+TEST(SolutionIo, MissingFileThrows) {
+  EXPECT_THROW(load_solution("/nonexistent/path.sol"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace esva

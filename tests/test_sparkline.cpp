@@ -1,0 +1,66 @@
+#include "util/sparkline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace esva {
+namespace {
+
+// Each block glyph is 3 UTF-8 bytes.
+std::size_t glyph_count(const std::string& s) {
+  std::size_t count = 0;
+  for (char c : s)
+    if ((c & 0xC0) != 0x80) ++count;  // count non-continuation bytes
+  return count;
+}
+
+TEST(Sparkline, EmptyInput) { EXPECT_EQ(sparkline({}), ""); }
+
+TEST(Sparkline, OneGlyphPerValue) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_EQ(glyph_count(sparkline(xs)), 5u);
+}
+
+TEST(Sparkline, MinGetsLowestBlockMaxGetsHighest) {
+  const std::vector<double> xs{0.0, 10.0};
+  const std::string s = sparkline(xs);
+  EXPECT_EQ(s, "▁█");
+}
+
+TEST(Sparkline, MonotoneSeriesRendersMonotoneBlocks) {
+  const std::vector<double> xs{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(sparkline(xs), "▁▂▃▄▅▆▇█");
+}
+
+TEST(Sparkline, ConstantSeriesUsesMidHeight) {
+  const std::vector<double> xs{5, 5, 5};
+  EXPECT_EQ(sparkline(xs), "▄▄▄");
+}
+
+TEST(Sparkline, NonFiniteValuesRenderAsSpaces) {
+  const std::vector<double> xs{1.0, NAN, 3.0};
+  const std::string s = sparkline(xs);
+  EXPECT_NE(s.find(' '), std::string::npos);
+  EXPECT_EQ(glyph_count(s), 3u);
+}
+
+TEST(Sparkline, DownsamplingCapsWidth) {
+  std::vector<double> xs(1000);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = static_cast<double>(i);
+  const std::string s = sparkline(xs, 40);
+  EXPECT_EQ(glyph_count(s), 40u);
+  // Monotone input stays monotone after bucket-mean downsampling.
+  EXPECT_EQ(s.substr(0, 3), "▁");
+  EXPECT_EQ(s.substr(s.size() - 3), "█");
+}
+
+TEST(Sparkline, NoDownsamplingWhenAlreadyNarrow) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_EQ(sparkline(xs, 40), sparkline(xs));
+}
+
+}  // namespace
+}  // namespace esva

@@ -1,0 +1,110 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace esva {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.stderr_mean(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_EQ(acc.mean(), 5.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 5.0);
+  EXPECT_EQ(acc.max(), 5.0);
+}
+
+TEST(Accumulator, KnownSample) {
+  // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population var 4, sample var 32/7.
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, StderrShrinksWithSqrtN) {
+  Accumulator small;
+  Accumulator large;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) small.add(rng.next_double());
+  for (int i = 0; i < 10000; ++i) large.add(rng.next_double());
+  EXPECT_GT(small.stderr_mean(), large.stderr_mean() * 5);
+}
+
+TEST(Accumulator, NumericallyStableOnLargeOffsets) {
+  Accumulator acc;
+  const double offset = 1e9;
+  for (double x : {offset + 1, offset + 2, offset + 3}) acc.add(x);
+  EXPECT_NEAR(acc.mean(), offset + 2, 1e-3);
+  EXPECT_NEAR(acc.variance(), 1.0, 1e-6);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Rng rng(9);
+  Accumulator whole;
+  Accumulator part1;
+  Accumulator part2;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform_double(-10, 10);
+    whole.add(x);
+    (i < 200 ? part1 : part2).add(x);
+  }
+  part1.merge(part2);
+  EXPECT_EQ(part1.count(), whole.count());
+  EXPECT_NEAR(part1.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(part1.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(part1.min(), whole.min());
+  EXPECT_EQ(part1.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides) {
+  Accumulator a;
+  Accumulator b;
+  b.add(3.0);
+  b.add(5.0);
+  a.merge(b);  // empty.merge(nonempty)
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  Accumulator c;
+  a.merge(c);  // nonempty.merge(empty)
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+}
+
+TEST(Summarize, EmptySpan) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, FullStatistics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(s.ci95_halfwidth, 1.96 * s.stderr_mean, 1e-12);
+}
+
+}  // namespace
+}  // namespace esva

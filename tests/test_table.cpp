@@ -1,0 +1,87 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace esva {
+namespace {
+
+TEST(TextTable, EmptyRendersNothing) {
+  TextTable table;
+  EXPECT_EQ(table.render(), "");
+}
+
+TEST(TextTable, HeaderAndRule) {
+  TextTable table;
+  table.set_header({"name", "value"});
+  table.add_row({"x", "1"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlignAcrossRows) {
+  TextTable table;
+  table.set_header({"k", "v"});
+  table.add_row({"short", "1"});
+  table.add_row({"a-much-longer-key", "22"});
+  const std::string out = table.render();
+  // Every line should have the same position for the second column's end:
+  // right-aligned numbers end at identical offsets.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    lines.push_back(out.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);
+  const std::size_t width = lines[0].size();
+  for (const auto& line : lines) EXPECT_EQ(line.size(), width);
+}
+
+TEST(TextTable, DefaultAlignmentLeftThenRight) {
+  TextTable table;
+  table.set_header({"name", "num"});
+  table.add_row({"a", "5"});
+  table.add_row({"bb", "55"});
+  const std::string out = table.render();
+  // "a" is left-aligned then padded to the header width (4), followed by the
+  // 2-space separator and "5" right-aligned in a width-3 column.
+  EXPECT_NE(out.find("a       5"), std::string::npos) << out;  // 3+2+2 pad
+}
+
+TEST(TextTable, ExplicitAlignment) {
+  TextTable table;
+  table.set_header({"n1", "n2"});
+  table.set_align({TextTable::Align::Right, TextTable::Align::Left});
+  table.add_row({"7", "x"});
+  table.add_row({"77", "xx"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find(" 7  x"), std::string::npos) << out;
+}
+
+TEST(TextTable, RowsWithoutHeader) {
+  TextTable table;
+  table.add_row({"a", "b"});
+  table.add_row({"c", "d"});
+  const std::string out = table.render();
+  EXPECT_EQ(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt_double(-1.0, 1), "-1.0");
+}
+
+TEST(FmtPercent, ScalesAndSuffixes) {
+  EXPECT_EQ(fmt_percent(0.1234), "12.34%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+  EXPECT_EQ(fmt_percent(-0.05, 1), "-5.0%");
+}
+
+}  // namespace
+}  // namespace esva

@@ -1,0 +1,137 @@
+#include "cluster/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace esva {
+namespace {
+
+using testing::basic_server;
+using testing::vm;
+
+TEST(ServerTimeline, EmptyTimelineFitsAnythingWithinCapacity) {
+  ServerTimeline timeline(basic_server(), 100);
+  EXPECT_TRUE(timeline.can_fit(vm(0, 1, 100, 10.0, 10.0)));   // exactly full
+  EXPECT_FALSE(timeline.can_fit(vm(0, 1, 10, 10.1, 1.0)));    // CPU over
+  EXPECT_FALSE(timeline.can_fit(vm(0, 1, 10, 1.0, 10.1)));    // memory over
+}
+
+TEST(ServerTimeline, VmBeyondHorizonDoesNotFit) {
+  ServerTimeline timeline(basic_server(), 50);
+  EXPECT_TRUE(timeline.can_fit(vm(0, 45, 50)));
+  EXPECT_FALSE(timeline.can_fit(vm(0, 45, 51)));
+}
+
+TEST(ServerTimeline, CapacityIsPerTimeUnitNotAggregate) {
+  ServerTimeline timeline(basic_server(), 100);
+  timeline.place(vm(0, 1, 50, 6.0, 1.0));
+  // Overlapping VM needing 6 CPU doesn't fit (6+6 > 10)...
+  EXPECT_FALSE(timeline.can_fit(vm(1, 25, 75, 6.0, 1.0)));
+  // ...but the same VM after the first one finishes does.
+  EXPECT_TRUE(timeline.can_fit(vm(1, 51, 100, 6.0, 1.0)));
+  // And a smaller overlapping VM fits.
+  EXPECT_TRUE(timeline.can_fit(vm(1, 25, 75, 4.0, 1.0)));
+}
+
+TEST(ServerTimeline, MemoryDimensionIsCheckedIndependently) {
+  ServerTimeline timeline(basic_server(), 100);
+  timeline.place(vm(0, 1, 50, 1.0, 9.0));
+  EXPECT_FALSE(timeline.can_fit(vm(1, 50, 60, 1.0, 2.0)));  // mem clash at t=50
+  EXPECT_TRUE(timeline.can_fit(vm(1, 51, 60, 1.0, 2.0)));
+}
+
+TEST(ServerTimeline, PlaceUpdatesBusyAndUsage) {
+  ServerTimeline timeline(basic_server(), 100);
+  timeline.place(vm(0, 10, 20, 3.0, 2.0));
+  timeline.place(vm(1, 15, 30, 2.0, 1.0));
+  EXPECT_EQ(timeline.busy().intervals().size(), 1u);
+  EXPECT_EQ(timeline.busy().intervals()[0], (Interval{10, 30}));
+  EXPECT_DOUBLE_EQ(timeline.cpu_usage_at(12), 3.0);
+  EXPECT_DOUBLE_EQ(timeline.cpu_usage_at(17), 5.0);
+  EXPECT_DOUBLE_EQ(timeline.cpu_usage_at(25), 2.0);
+  EXPECT_DOUBLE_EQ(timeline.cpu_usage_at(31), 0.0);
+  EXPECT_DOUBLE_EQ(timeline.mem_usage_at(17), 3.0);
+  EXPECT_EQ(timeline.busy_time(), 21);
+  EXPECT_EQ(timeline.vms(), (std::vector<VmId>{0, 1}));
+}
+
+TEST(ServerTimeline, DisjointVmsKeepSeparateBusySegments) {
+  ServerTimeline timeline(basic_server(), 100);
+  timeline.place(vm(0, 1, 5));
+  timeline.place(vm(1, 10, 15));
+  EXPECT_EQ(timeline.busy().size(), 2u);
+  EXPECT_EQ(timeline.busy().gaps(),
+            (std::vector<Interval>{{6, 9}}));
+}
+
+TEST(ServerTimeline, UndoRestoresEverything) {
+  ServerTimeline timeline(basic_server(), 100);
+  timeline.place(vm(0, 10, 20, 3.0, 2.0));
+  const auto busy_before = timeline.busy().intervals();
+  const double cpu_before = timeline.max_cpu_usage(1, 100);
+
+  const VmSpec second = vm(1, 15, 40, 2.0, 1.0);
+  const auto record = timeline.place(second);
+  timeline.undo(record, second);
+
+  EXPECT_EQ(timeline.busy().intervals(), busy_before);
+  EXPECT_DOUBLE_EQ(timeline.max_cpu_usage(1, 100), cpu_before);
+  EXPECT_DOUBLE_EQ(timeline.max_mem_usage(21, 100), 0.0);
+  EXPECT_EQ(timeline.vms(), (std::vector<VmId>{0}));
+}
+
+TEST(ServerTimeline, UndoRestoresMergedSegments) {
+  ServerTimeline timeline(basic_server(), 100);
+  timeline.place(vm(0, 1, 5));
+  timeline.place(vm(1, 10, 15));
+  // Bridge the two segments, then undo the bridge.
+  const VmSpec bridge = vm(2, 4, 12);
+  const auto record = timeline.place(bridge);
+  EXPECT_EQ(timeline.busy().size(), 1u);
+  timeline.undo(record, bridge);
+  EXPECT_EQ(timeline.busy().intervals(),
+            (std::vector<Interval>{{1, 5}, {10, 15}}));
+}
+
+TEST(ServerTimeline, LifoUndoPropertyOnRandomPlacements) {
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    ServerTimeline timeline(basic_server(), 200);
+    // A couple of permanent residents.
+    timeline.place(vm(0, 20, 60, 1.0, 1.0));
+    timeline.place(vm(1, 100, 130, 2.0, 2.0));
+    const auto busy_before = timeline.busy().intervals();
+
+    // Place a random stack of VMs, then unwind it.
+    std::vector<std::pair<ServerTimeline::PlaceRecord, VmSpec>> stack;
+    const int pushes = static_cast<int>(rng.uniform_int(1, 6));
+    for (int k = 0; k < pushes; ++k) {
+      const Time start = static_cast<Time>(rng.uniform_int(1, 180));
+      const Time end = static_cast<Time>(
+          rng.uniform_int(start, std::min<Time>(200, start + 40)));
+      const VmSpec extra = vm(10 + k, start, end, 0.5, 0.5);
+      if (!timeline.can_fit(extra)) continue;
+      stack.emplace_back(timeline.place(extra), extra);
+    }
+    while (!stack.empty()) {
+      timeline.undo(stack.back().first, stack.back().second);
+      stack.pop_back();
+    }
+    ASSERT_EQ(timeline.busy().intervals(), busy_before) << "trial " << trial;
+    ASSERT_DOUBLE_EQ(timeline.max_cpu_usage(1, 19), 0.0);
+    ASSERT_DOUBLE_EQ(timeline.max_cpu_usage(61, 99), 0.0);
+  }
+}
+
+TEST(MakeTimelines, OnePerServer) {
+  std::vector<ServerSpec> servers{basic_server(0), basic_server(1)};
+  const auto timelines = make_timelines(servers, 42);
+  ASSERT_EQ(timelines.size(), 2u);
+  EXPECT_EQ(timelines[0].horizon(), 42);
+  EXPECT_EQ(timelines[1].spec().id, 1);
+}
+
+}  // namespace
+}  // namespace esva

@@ -1,0 +1,10 @@
+// Entry point of the `esva` command-line tool; all logic lives in
+// src/app/commands.{h,cpp} so it can be unit tested.
+
+#include <iostream>
+
+#include "app/commands.h"
+
+int main(int argc, char** argv) {
+  return esva::app::esva_main(argc, argv, std::cout, std::cerr);
+}
