@@ -1,14 +1,41 @@
-// P1 — google-benchmark microbenchmarks: allocator throughput at paper scale,
-// plus the hot primitives (feasibility probe, incremental cost delta).
-// These are the numbers behind the "O(m·n·log T)" complexity claim in
-// core/min_incremental.h.
+// P1 — allocator performance harness with a machine-readable artifact.
+//
+// Two modes:
+//   * default          — measures the paper-scale allocators, checks the
+//                        zero-overhead contract of the observability layer
+//                        (obs/), and writes BENCH_perf.json so the perf
+//                        trajectory accumulates across PRs. Exits nonzero if
+//                        allocation with a *null* TraceSink is more than
+//                        --overhead-budget (default 5%) slower than the
+//                        uninstrumented reference loop.
+//   * --gbench         — additionally runs the google-benchmark
+//                        microbenchmarks (hot primitives: feasibility probe,
+//                        incremental cost delta), forwarding --benchmark_*
+//                        flags.
+//
+// The uninstrumented reference is a verbatim copy of the pre-observability
+// MinIncrementalAllocator::allocate loop: same timelines, same cost calls, no
+// obs hook — the honest "what did instrumentation cost us" baseline.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "baselines/registry.h"
 #include "cluster/timeline.h"
 #include "core/cost_model.h"
+#include "core/min_incremental.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/metrics.h"
+#include "util/cli.h"
 #include "workload/scenarios.h"
 
 namespace {
@@ -19,6 +46,10 @@ ProblemInstance instance_for(int num_vms, std::uint64_t seed) {
   Rng rng(seed);
   return fig2_scenario(num_vms, 2.0).instantiate(rng);
 }
+
+// ---------------------------------------------------------------------------
+// google-benchmark microbenchmarks (run with --gbench)
+// ---------------------------------------------------------------------------
 
 void BM_Allocator(benchmark::State& state, const std::string& name) {
   const ProblemInstance problem =
@@ -96,6 +127,222 @@ void BM_IncrementalCostDelta(benchmark::State& state) {
                           static_cast<std::int64_t>(timelines.size()));
 }
 
+// ---------------------------------------------------------------------------
+// Overhead guard + BENCH_perf.json
+// ---------------------------------------------------------------------------
+
+/// Verbatim copy of MinIncrementalAllocator::allocate as it existed before
+/// the observability hook: the reference the null-sink path is held to.
+Allocation allocate_uninstrumented(const ProblemInstance& problem) {
+  Allocation alloc;
+  alloc.assignment.assign(problem.num_vms(), kNoServer);
+  std::vector<ServerTimeline> timelines =
+      make_timelines(problem.servers, problem.horizon);
+  for (std::size_t j : ordered_indices(problem, VmOrder::ByStartTime)) {
+    const VmSpec& vm = problem.vms[j];
+    ServerId best_server = kNoServer;
+    Energy best_delta = kInf;
+    for (std::size_t i = 0; i < timelines.size(); ++i) {
+      if (!timelines[i].can_fit(vm)) continue;
+      const Energy delta = incremental_cost(timelines[i], vm);
+      if (delta < best_delta) {
+        best_delta = delta;
+        best_server = static_cast<ServerId>(i);
+      }
+    }
+    if (best_server == kNoServer) continue;
+    timelines[static_cast<std::size_t>(best_server)].place(vm);
+    alloc.assignment[j] = best_server;
+  }
+  return alloc;
+}
+
+double time_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+std::string json_array(const std::vector<double>& xs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", xs[i]);
+    out += (i ? std::string(", ") : std::string()) + buf;
+  }
+  return out + "]";
+}
+
+struct OverheadReport {
+  int num_vms = 0;
+  std::vector<double> uninstrumented_ms;
+  std::vector<double> null_sink_ms;
+  std::vector<double> traced_ms;
+  double overhead = 0.0;  ///< median(null_sink)/median(uninstrumented) - 1
+  bool assignments_match = false;
+  std::size_t trace_records = 0;
+};
+
+OverheadReport measure_overhead(int num_vms, int reps) {
+  OverheadReport report;
+  report.num_vms = num_vms;
+  const ProblemInstance problem = instance_for(num_vms, 42);
+
+  Allocation reference;
+  Allocation instrumented;
+  // Warm-up (touches every timeline allocation path once), then alternate
+  // the variants so drift (thermal, frequency scaling) hits both equally.
+  (void)allocate_uninstrumented(problem);
+  for (int rep = 0; rep < reps; ++rep) {
+    report.uninstrumented_ms.push_back(
+        time_ms([&] { reference = allocate_uninstrumented(problem); }));
+    report.null_sink_ms.push_back(time_ms([&] {
+      MinIncrementalAllocator allocator;
+      Rng rng(7);
+      instrumented = allocator.allocate(problem, rng);
+    }));
+  }
+  report.assignments_match =
+      reference.assignment == instrumented.assignment;
+
+  // Informational: the cost of a *live* trace (memory sink + registry).
+  MemoryTraceSink sink;
+  MetricsRegistry registry;
+  for (int rep = 0; rep < std::max(1, reps / 2); ++rep) {
+    sink.clear();
+    report.traced_ms.push_back(time_ms([&] {
+      MinIncrementalAllocator allocator;
+      ObsContext obs;
+      obs.trace = &sink;
+      obs.metrics = &registry;
+      allocator.set_observability(obs);
+      Rng rng(7);
+      Allocation alloc = allocator.allocate(problem, rng);
+      benchmark::DoNotOptimize(alloc.assignment.data());
+    }));
+  }
+  report.trace_records = sink.size();
+
+  report.overhead =
+      median(report.null_sink_ms) / median(report.uninstrumented_ms) - 1.0;
+  return report;
+}
+
+struct AllocatorPoint {
+  std::string name;
+  int num_vms = 0;
+  double median_ms = 0.0;
+  double vms_per_sec = 0.0;
+};
+
+AllocatorPoint measure_allocator(const std::string& name, int num_vms,
+                                 int reps) {
+  AllocatorPoint point;
+  point.name = name;
+  point.num_vms = num_vms;
+  const ProblemInstance problem = instance_for(num_vms, 42);
+  std::vector<double> times;
+  for (int rep = 0; rep < reps; ++rep) {
+    times.push_back(time_ms([&] {
+      Rng rng(7);
+      Allocation alloc = make_allocator(name)->allocate(problem, rng);
+      benchmark::DoNotOptimize(alloc.assignment.data());
+    }));
+  }
+  point.median_ms = median(times);
+  point.vms_per_sec =
+      point.median_ms > 0 ? 1000.0 * num_vms / point.median_ms : 0.0;
+  return point;
+}
+
+int run_perf_report(const std::string& out_path, int num_vms, int reps,
+                    double overhead_budget) {
+  std::printf("measuring null-sink observability overhead (%d VMs, %d reps "
+              "per variant)...\n",
+              num_vms, reps);
+  const OverheadReport overhead = measure_overhead(num_vms, reps);
+  const bool pass = overhead.overhead <= overhead_budget;
+
+  std::printf("  uninstrumented: %8.2f ms (median)\n",
+              median(overhead.uninstrumented_ms));
+  std::printf("  null sink:      %8.2f ms (median)  -> overhead %+.2f%% "
+              "(budget %.0f%%) %s\n",
+              median(overhead.null_sink_ms), 100.0 * overhead.overhead,
+              100.0 * overhead_budget, pass ? "OK" : "FAIL");
+  std::printf("  live trace:     %8.2f ms (median), %zu decision records\n",
+              median(overhead.traced_ms), overhead.trace_records);
+  std::printf("  assignments identical: %s\n",
+              overhead.assignments_match ? "yes" : "NO (BUG)");
+
+  std::vector<AllocatorPoint> points;
+  for (const std::string& name :
+       {std::string("min-incremental"), std::string("ffps"),
+        std::string("best-fit-cpu")}) {
+    for (int n : {100, 500, num_vms}) {
+      points.push_back(measure_allocator(name, n, std::max(3, reps / 2)));
+      const AllocatorPoint& p = points.back();
+      std::printf("  %-16s n=%-5d %8.2f ms  (%.0f VMs/s)\n", p.name.c_str(),
+                  p.num_vms, p.median_ms, p.vms_per_sec);
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"scenario\": {\"family\": \"fig2\", \"num_vms\": " << num_vms
+      << ", \"mean_interarrival\": 2.0, \"seed\": 42},\n";
+  out << "  \"overhead_guard\": {\n"
+      << "    \"uninstrumented_ms\": " << json_array(overhead.uninstrumented_ms)
+      << ",\n"
+      << "    \"null_sink_ms\": " << json_array(overhead.null_sink_ms) << ",\n"
+      << "    \"traced_ms\": " << json_array(overhead.traced_ms) << ",\n"
+      << "    \"median_uninstrumented_ms\": "
+      << median(overhead.uninstrumented_ms) << ",\n"
+      << "    \"median_null_sink_ms\": " << median(overhead.null_sink_ms)
+      << ",\n"
+      << "    \"median_traced_ms\": " << median(overhead.traced_ms) << ",\n"
+      << "    \"null_sink_overhead\": " << overhead.overhead << ",\n"
+      << "    \"overhead_budget\": " << overhead_budget << ",\n"
+      << "    \"trace_records\": " << overhead.trace_records << ",\n"
+      << "    \"assignments_match\": "
+      << (overhead.assignments_match ? "true" : "false") << ",\n"
+      << "    \"pass\": " << (pass ? "true" : "false") << "\n  },\n";
+  out << "  \"allocators\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const AllocatorPoint& p = points[i];
+    out << "    {\"name\": \"" << p.name << "\", \"num_vms\": " << p.num_vms
+        << ", \"median_ms\": " << p.median_ms
+        << ", \"vms_per_sec\": " << p.vms_per_sec << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!overhead.assignments_match) {
+    std::fprintf(stderr,
+                 "FAIL: instrumented allocator diverged from the reference "
+                 "loop\n");
+    return 1;
+  }
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: null-sink overhead %.2f%% exceeds budget %.0f%%\n",
+                 100.0 * overhead.overhead, 100.0 * overhead_budget);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Allocator, min_incremental, "min-incremental")
@@ -115,4 +362,49 @@ BENCHMARK(BM_Metrics)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FeasibilityProbe);
 BENCHMARK(BM_IncrementalCostDelta);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Separate our flags from google-benchmark's (--benchmark_*).
+  std::vector<char*> gbench_argv{argv[0]};
+  bool run_gbench = false;
+  std::vector<const char*> own_argv{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--gbench") {
+      run_gbench = true;
+    } else if (arg.rfind("--benchmark_", 0) == 0) {
+      gbench_argv.push_back(argv[i]);
+    } else {
+      own_argv.push_back(argv[i]);
+    }
+  }
+
+  esva::CliParser parser(
+      "bench/perf_allocators — allocator throughput, observability overhead "
+      "guard, BENCH_perf.json artifact (add --gbench for microbenchmarks)");
+  parser.add_string("out", "BENCH_perf.json", "JSON artifact output path");
+  parser.add_int("vms", 1000, "VM count of the overhead-guard scenario");
+  parser.add_int("reps", 7, "timed repetitions per variant");
+  parser.add_double("overhead-budget", 0.05,
+                    "max tolerated null-sink slowdown (fraction)");
+  parser.add_bool("quick", "300-VM scenario, 3 reps (smoke test)");
+  if (!parser.parse(static_cast<int>(own_argv.size()), own_argv.data()))
+    return parser.parse_error() ? 1 : 0;
+
+  int num_vms = static_cast<int>(parser.get_int("vms"));
+  int reps = static_cast<int>(parser.get_int("reps"));
+  if (parser.get_bool("quick")) {
+    num_vms = 300;
+    reps = 3;
+  }
+
+  const int status =
+      run_perf_report(parser.get_string("out"), num_vms, reps,
+                      parser.get_double("overhead-budget"));
+  if (run_gbench) {
+    int gbench_argc = static_cast<int>(gbench_argv.size());
+    benchmark::Initialize(&gbench_argc, gbench_argv.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return status;
+}

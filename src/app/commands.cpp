@@ -1,6 +1,9 @@
 #include "app/commands.h"
 
+#include <cstddef>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -12,10 +15,13 @@
 #include "ilp/model.h"
 #include "ilp/solution_io.h"
 #include "ilp/validate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/metrics.h"
 #include "util/cli.h"
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/sparkline.h"
 #include "util/table.h"
 #include "workload/diurnal.h"
@@ -63,6 +69,13 @@ ProblemInstance load_problem(const CliParser& parser) {
   if (std::string issue = validate_problem(problem); !issue.empty())
     throw std::runtime_error("invalid instance: " + issue);
   return problem;
+}
+
+/// Writes a metrics-registry snapshot as JSON; throws on I/O failure.
+void write_stats(const std::string& path, const MetricsRegistry& metrics) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open stats file '" + path + "'");
+  file << metrics.to_json();
 }
 
 void print_metrics(std::ostream& out, const ProblemInstance& problem,
@@ -149,20 +162,63 @@ int cmd_allocate(const std::vector<std::string>& args, std::ostream& out,
   parser.add_string("allocator", "min-incremental", "policy name");
   parser.add_int("seed", 42, "seed for stochastic allocators");
   parser.add_string("out-assignment", "", "assignment CSV output (optional)");
+  parser.add_string("trace", "",
+                    "JSONL decision trace output: one record per VM with "
+                    "candidates, rejection reasons and cost deltas (optional)");
+  parser.add_string("stats", "",
+                    "metrics JSON output: timers and counters (optional)");
   if (!parse_args(parser, args)) return parser_exit_code(parser);
 
   try {
     register_extension_allocators();
-    const ProblemInstance problem = load_problem(parser);
+    MetricsRegistry metrics;
+    std::unique_ptr<JsonlTraceSink> trace_sink;
+    if (!parser.get_string("trace").empty())
+      trace_sink = std::make_unique<JsonlTraceSink>(parser.get_string("trace"));
+
+    const ProblemInstance problem = [&] {
+      ScopedTimer timer(&metrics.timer("cli.load_ms"));
+      return load_problem(parser);
+    }();
+    log_debug() << "loaded " << problem.num_vms() << " VMs / "
+                << problem.num_servers() << " servers (horizon "
+                << problem.horizon << ")";
     AllocatorPtr allocator = make_allocator(parser.get_string("allocator"));
+    ObsContext obs;
+    obs.trace = trace_sink.get();
+    obs.metrics = &metrics;
+    allocator->set_observability(obs);
     Rng rng(static_cast<std::uint64_t>(parser.get_int("seed")));
     const Allocation alloc = allocator->allocate(problem, rng);
+    log_info() << allocator->name() << " placed "
+               << (problem.num_vms() - alloc.num_unallocated()) << "/"
+               << problem.num_vms() << " VMs in "
+               << metrics.timer("allocator." + allocator->name() +
+                                ".allocate_ms")
+                      .stats()
+                      .total_ms
+               << " ms";
     out << "allocator: " << allocator->name() << '\n';
-    print_metrics(out, problem, alloc);
+    {
+      ScopedTimer timer(&metrics.timer("cli.evaluate_ms"));
+      print_metrics(out, problem, alloc);
+    }
     if (!parser.get_string("out-assignment").empty()) {
       save_assignment(parser.get_string("out-assignment"), alloc);
       out << "assignment written to " << parser.get_string("out-assignment")
           << '\n';
+    }
+    if (trace_sink) {
+      trace_sink.reset();  // flush + close before reporting
+      out << "decision trace written to " << parser.get_string("trace")
+          << '\n';
+    }
+    if (!parser.get_string("stats").empty()) {
+      metrics.set("instance.vms", static_cast<double>(problem.num_vms()));
+      metrics.set("instance.servers",
+                  static_cast<double>(problem.num_servers()));
+      write_stats(parser.get_string("stats"), metrics);
+      out << "stats written to " << parser.get_string("stats") << '\n';
     }
     return 0;
   } catch (const std::exception& e) {
@@ -179,16 +235,48 @@ int cmd_evaluate(const std::vector<std::string>& args, std::ostream& out,
   parser.add_string("assignment", "assignment.csv", "assignment CSV");
   parser.add_int("timeout", -1,
                  "also price a fixed-timeout power policy (minutes; -1 off)");
+  parser.add_string("trace", "",
+                    "JSONL placement replay of the assignment: per-VM "
+                    "incremental cost in start-time order (optional)");
+  parser.add_string("stats", "",
+                    "metrics JSON output: timers and gauges (optional)");
   if (!parse_args(parser, args)) return parser_exit_code(parser);
 
   try {
-    const ProblemInstance problem = load_problem(parser);
+    MetricsRegistry metrics;
+    const ProblemInstance problem = [&] {
+      ScopedTimer timer(&metrics.timer("cli.load_ms"));
+      return load_problem(parser);
+    }();
     const Allocation alloc =
         load_assignment(parser.get_string("assignment"), problem.num_vms());
     if (std::string issue = validate_allocation(problem, alloc, false);
         !issue.empty())
       throw std::runtime_error("infeasible assignment: " + issue);
-    print_metrics(out, problem, alloc);
+    {
+      ScopedTimer timer(&metrics.timer("cli.evaluate_ms"));
+      print_metrics(out, problem, alloc);
+    }
+    if (!parser.get_string("trace").empty()) {
+      JsonlTraceSink sink(parser.get_string("trace"));
+      trace_assignment(problem, alloc, sink);
+      out << "placement trace written to " << parser.get_string("trace")
+          << '\n';
+    }
+    if (!parser.get_string("stats").empty()) {
+      const CostReport cost = evaluate_cost(problem, alloc);
+      metrics.set("cost.total", cost.total());
+      metrics.set("cost.run", cost.breakdown.run);
+      metrics.set("cost.idle", cost.breakdown.idle);
+      metrics.set("cost.transition", cost.breakdown.transition);
+      metrics.set("instance.vms", static_cast<double>(problem.num_vms()));
+      metrics.set("instance.servers",
+                  static_cast<double>(problem.num_servers()));
+      metrics.set("assignment.unallocated",
+                  static_cast<double>(alloc.num_unallocated()));
+      write_stats(parser.get_string("stats"), metrics);
+      out << "stats written to " << parser.get_string("stats") << '\n';
+    }
     if (parser.get_int("timeout") >= 0) {
       const TimeoutPolicy policy{
           static_cast<Time>(parser.get_int("timeout"))};
@@ -331,17 +419,51 @@ std::string usage() {
       "  import-solution  validate/evaluate an external solver's solution\n"
       "  help             this message\n"
       "\n"
+      "global flags (any position):\n"
+      "  --log-level {debug,info,warn,error,off}   stderr logging threshold\n"
+      "                                            (default: warn)\n"
+      "\n"
       "run `esva <subcommand> --help` for per-command flags.\n";
 }
 
 int esva_main(int argc, const char* const* argv, std::ostream& out,
               std::ostream& err) {
-  if (argc < 2) {
+  // Strip the global --log-level flag (valid in any position) before
+  // dispatching; subcommand parsers never see it.
+  std::vector<std::string> cli(argv + 1, argv + argc);
+  for (std::size_t k = 0; k < cli.size();) {
+    std::string value;
+    if (cli[k] == "--log-level") {
+      if (k + 1 >= cli.size()) {
+        err << "--log-level requires a value "
+               "(debug|info|warn|error|off)\n";
+        return 2;
+      }
+      value = cli[k + 1];
+      cli.erase(cli.begin() + static_cast<std::ptrdiff_t>(k),
+                cli.begin() + static_cast<std::ptrdiff_t>(k) + 2);
+    } else if (cli[k].rfind("--log-level=", 0) == 0) {
+      value = cli[k].substr(std::string("--log-level=").size());
+      cli.erase(cli.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      ++k;
+      continue;
+    }
+    const std::optional<LogLevel> level = parse_log_level(value);
+    if (!level) {
+      err << "--log-level: unknown level '" << value
+          << "' (debug|info|warn|error|off)\n";
+      return 2;
+    }
+    set_log_level(*level);
+  }
+
+  if (cli.empty()) {
     err << usage();
     return 2;
   }
-  const std::string command = argv[1];
-  const std::vector<std::string> args(argv + 2, argv + argc);
+  const std::string command = cli.front();
+  const std::vector<std::string> args(cli.begin() + 1, cli.end());
   if (command == "help" || command == "--help" || command == "-h") {
     out << usage();
     return 0;

@@ -5,6 +5,7 @@
 //   esva generate  --vms 200 --out-vms vms.csv --out-servers servers.csv
 //   esva allocate  --vms vms.csv --servers servers.csv
 //                  --allocator min-incremental --out-assignment assign.csv
+//                  --trace decisions.jsonl --stats stats.json
 //   esva evaluate  --vms vms.csv --servers servers.csv --assignment assign.csv
 //   esva simulate  --vms vms.csv --servers servers.csv --assignment assign.csv
 //                  --power-csv power.csv

@@ -3,10 +3,15 @@
 #include <numeric>
 
 #include "cluster/timeline.h"
+#include "core/cost_model.h"
+#include "obs/metrics.h"
 
 namespace esva {
 
 Allocation FfpsAllocator::allocate(const ProblemInstance& problem, Rng& rng) {
+  ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
+  const bool tracing = obs_.tracing();
+
   Allocation alloc;
   alloc.assignment.assign(problem.num_vms(), kNoServer);
 
@@ -19,17 +24,41 @@ Allocation FfpsAllocator::allocate(const ProblemInstance& problem, Rng& rng) {
   std::iota(probe_order.begin(), probe_order.end(), std::size_t{0});
   if (options_.shuffle_servers) rng.shuffle(probe_order);
 
+  std::int64_t feasible_probes = 0;
+  std::int64_t rejections = 0;
   for (std::size_t j : ordered_indices(problem, options_.order)) {
     const VmSpec& vm = problem.vms[j];
     if (options_.shuffle_servers && options_.reshuffle_per_vm)
       rng.shuffle(probe_order);
+    DecisionBuilder decision(obs_, name(), vm.id);
     for (std::size_t i : probe_order) {
-      if (!timelines[i].can_fit(vm)) continue;
+      // First fit: the trace records only the servers actually probed —
+      // rejections up to (and including) the server taken.
+      if (tracing) {
+        const FitCheck fit = timelines[i].check_fit(vm);
+        if (!fit.ok) {
+          decision.add_rejected(static_cast<ServerId>(i), fit);
+          ++rejections;
+          continue;
+        }
+        const Energy delta = incremental_cost(timelines[i], vm);
+        decision.add_feasible(static_cast<ServerId>(i), delta);
+        decision.commit(static_cast<ServerId>(i), delta);
+      } else if (!timelines[i].can_fit(vm)) {
+        ++rejections;
+        continue;
+      }
+      ++feasible_probes;
       timelines[i].place(vm);
       alloc.assignment[j] = static_cast<ServerId>(i);
       break;
     }
+    if (alloc.assignment[j] == kNoServer) decision.commit(kNoServer);
   }
+
+  record_allocation_metrics(obs_.metrics, name(), problem.num_vms(),
+                            feasible_probes, rejections,
+                            alloc.num_unallocated());
   return alloc;
 }
 

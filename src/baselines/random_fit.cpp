@@ -1,28 +1,61 @@
 #include "baselines/random_fit.h"
 
 #include "cluster/timeline.h"
+#include "core/cost_model.h"
+#include "obs/metrics.h"
 
 namespace esva {
 
 Allocation RandomFitAllocator::allocate(const ProblemInstance& problem,
                                         Rng& rng) {
+  ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
+  const bool tracing = obs_.tracing();
+
   Allocation alloc;
   alloc.assignment.assign(problem.num_vms(), kNoServer);
 
   std::vector<ServerTimeline> timelines =
       make_timelines(problem.servers, problem.horizon);
 
+  std::int64_t feasible_probes = 0;
+  std::int64_t rejections = 0;
   std::vector<std::size_t> feasible;
   for (std::size_t j : ordered_indices(problem, order_)) {
     const VmSpec& vm = problem.vms[j];
+    DecisionBuilder decision(obs_, name(), vm.id);
     feasible.clear();
-    for (std::size_t i = 0; i < timelines.size(); ++i)
-      if (timelines[i].can_fit(vm)) feasible.push_back(i);
-    if (feasible.empty()) continue;
+    for (std::size_t i = 0; i < timelines.size(); ++i) {
+      if (tracing) {
+        const FitCheck fit = timelines[i].check_fit(vm);
+        if (!fit.ok) {
+          decision.add_rejected(static_cast<ServerId>(i), fit);
+          ++rejections;
+          continue;
+        }
+        decision.add_feasible(static_cast<ServerId>(i),
+                              incremental_cost(timelines[i], vm));
+      } else if (!timelines[i].can_fit(vm)) {
+        ++rejections;
+        continue;
+      }
+      ++feasible_probes;
+      feasible.push_back(i);
+    }
+    if (feasible.empty()) {
+      decision.commit(kNoServer);
+      continue;
+    }
     const std::size_t pick = feasible[rng.index(feasible.size())];
+    if (decision.active())
+      decision.commit(static_cast<ServerId>(pick),
+                      incremental_cost(timelines[pick], vm));
     timelines[pick].place(vm);
     alloc.assignment[j] = static_cast<ServerId>(pick);
   }
+
+  record_allocation_metrics(obs_.metrics, name(), problem.num_vms(),
+                            feasible_probes, rejections,
+                            alloc.num_unallocated());
   return alloc;
 }
 

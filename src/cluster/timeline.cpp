@@ -33,6 +33,44 @@ bool ServerTimeline::can_fit(const VmSpec& vm) const {
   return true;
 }
 
+FitCheck ServerTimeline::check_fit(const VmSpec& vm) const {
+  assert(vm.valid());
+  FitCheck check;
+  if (vm.end > horizon_) {
+    check.reject = FitReject::Horizon;
+    return check;
+  }
+  // Per-time-unit scan. For stable VMs this is equivalent to can_fit's
+  // peak-over-window test (the demand is constant); for profiled VMs it is
+  // exactly can_fit's fallback loop. Either way `ok` matches can_fit.
+  for (Time t = vm.start; t <= vm.end; ++t) {
+    const Resources r = vm.demand_at(t);
+    const std::size_t k = index_of(t);
+    if (cpu_.max(k, k) + r.cpu > spec_.capacity.cpu + kEps) {
+      check.reject = FitReject::Cpu;
+      check.at = t;
+      return check;
+    }
+    if (mem_.max(k, k) + r.mem > spec_.capacity.mem + kEps) {
+      check.reject = FitReject::Mem;
+      check.at = t;
+      return check;
+    }
+  }
+  check.ok = true;
+  return check;
+}
+
+std::string to_string(FitReject reject) {
+  switch (reject) {
+    case FitReject::None: return "none";
+    case FitReject::Horizon: return "horizon";
+    case FitReject::Cpu: return "cpu";
+    case FitReject::Mem: return "mem";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Applies (or reverts, with sign = -1) a VM's resource footprint.

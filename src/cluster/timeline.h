@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "cluster/server_spec.h"
@@ -23,6 +24,25 @@
 #include "util/types.h"
 
 namespace esva {
+
+/// Why a feasibility probe rejected a VM (observability vocabulary; the trace
+/// layer serializes these verbatim).
+enum class FitReject {
+  None,     ///< the VM fits
+  Horizon,  ///< the VM's interval extends past the timeline horizon
+  Cpu,      ///< insufficient spare CPU at some time unit
+  Mem,      ///< insufficient spare memory at some time unit
+};
+
+std::string to_string(FitReject reject);
+
+/// Diagnosed feasibility result: can_fit() plus the first violated dimension
+/// and the earliest violating time unit (0 when ok or horizon-rejected).
+struct FitCheck {
+  bool ok = false;
+  FitReject reject = FitReject::None;
+  Time at = 0;
+};
 
 class ServerTimeline {
  public:
@@ -35,6 +55,11 @@ class ServerTimeline {
   /// True iff the VM's demand fits within spare capacity at every time unit
   /// of its interval. VMs whose interval exceeds the horizon do not fit.
   bool can_fit(const VmSpec& vm) const;
+
+  /// can_fit with a diagnosis: which dimension failed first, and where.
+  /// Agrees with can_fit on `ok` for every VM (tested); slower (O(duration)
+  /// on rejection), so allocators call it only when tracing is enabled.
+  FitCheck check_fit(const VmSpec& vm) const;
 
   /// Everything needed to undo a placement.
   struct PlaceRecord {

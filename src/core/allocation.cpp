@@ -44,6 +44,29 @@ CostReport evaluate_cost(const ProblemInstance& problem,
   return report;
 }
 
+void trace_assignment(const ProblemInstance& problem, const Allocation& alloc,
+                      TraceSink& sink, const CostOptions& opts) {
+  assert(alloc.assignment.size() == problem.num_vms());
+  std::vector<ServerTimeline> timelines =
+      make_timelines(problem.servers, problem.horizon);
+  ObsContext obs;
+  obs.trace = &sink;
+  for (std::size_t j : order_by_start(problem.vms)) {
+    const VmSpec& vm = problem.vms[j];
+    const ServerId server = alloc.assignment[j];
+    DecisionBuilder decision(obs, "assignment", vm.id);
+    if (server == kNoServer) {
+      decision.commit(kNoServer);
+      continue;
+    }
+    const auto i = static_cast<std::size_t>(server);
+    const Energy delta = incremental_cost(timelines[i], vm, opts);
+    decision.add_feasible(server, delta);
+    decision.commit(server, delta);
+    timelines[i].place(vm);
+  }
+}
+
 std::string validate_allocation(const ProblemInstance& problem,
                                 const Allocation& alloc,
                                 bool require_complete) {

@@ -8,6 +8,7 @@
 
 #include "core/cost_model.h"
 #include "core/problem.h"
+#include "obs/trace.h"
 #include "util/types.h"
 
 namespace esva {
@@ -47,5 +48,14 @@ CostReport evaluate_cost(const ProblemInstance& problem,
 std::string validate_allocation(const ProblemInstance& problem,
                                 const Allocation& alloc,
                                 bool require_complete = true);
+
+/// Replays an existing assignment through the trace pipeline: placing VMs in
+/// start-time order onto their assigned servers, it emits one decision per VM
+/// (allocator "assignment", the assigned server as the only candidate, and
+/// the incremental cost the placement had at that point). Used by
+/// `esva evaluate --trace` to audit external assignments. The allocation must
+/// be capacity-feasible.
+void trace_assignment(const ProblemInstance& problem, const Allocation& alloc,
+                      TraceSink& sink, const CostOptions& opts = {});
 
 }  // namespace esva

@@ -3,7 +3,27 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+
 namespace esva {
+
+Timer* allocate_timer(MetricsRegistry* metrics, const std::string& allocator) {
+  if (!metrics) return nullptr;
+  return &metrics->timer("allocator." + allocator + ".allocate_ms");
+}
+
+void record_allocation_metrics(MetricsRegistry* metrics,
+                               const std::string& allocator, std::size_t vms,
+                               std::int64_t feasible_candidates,
+                               std::int64_t rejections,
+                               std::size_t unallocated) {
+  if (!metrics) return;
+  const std::string prefix = "allocator." + allocator + ".";
+  metrics->inc(prefix + "vms", static_cast<std::int64_t>(vms));
+  metrics->inc(prefix + "feasible_candidates", feasible_candidates);
+  metrics->inc(prefix + "rejections", rejections);
+  metrics->inc(prefix + "unallocated", static_cast<std::int64_t>(unallocated));
+}
 
 std::string to_string(VmOrder order) {
   switch (order) {

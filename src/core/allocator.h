@@ -8,12 +8,14 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/allocation.h"
 #include "core/problem.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace esva {
@@ -44,8 +46,34 @@ class Allocator {
 
   /// Produces an assignment for every VM (kNoServer where infeasible).
   virtual Allocation allocate(const ProblemInstance& problem, Rng& rng) = 0;
+
+  /// Observability hook shared by every allocator (obs/trace.h): a trace
+  /// sink receiving one VmDecisionTrace per VM, and a metrics registry for
+  /// timers/counters. The default (null) context must impose no measurable
+  /// overhead on allocate() — implementations only take the diagnostic path
+  /// (check_fit, per-candidate deltas) when obs().tracing().
+  void set_observability(const ObsContext& obs) { obs_ = obs; }
+  const ObsContext& obs() const { return obs_; }
+
+ protected:
+  ObsContext obs_;
 };
 
 using AllocatorPtr = std::unique_ptr<Allocator>;
+
+class Timer;
+
+/// The "allocator.<name>.allocate_ms" timer, or null when `metrics` is null —
+/// feed it to a ScopedTimer around the allocation loop.
+Timer* allocate_timer(MetricsRegistry* metrics, const std::string& allocator);
+
+/// Flushes the standard per-allocate counters ("allocator.<name>.vms",
+/// ".feasible_candidates", ".rejections", ".unallocated"). No-op when
+/// `metrics` is null.
+void record_allocation_metrics(MetricsRegistry* metrics,
+                               const std::string& allocator, std::size_t vms,
+                               std::int64_t feasible_candidates,
+                               std::int64_t rejections,
+                               std::size_t unallocated);
 
 }  // namespace esva

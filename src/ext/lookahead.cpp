@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "cluster/timeline.h"
+#include "obs/metrics.h"
 
 namespace esva {
 
@@ -46,6 +47,7 @@ Evaluation evaluate(const std::vector<ServerTimeline>& timelines,
 Allocation LookaheadAllocator::allocate(const ProblemInstance& problem,
                                         Rng& /*rng*/) {
   assert(options_.window >= 1);
+  ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
   Allocation alloc;
   alloc.assignment.assign(problem.num_vms(), kNoServer);
 
@@ -86,12 +88,39 @@ Allocation LookaheadAllocator::allocate(const ProblemInstance& problem,
 
     const std::size_t j = pending[pick_pos];
     pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick_pos));
+    if (obs_.tracing()) {
+      // The committed VM's decision, re-derived with diagnoses (the regret
+      // scan above deliberately stays on the cheap can_fit path).
+      const VmSpec& vm = problem.vms[j];
+      DecisionBuilder decision(obs_, name(), vm.id);
+      for (std::size_t i = 0; i < timelines.size(); ++i) {
+        const FitCheck fit = timelines[i].check_fit(vm);
+        if (!fit.ok)
+          decision.add_rejected(static_cast<ServerId>(i), fit);
+        else
+          decision.add_feasible(static_cast<ServerId>(i),
+                                incremental_cost(timelines[i], vm, options_.cost));
+      }
+      if (pick_eval.best_server == kNoServer)
+        decision.commit(kNoServer);
+      else
+        decision.commit(pick_eval.best_server, pick_eval.best_delta);
+    }
     if (pick_eval.best_server != kNoServer) {
       timelines[static_cast<std::size_t>(pick_eval.best_server)].place(
           problem.vms[j]);
       alloc.assignment[j] = pick_eval.best_server;
     }
     refill();
+  }
+  if (obs_.metrics) {
+    // Regret evaluation re-probes every pending VM per commit, so per-probe
+    // counters would mislead; report only the decision-level aggregates.
+    const std::string prefix = "allocator." + name() + ".";
+    obs_.metrics->inc(prefix + "vms",
+                      static_cast<std::int64_t>(problem.num_vms()));
+    obs_.metrics->inc(prefix + "unallocated",
+                      static_cast<std::int64_t>(alloc.num_unallocated()));
   }
   return alloc;
 }

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "cluster/timeline.h"
+#include "obs/metrics.h"
 
 namespace esva {
 
@@ -35,6 +36,10 @@ MigrationResult optimize_with_migration(const ProblemInstance& problem,
                                         const MigrationConfig& config) {
   assert(validate_allocation(problem, alloc, /*require_complete=*/false)
              .empty());
+
+  ScopedTimer total_timer(
+      config.obs.metrics ? &config.obs.metrics->timer("migration.total_ms")
+                         : nullptr);
 
   MigrationResult result;
   result.allocation = alloc;
@@ -89,6 +94,24 @@ MigrationResult optimize_with_migration(const ProblemInstance& problem,
         if (gain <= config.min_gain) continue;
       }
 
+      if (config.obs.tracing()) {
+        // Each applied move is a decision: the feasible targets with their
+        // added cost, the winner, and the note marking it as a migration.
+        DecisionBuilder decision(config.obs, "migration", vm.id);
+        decision.set_note(source == kNoServer ? "late-placement" : "migration");
+        for (std::size_t i = 0; i < timelines.size(); ++i) {
+          if (static_cast<ServerId>(i) == source) continue;
+          const FitCheck fit = timelines[i].check_fit(vm);
+          if (!fit.ok)
+            decision.add_rejected(static_cast<ServerId>(i), fit);
+          else
+            decision.add_feasible(static_cast<ServerId>(i),
+                                  incremental_cost(timelines[i], vm,
+                                                   config.cost));
+        }
+        decision.commit(best_target, best_added);
+      }
+
       // Apply the move.
       if (source != kNoServer) {
         hosted[static_cast<std::size_t>(source)] = std::move(source_rest);
@@ -115,6 +138,12 @@ MigrationResult optimize_with_migration(const ProblemInstance& problem,
 
   result.energy_after =
       evaluate_cost(problem, result.allocation, config.cost).total();
+  if (config.obs.metrics) {
+    config.obs.metrics->inc("migration.moves", result.moves);
+    config.obs.metrics->set("migration.energy_before", result.energy_before);
+    config.obs.metrics->set("migration.energy_after", result.energy_after);
+    config.obs.metrics->set("migration.overhead", result.migration_overhead);
+  }
   return result;
 }
 

@@ -20,6 +20,7 @@
 #include "core/allocation.h"
 #include "core/cost_model.h"
 #include "core/problem.h"
+#include "obs/trace.h"
 
 namespace esva {
 
@@ -32,6 +33,9 @@ struct MigrationConfig {
   int max_rounds = 8;
   /// Minimum net gain for a move to be applied.
   Energy min_gain = 1e-6;
+  /// Optional observability: each applied move is traced as a decision with
+  /// note "migration"; counters/timers land under "migration.*".
+  ObsContext obs;
 };
 
 struct MigrationResult {

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "ilp/branch_and_bound.h"
+#include "obs/metrics.h"
 
 namespace esva {
 
@@ -39,6 +40,10 @@ WindowReoptResult window_reoptimize(const ProblemInstance& problem,
   assert(config.group_size >= 1 && config.passes >= 1);
   assert(validate_allocation(problem, alloc, /*require_complete=*/false)
              .empty());
+
+  ScopedTimer total_timer(
+      config.obs.metrics ? &config.obs.metrics->timer("window_reopt.total_ms")
+                         : nullptr);
 
   WindowReoptResult result;
   result.allocation = alloc;
@@ -91,10 +96,32 @@ WindowReoptResult window_reoptimize(const ProblemInstance& problem,
     if (improved_this_pass == 0) break;  // converged
   }
 
-  for (std::size_t r = 0; r < m; ++r)
-    result.allocation.assignment[reduced.original_index[r]] = working[r];
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t j = reduced.original_index[r];
+    if (config.obs.tracing() && working[r] != alloc.assignment[j]) {
+      DecisionBuilder decision(config.obs, "window-reopt",
+                               problem.vms[j].id);
+      decision.set_note("window-reopt");
+      decision.commit(working[r]);
+    }
+    result.allocation.assignment[j] = working[r];
+  }
   result.energy_after =
       evaluate_cost(problem, result.allocation, config.cost).total();
+  if (config.obs.metrics) {
+    config.obs.metrics->inc("window_reopt.windows_solved",
+                            result.windows_solved);
+    config.obs.metrics->inc("window_reopt.windows_improved",
+                            result.windows_improved);
+    config.obs.metrics->inc("window_reopt.windows_skipped",
+                            result.windows_skipped);
+    config.obs.metrics->inc(
+        "window_reopt.nodes_explored",
+        static_cast<std::int64_t>(result.nodes_explored));
+    config.obs.metrics->set("window_reopt.energy_before",
+                            result.energy_before);
+    config.obs.metrics->set("window_reopt.energy_after", result.energy_after);
+  }
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "core/allocation.h"
 #include "core/cost_model.h"
 #include "core/problem.h"
+#include "obs/trace.h"
 
 namespace esva {
 
@@ -31,6 +32,9 @@ struct WindowReoptConfig {
   /// Overlap consecutive windows by half a group (catches improvements that
   /// straddle a window boundary).
   bool overlap = true;
+  /// Optional observability: every reassigned VM is traced with note
+  /// "window-reopt"; counters/timers land under "window_reopt.*".
+  ObsContext obs;
 };
 
 struct WindowReoptResult {

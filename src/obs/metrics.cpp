@@ -1,0 +1,142 @@
+#include "obs/metrics.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace esva {
+
+void Timer::record_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.count == 0 || ms < stats_.min_ms) stats_.min_ms = ms;
+  if (stats_.count == 0 || ms > stats_.max_ms) stats_.max_ms = ms;
+  ++stats_.count;
+  stats_.total_ms += ms;
+}
+
+Timer::Stats Timer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Timer& MetricsRegistry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  for (const auto& [name, t] : timers_) snap.timers.emplace_back(name, t->stats());
+  return snap;
+}
+
+namespace {
+
+/// Doubles in metric output: plain decimal, enough digits to round-trip.
+std::string fmt_number(double v) {
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  const Snapshot snap = snapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": " + fmt_number(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"timers\": {";
+  first = true;
+  for (const auto& [name, stats] : snap.timers) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": {\"count\": " + std::to_string(stats.count) +
+           ", \"total_ms\": " + fmt_number(stats.total_ms) +
+           ", \"mean_ms\": " + fmt_number(stats.mean_ms()) +
+           ", \"min_ms\": " + fmt_number(stats.min_ms) +
+           ", \"max_ms\": " + fmt_number(stats.max_ms) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  const Snapshot snap = snapshot();
+  out << "kind,name,field,value\n";
+  for (const auto& [name, value] : snap.counters)
+    out << "counter," << name << ",value," << value << '\n';
+  for (const auto& [name, value] : snap.gauges)
+    out << "gauge," << name << ",value," << fmt_number(value) << '\n';
+  for (const auto& [name, stats] : snap.timers) {
+    out << "timer," << name << ",count," << stats.count << '\n';
+    out << "timer," << name << ",total_ms," << fmt_number(stats.total_ms) << '\n';
+    out << "timer," << name << ",mean_ms," << fmt_number(stats.mean_ms()) << '\n';
+    out << "timer," << name << ",min_ms," << fmt_number(stats.min_ms) << '\n';
+    out << "timer," << name << ",max_ms," << fmt_number(stats.max_ms) << '\n';
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+}
+
+MetricsRegistry& global_metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace esva

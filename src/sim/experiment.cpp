@@ -1,9 +1,11 @@
 #include "sim/experiment.h"
 
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 #include "baselines/registry.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace esva {
@@ -27,9 +29,23 @@ double PointOutcome::headline_reduction() const {
   return allocators.front().reduction_vs_baseline.mean();
 }
 
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
 PointOutcome run_point(const Scenario& scenario,
                        const ExperimentConfig& config) {
   assert(config.runs > 0);
+  const auto point_start = std::chrono::steady_clock::now();
+  ScopedTimer point_timer(config.obs.metrics
+                              ? &config.obs.metrics->timer("experiment.point_ms")
+                              : nullptr);
   PointOutcome outcome;
   outcome.baseline_name = config.baseline;
   outcome.allocators.resize(config.allocator_names.size());
@@ -50,11 +66,21 @@ PointOutcome run_point(const Scenario& scenario,
     for (std::size_t a = 0; a < config.allocator_names.size(); ++a) {
       Rng alloc_rng = run_master.split();
       AllocatorPtr allocator = make_allocator(config.allocator_names[a]);
+      allocator->set_observability(config.obs);
+      const auto alloc_start = std::chrono::steady_clock::now();
       const Allocation alloc = allocator->allocate(problem, alloc_rng);
+      const double alloc_ms = elapsed_ms(alloc_start);
       const AllocationMetrics metrics =
           compute_metrics(problem, alloc, config.cost);
 
       AllocatorAggregate& agg = outcome.allocators[a];
+      agg.allocate_ms.add(alloc_ms);
+      if (config.obs.metrics) {
+        config.obs.metrics
+            ->timer("experiment.alloc." + config.allocator_names[a] + "_ms")
+            .record_ms(alloc_ms);
+        config.obs.metrics->inc("experiment.runs");
+      }
       agg.total_cost.add(metrics.cost.total());
       agg.cpu_util.add(metrics.utilization.avg_cpu);
       agg.mem_util.add(metrics.utilization.avg_mem);
@@ -79,6 +105,7 @@ PointOutcome run_point(const Scenario& scenario,
       }
     }
   }
+  outcome.wall_ms = elapsed_ms(point_start);
   return outcome;
 }
 

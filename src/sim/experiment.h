@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/cost_model.h"
+#include "obs/trace.h"
 #include "sim/metrics.h"
 #include "stats/summary.h"
 #include "workload/scenarios.h"
@@ -31,6 +32,11 @@ struct ExperimentConfig {
   int runs = 5;
   std::uint64_t seed = 42;
   CostOptions cost;
+  /// Optional observability (obs/): when `metrics` is set, run_point records
+  /// "experiment.point_ms" and per-allocator "experiment.alloc.<name>_ms"
+  /// timers plus run counters; when `trace` is set, every allocator decision
+  /// is forwarded to the sink. Null (default) costs nothing.
+  ObsContext obs;
 };
 
 /// Aggregates (over runs) for one allocator at one sweep point.
@@ -47,6 +53,9 @@ struct AllocatorAggregate {
   /// The raw per-run reduction ratios behind the accumulator (same order as
   /// the runs); kept so reports can bootstrap confidence intervals.
   std::vector<double> reduction_runs;
+  /// Wall-clock of each allocate() call, in milliseconds (always measured —
+  /// one steady_clock pair per run is noise next to the allocation itself).
+  Accumulator allocate_ms;
 };
 
 struct PointOutcome {
@@ -63,6 +72,9 @@ struct PointOutcome {
   double headline_reduction() const;
 
   std::string baseline_name;
+  /// Wall-clock of the whole point (instantiation + all allocators + metric
+  /// evaluation over all runs), in milliseconds.
+  double wall_ms = 0.0;
 };
 
 /// Runs config.runs paired evaluations of the scenario.

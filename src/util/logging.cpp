@@ -1,6 +1,7 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 
 namespace esva {
@@ -20,15 +21,34 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+/// Milliseconds since the first log call (a stable process-lifetime anchor
+/// without static-init-order concerns).
+long long elapsed_ms() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(clock::now() -
+                                                               start)
+      .count();
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  return std::nullopt;
+}
+
 void log_message(LogLevel level, std::string_view msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+  std::fprintf(stderr, "[%6lldms %s] %.*s\n", elapsed_ms(), level_name(level),
                static_cast<int>(msg.size()), msg.data());
 }
 

@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -16,7 +17,13 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits `msg` to stderr with a level prefix if `level` >= threshold.
+/// "debug" / "info" / "warn" / "error" / "off" (case-sensitive) -> level;
+/// nullopt for anything else. The vocabulary of `esva --log-level`.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Emits `msg` to stderr if `level` >= threshold, prefixed with the level
+/// and the monotonic milliseconds since process start, e.g.
+/// "[  1234ms INFO] sweep point 3/10" — so long sweep logs are interpretable.
 void log_message(LogLevel level, std::string_view msg);
 
 namespace detail {

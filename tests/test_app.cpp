@@ -10,7 +10,9 @@
 
 #include "ilp/model.h"
 #include "ilp/validate.h"
+#include "obs/trace.h"
 #include "test_util.h"
+#include "util/logging.h"
 #include "workload/trace.h"
 
 namespace esva {
@@ -226,6 +228,103 @@ TEST_F(AppTest, ExportLpAndImportSolutionRoundTrip) {
 TEST_F(AppTest, MissingTraceFileGivesCleanError) {
   EXPECT_EQ(run("allocate", {"--vms", "/nonexistent/vms.csv"}), 1);
   EXPECT_NE(err().find("allocate:"), std::string::npos);
+}
+
+TEST_F(AppTest, AllocateWritesDecisionTraceAndStats) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "20", "--servers", "10", "--out-vms",
+                 path("t_vms.csv"), "--out-servers", path("t_srv.csv")}),
+            0)
+      << err();
+  ASSERT_EQ(run("allocate",
+                {"--vms", path("t_vms.csv"), "--servers", path("t_srv.csv"),
+                 "--allocator", "min-incremental", "--out-assignment",
+                 path("t_assign.csv"), "--trace", path("t_trace.jsonl"),
+                 "--stats", path("t_stats.json")}),
+            0)
+      << err();
+  EXPECT_NE(out().find("decision trace written to"), std::string::npos);
+  EXPECT_NE(out().find("stats written to"), std::string::npos);
+
+  // One decision per VM, replaying to the emitted assignment.
+  const std::vector<VmDecisionTrace> decisions =
+      load_trace_jsonl_file(path("t_trace.jsonl"));
+  ASSERT_EQ(decisions.size(), 20u);
+  const std::vector<VmSpec> vms = load_vm_trace(path("t_vms.csv"));
+  const std::vector<ServerId> replayed = assignment_from_trace(decisions, 20);
+  std::ifstream assign_file(path("t_assign.csv"));
+  std::string header;
+  std::getline(assign_file, header);
+  std::string row;
+  std::size_t rows = 0;
+  while (std::getline(assign_file, row)) {
+    const std::size_t comma = row.find(',');
+    ASSERT_NE(comma, std::string::npos);
+    const int vm_id = std::stoi(row.substr(0, comma));
+    const int server = std::stoi(row.substr(comma + 1));
+    EXPECT_EQ(replayed[static_cast<std::size_t>(vm_id)], server) << row;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 20u);
+
+  // Stats JSON must carry nonzero timer aggregates.
+  std::ifstream stats_file(path("t_stats.json"));
+  std::stringstream stats;
+  stats << stats_file.rdbuf();
+  EXPECT_NE(stats.str().find("\"timers\""), std::string::npos);
+  EXPECT_NE(stats.str().find("allocator.min-incremental.allocate_ms"),
+            std::string::npos);
+  EXPECT_NE(stats.str().find("\"count\": 1"), std::string::npos);
+}
+
+TEST_F(AppTest, EvaluateWritesTraceAndStats) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "12", "--servers", "8", "--out-vms",
+                 path("e_vms.csv"), "--out-servers", path("e_srv.csv")}),
+            0)
+      << err();
+  ASSERT_EQ(run("allocate",
+                {"--vms", path("e_vms.csv"), "--servers", path("e_srv.csv"),
+                 "--out-assignment", path("e_assign.csv")}),
+            0)
+      << err();
+  ASSERT_EQ(run("evaluate",
+                {"--vms", path("e_vms.csv"), "--servers", path("e_srv.csv"),
+                 "--assignment", path("e_assign.csv"), "--trace",
+                 path("e_trace.jsonl"), "--stats", path("e_stats.json")}),
+            0)
+      << err();
+  const std::vector<VmDecisionTrace> decisions =
+      load_trace_jsonl_file(path("e_trace.jsonl"));
+  ASSERT_EQ(decisions.size(), 12u);
+  for (const VmDecisionTrace& d : decisions)
+    EXPECT_EQ(d.allocator, "assignment");
+  std::ifstream stats_file(path("e_stats.json"));
+  std::stringstream stats;
+  stats << stats_file.rdbuf();
+  EXPECT_NE(stats.str().find("cost.total"), std::string::npos);
+}
+
+TEST_F(AppTest, GlobalLogLevelFlagIsAcceptedAnywhere) {
+  const LogLevel before = log_level();
+  std::ostringstream out_stream;
+  std::ostringstream err_stream;
+  const char* argv[] = {"esva", "--log-level", "debug", "help"};
+  EXPECT_EQ(app::esva_main(4, argv, out_stream, err_stream), 0);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+
+  const char* argv2[] = {"esva", "help", "--log-level=off"};
+  EXPECT_EQ(app::esva_main(3, argv2, out_stream, err_stream), 0);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+  set_log_level(before);
+}
+
+TEST_F(AppTest, BadLogLevelIsRejected) {
+  std::ostringstream out_stream;
+  std::ostringstream err_stream;
+  const char* argv[] = {"esva", "--log-level", "loud", "help"};
+  EXPECT_EQ(app::esva_main(4, argv, out_stream, err_stream), 2);
+  EXPECT_NE(err_stream.str().find("--log-level"), std::string::npos);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+
 namespace esva {
 namespace {
 
@@ -30,8 +32,38 @@ TEST_F(LoggingTest, LevelPrefixesAreEmitted) {
   log_debug() << "d";
   log_error() << "e";
   const std::string captured = ::testing::internal::GetCapturedStderr();
-  EXPECT_NE(captured.find("[DEBUG]"), std::string::npos);
-  EXPECT_NE(captured.find("[ERROR]"), std::string::npos);
+  EXPECT_NE(captured.find("ms DEBUG]"), std::string::npos);
+  EXPECT_NE(captured.find("ms ERROR]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, PrefixCarriesElapsedMilliseconds) {
+  set_log_level(LogLevel::Info);
+  ::testing::internal::CaptureStderr();
+  log_info() << "timed";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  // "[<number>ms INFO] timed" — the elapsed counter is monotonic from
+  // process start, so we only check shape, not value.
+  ASSERT_EQ(captured.front(), '[');
+  const std::size_t ms_pos = captured.find("ms INFO] timed");
+  ASSERT_NE(ms_pos, std::string::npos);
+  bool saw_digit = false;
+  for (std::size_t i = 1; i < ms_pos; ++i) {
+    EXPECT_TRUE(captured[i] == ' ' || std::isdigit(
+                    static_cast<unsigned char>(captured[i])))
+        << captured;
+    saw_digit |= std::isdigit(static_cast<unsigned char>(captured[i])) != 0;
+  }
+  EXPECT_TRUE(saw_digit);
+}
+
+TEST_F(LoggingTest, ParseLogLevelCoversVocabulary) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
 }
 
 TEST_F(LoggingTest, OffSilencesEverything) {

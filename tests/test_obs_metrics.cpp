@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace esva {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(Gauge, KeepsLastWrittenValue) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(Timer, AggregatesCountTotalMinMax) {
+  Timer t;
+  EXPECT_EQ(t.stats().count, 0);
+  EXPECT_EQ(t.stats().mean_ms(), 0.0);  // no division by zero
+  t.record_ms(4.0);
+  t.record_ms(1.0);
+  t.record_ms(7.0);
+  const Timer::Stats s = t.stats();
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.total_ms, 12.0);
+  EXPECT_DOUBLE_EQ(s.min_ms, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean_ms(), 4.0);
+}
+
+TEST(ScopedTimer, RecordsOneNonNegativeSampleOnDestruction) {
+  Timer t;
+  {
+    ScopedTimer probe(&t);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const Timer::Stats s = t.stats();
+  ASSERT_EQ(s.count, 1);
+  EXPECT_GE(s.total_ms, 0.0);
+}
+
+TEST(ScopedTimer, NullTimerIsANoOp) {
+  ScopedTimer probe(nullptr);  // must not crash on construction/destruction
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossLookups) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("allocations");
+  a.inc(3);
+  Counter& b = registry.counter("allocations");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3);
+
+  Gauge& g1 = registry.gauge("load");
+  g1.set(0.75);
+  EXPECT_EQ(&g1, &registry.gauge("load"));
+
+  Timer& t1 = registry.timer("alloc_ms");
+  t1.record_ms(5.0);
+  EXPECT_EQ(&t1, &registry.timer("alloc_ms"));
+  EXPECT_EQ(registry.timer("alloc_ms").stats().count, 1);
+}
+
+TEST(MetricsRegistry, SameNameDifferentKindsAreSeparateMetrics) {
+  MetricsRegistry registry;
+  registry.inc("x", 2);
+  registry.set("x", 9.0);
+  registry.timer("x").record_ms(1.0);
+  EXPECT_EQ(registry.counter("x").value(), 2);
+  EXPECT_EQ(registry.gauge("x").value(), 9.0);
+  EXPECT_EQ(registry.timer("x").stats().count, 1);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.inc("zebra");
+  registry.inc("alpha", 5);
+  registry.set("mid", 1.5);
+  const MetricsRegistry::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[0].second, 5);
+  EXPECT_EQ(snap.counters[1].first, "zebra");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].first, "mid");
+}
+
+TEST(MetricsRegistry, JsonContainsAllSectionsAndValues) {
+  MetricsRegistry registry;
+  registry.inc("vm.count", 7);
+  registry.set("cpu.load", 0.5);
+  registry.timer("alloc_ms").record_ms(2.0);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+  EXPECT_NE(json.find("\"vm.count\""), std::string::npos);
+  EXPECT_NE(json.find("7"), std::string::npos);
+  EXPECT_NE(json.find("\"alloc_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, CsvEmitsOneRowPerField) {
+  MetricsRegistry registry;
+  registry.inc("events", 3);
+  registry.set("level", 2.5);
+  registry.timer("t").record_ms(1.0);
+  std::ostringstream out;
+  registry.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("counter,events,value,3"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,level,value,2.5"), std::string::npos);
+  EXPECT_NE(csv.find("timer,t,count,1"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetDropsEverything) {
+  MetricsRegistry registry;
+  registry.inc("a", 10);
+  registry.reset();
+  const MetricsRegistry::Snapshot snap = registry.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_EQ(registry.counter("a").value(), 0);  // fresh metric after reset
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 10000;
+  Counter& hot = registry.counter("hot");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, &hot] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        hot.inc();
+        // Mixed-path hammering: lookups and timer records race too.
+        if (i % 1000 == 0) {
+          registry.inc("cold");
+          registry.timer("t").record_ms(0.001);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(hot.value(), kThreads * kIncrementsPerThread);
+  EXPECT_EQ(registry.counter("cold").value(),
+            kThreads * (kIncrementsPerThread / 1000));
+  EXPECT_EQ(registry.timer("t").stats().count,
+            kThreads * (kIncrementsPerThread / 1000));
+}
+
+TEST(MetricsRegistry, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&global_metrics(), &global_metrics());
+}
+
+}  // namespace
+}  // namespace esva
