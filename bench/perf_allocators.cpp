@@ -1,13 +1,20 @@
-// P1 — allocator performance harness with a machine-readable artifact.
+// P1/P2 — allocator performance harness with a machine-readable artifact.
 //
 // Two modes:
 //   * default          — measures the paper-scale allocators, checks the
 //                        zero-overhead contract of the observability layer
-//                        (obs/), and writes BENCH_perf.json so the perf
-//                        trajectory accumulates across PRs. Exits nonzero if
-//                        allocation with a *null* TraceSink is more than
-//                        --overhead-budget (default 5%) slower than the
-//                        uninstrumented reference loop.
+//                        (obs/), measures the candidate-scan engine
+//                        (core/candidate_scan.h): serial-vs-parallel speedup
+//                        and shape-cache hit rates, and writes
+//                        BENCH_perf.json so the perf trajectory accumulates
+//                        across PRs. Exits nonzero if allocation with a
+//                        *null* TraceSink is more than --overhead-budget
+//                        (default 5%) slower than the uninstrumented
+//                        reference loop, if any parallel or cached run
+//                        diverges from the serial assignment, or if the
+//                        4-thread speedup misses --speedup-budget (default
+//                        2x; only enforced on machines with >= 4 hardware
+//                        threads and outside --quick).
 //   * --gbench         — additionally runs the google-benchmark
 //                        microbenchmarks (hot primitives: feasibility probe,
 //                        incremental cost delta), forwarding --benchmark_*
@@ -26,6 +33,7 @@
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/registry.h"
@@ -263,8 +271,152 @@ AllocatorPoint measure_allocator(const std::string& name, int num_vms,
   return point;
 }
 
+// ---------------------------------------------------------------------------
+// Candidate-scan engine: serial vs parallel, cache hit rates
+// ---------------------------------------------------------------------------
+
+/// fig2 instance with starts/durations quantized to a coarse grid — the
+/// shape-repetitive "batch catalog" regime the ScanCache targets. On the raw
+/// Poisson workload exact (CPU, MEM, start, end) collisions are rare, which
+/// is why the cache is opt-in.
+ProblemInstance batch_instance_for(int num_vms, std::uint64_t seed) {
+  ProblemInstance problem = instance_for(num_vms, seed);
+  for (VmSpec& vm : problem.vms) {
+    vm.start = ((vm.start - 1) / 30) * 30 + 1;
+    const Time duration = std::max<Time>(30, ((vm.duration() + 29) / 30) * 30);
+    vm.end = std::min<Time>(problem.horizon, vm.start + duration - 1);
+  }
+  return problem;
+}
+
+struct TimedRun {
+  double median_ms = 0.0;
+  Allocation alloc;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+};
+
+TimedRun run_scan_config(const ProblemInstance& problem, int threads,
+                         bool cache, int reps) {
+  TimedRun result;
+  ScanConfig scan;
+  scan.threads = threads;
+  scan.cache = cache;
+  std::vector<double> times;
+  for (int rep = 0; rep < reps; ++rep) {
+    MetricsRegistry registry;
+    times.push_back(time_ms([&] {
+      MinIncrementalAllocator allocator;
+      allocator.set_scan_config(scan);
+      ObsContext obs;
+      obs.metrics = &registry;
+      allocator.set_observability(obs);
+      Rng rng(7);
+      result.alloc = allocator.allocate(problem, rng);
+      benchmark::DoNotOptimize(result.alloc.assignment.data());
+    }));
+    result.cache_hits =
+        registry.counter("allocator.min-incremental.cache_hits").value();
+    result.cache_misses =
+        registry.counter("allocator.min-incremental.cache_misses").value();
+  }
+  result.median_ms = median(times);
+  return result;
+}
+
+struct ParallelScanReport {
+  unsigned hardware_threads = 0;
+  double serial_ms = 0.0;
+  std::vector<std::pair<int, double>> parallel_ms;  ///< (threads, median ms)
+  double speedup_at_4 = 0.0;
+  bool assignments_match = true;
+  double fig2_hit_rate = 0.0;
+  double fig2_cached_ms = 0.0;
+  double batch_hit_rate = 0.0;
+  double batch_uncached_ms = 0.0;
+  double batch_cached_ms = 0.0;
+  bool speedup_enforced = false;
+  bool pass = true;
+};
+
+double hit_rate(const TimedRun& run) {
+  const std::int64_t probes = run.cache_hits + run.cache_misses;
+  return probes > 0 ? static_cast<double>(run.cache_hits) /
+                          static_cast<double>(probes)
+                    : 0.0;
+}
+
+ParallelScanReport measure_parallel_scan(int num_vms, int reps,
+                                         double speedup_budget, bool quick) {
+  ParallelScanReport report;
+  report.hardware_threads = std::thread::hardware_concurrency();
+  const ProblemInstance problem = instance_for(num_vms, 42);
+
+  std::printf("measuring candidate-scan engine (%d VMs, %u hardware "
+              "threads)...\n",
+              num_vms, report.hardware_threads);
+  const TimedRun serial = run_scan_config(problem, 1, false, reps);
+  report.serial_ms = serial.median_ms;
+  std::printf("  threads=1       %8.2f ms (median)\n", report.serial_ms);
+
+  for (const int threads : {2, 4}) {
+    const TimedRun parallel = run_scan_config(problem, threads, false, reps);
+    report.parallel_ms.emplace_back(threads, parallel.median_ms);
+    const bool match = parallel.alloc.assignment == serial.alloc.assignment;
+    report.assignments_match = report.assignments_match && match;
+    const double speedup =
+        parallel.median_ms > 0 ? report.serial_ms / parallel.median_ms : 0.0;
+    if (threads == 4) report.speedup_at_4 = speedup;
+    std::printf("  threads=%-7d %8.2f ms (median)  -> %.2fx  assignments %s\n",
+                threads, parallel.median_ms, speedup,
+                match ? "identical" : "DIVERGED (BUG)");
+  }
+
+  // Cache economics: near-zero hit rate on the raw Poisson workload (shapes
+  // almost never collide exactly) vs a real win on the quantized batch
+  // catalog. Both must reproduce the serial uncached assignment.
+  const TimedRun fig2_cached = run_scan_config(problem, 1, true, reps);
+  report.fig2_hit_rate = hit_rate(fig2_cached);
+  report.fig2_cached_ms = fig2_cached.median_ms;
+  report.assignments_match =
+      report.assignments_match &&
+      fig2_cached.alloc.assignment == serial.alloc.assignment;
+
+  const ProblemInstance batch = batch_instance_for(num_vms, 42);
+  const TimedRun batch_uncached = run_scan_config(batch, 1, false, reps);
+  const TimedRun batch_cached = run_scan_config(batch, 1, true, reps);
+  report.batch_hit_rate = hit_rate(batch_cached);
+  report.batch_uncached_ms = batch_uncached.median_ms;
+  report.batch_cached_ms = batch_cached.median_ms;
+  report.assignments_match =
+      report.assignments_match &&
+      batch_cached.alloc.assignment == batch_uncached.alloc.assignment;
+  std::printf("  cache, fig2:    %8.2f ms, hit rate %5.1f%% (Poisson shapes "
+              "rarely repeat)\n",
+              report.fig2_cached_ms, 100.0 * report.fig2_hit_rate);
+  std::printf("  cache, batch:   %8.2f ms vs %.2f ms uncached, hit rate "
+              "%5.1f%%\n",
+              report.batch_cached_ms, report.batch_uncached_ms,
+              100.0 * report.batch_hit_rate);
+
+  // The speedup budget only means something with real cores to scale onto;
+  // on smaller machines (and in --quick smoke runs) report honestly but
+  // don't fail the build.
+  report.speedup_enforced = !quick && report.hardware_threads >= 4;
+  report.pass = report.assignments_match &&
+                (!report.speedup_enforced ||
+                 report.speedup_at_4 >= speedup_budget);
+  std::printf("  speedup at 4 threads: %.2fx (budget %.1fx, %s) %s\n",
+              report.speedup_at_4, speedup_budget,
+              report.speedup_enforced ? "enforced"
+                                      : "not enforced on this machine",
+              report.pass ? "OK" : "FAIL");
+  return report;
+}
+
 int run_perf_report(const std::string& out_path, int num_vms, int reps,
-                    double overhead_budget) {
+                    double overhead_budget, double speedup_budget,
+                    bool quick) {
   std::printf("measuring null-sink observability overhead (%d VMs, %d reps "
               "per variant)...\n",
               num_vms, reps);
@@ -293,6 +445,9 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
                   p.num_vms, p.median_ms, p.vms_per_sec);
     }
   }
+
+  const ParallelScanReport scan =
+      measure_parallel_scan(num_vms, reps, speedup_budget, quick);
 
   std::ofstream out(out_path);
   if (!out) {
@@ -325,7 +480,27 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
         << ", \"vms_per_sec\": " << p.vms_per_sec << "}"
         << (i + 1 < points.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n";
+  out << "  \"parallel_scan\": {\n"
+      << "    \"hardware_threads\": " << scan.hardware_threads << ",\n"
+      << "    \"serial_ms\": " << scan.serial_ms << ",\n";
+  for (const auto& [threads, ms] : scan.parallel_ms)
+    out << "    \"parallel_ms_t" << threads << "\": " << ms << ",\n";
+  out << "    \"speedup_at_4_threads\": " << scan.speedup_at_4 << ",\n"
+      << "    \"speedup_budget\": " << speedup_budget << ",\n"
+      << "    \"speedup_enforced\": "
+      << (scan.speedup_enforced ? "true" : "false") << ",\n"
+      << "    \"assignments_match\": "
+      << (scan.assignments_match ? "true" : "false") << ",\n"
+      << "    \"cache\": {\n"
+      << "      \"fig2_hit_rate\": " << scan.fig2_hit_rate << ",\n"
+      << "      \"fig2_cached_ms\": " << scan.fig2_cached_ms << ",\n"
+      << "      \"batch_hit_rate\": " << scan.batch_hit_rate << ",\n"
+      << "      \"batch_uncached_ms\": " << scan.batch_uncached_ms << ",\n"
+      << "      \"batch_cached_ms\": " << scan.batch_cached_ms << "\n"
+      << "    },\n"
+      << "    \"pass\": " << (scan.pass ? "true" : "false") << "\n  }\n";
+  out << "}\n";
   std::printf("wrote %s\n", out_path.c_str());
 
   if (!overhead.assignments_match) {
@@ -338,6 +513,18 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
     std::fprintf(stderr,
                  "FAIL: null-sink overhead %.2f%% exceeds budget %.0f%%\n",
                  100.0 * overhead.overhead, 100.0 * overhead_budget);
+    return 1;
+  }
+  if (!scan.assignments_match) {
+    std::fprintf(stderr,
+                 "FAIL: parallel or cached scan diverged from the serial "
+                 "assignment\n");
+    return 1;
+  }
+  if (!scan.pass) {
+    std::fprintf(stderr,
+                 "FAIL: 4-thread speedup %.2fx below budget %.1fx\n",
+                 scan.speedup_at_4, speedup_budget);
     return 1;
   }
   return 0;
@@ -386,6 +573,9 @@ int main(int argc, char** argv) {
   parser.add_int("reps", 7, "timed repetitions per variant");
   parser.add_double("overhead-budget", 0.05,
                     "max tolerated null-sink slowdown (fraction)");
+  parser.add_double("speedup-budget", 2.0,
+                    "min required 4-thread scan speedup (enforced only on "
+                    ">=4-thread machines, full mode)");
   parser.add_bool("quick", "300-VM scenario, 3 reps (smoke test)");
   if (!parser.parse(static_cast<int>(own_argv.size()), own_argv.data()))
     return parser.parse_error() ? 1 : 0;
@@ -399,7 +589,9 @@ int main(int argc, char** argv) {
 
   const int status =
       run_perf_report(parser.get_string("out"), num_vms, reps,
-                      parser.get_double("overhead-budget"));
+                      parser.get_double("overhead-budget"),
+                      parser.get_double("speedup-budget"),
+                      parser.get_bool("quick"));
   if (run_gbench) {
     int gbench_argc = static_cast<int>(gbench_argv.size());
     benchmark::Initialize(&gbench_argc, gbench_argv.data());

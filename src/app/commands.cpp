@@ -161,6 +161,12 @@ int cmd_allocate(const std::vector<std::string>& args, std::ostream& out,
   parser.add_string("servers", "servers.csv", "server trace");
   parser.add_string("allocator", "min-incremental", "policy name");
   parser.add_int("seed", 42, "seed for stochastic allocators");
+  parser.add_int("threads", 1,
+                 "candidate-scan threads: 1 = serial (default), 0 = hardware "
+                 "concurrency, N = exactly N; identical results at any count");
+  parser.add_bool("cache",
+                  "enable the shape-keyed scan cache (identical results; "
+                  "faster when VM shapes repeat — see docs/PERFORMANCE.md)");
   parser.add_string("out-assignment", "", "assignment CSV output (optional)");
   parser.add_string("trace", "",
                     "JSONL decision trace output: one record per VM with "
@@ -184,6 +190,10 @@ int cmd_allocate(const std::vector<std::string>& args, std::ostream& out,
                 << problem.num_servers() << " servers (horizon "
                 << problem.horizon << ")";
     AllocatorPtr allocator = make_allocator(parser.get_string("allocator"));
+    ScanConfig scan;
+    scan.threads = static_cast<int>(parser.get_int("threads"));
+    scan.cache = parser.get_bool("cache");
+    allocator->set_scan_config(scan);
     ObsContext obs;
     obs.trace = trace_sink.get();
     obs.metrics = &metrics;

@@ -1,7 +1,7 @@
 #include "baselines/best_fit.h"
 
 #include "cluster/timeline.h"
-#include "core/cost_model.h"
+#include "core/candidate_scan.h"
 #include "obs/metrics.h"
 #include "util/types.h"
 
@@ -10,60 +10,26 @@ namespace esva {
 Allocation BestFitCpuAllocator::allocate(const ProblemInstance& problem,
                                          Rng& /*rng*/) {
   ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
-  const bool tracing = obs_.tracing();
 
-  Allocation alloc;
-  alloc.assignment.assign(problem.num_vms(), kNoServer);
-
-  std::vector<ServerTimeline> timelines =
-      make_timelines(problem.servers, problem.horizon);
-
-  std::int64_t feasible_probes = 0;
-  std::int64_t rejections = 0;
-  for (std::size_t j : ordered_indices(problem, order_)) {
-    const VmSpec& vm = problem.vms[j];
-    DecisionBuilder decision(obs_, name(), vm.id);
-    ServerId best_server = kNoServer;
-    double best_headroom = kInf;
-    for (std::size_t i = 0; i < timelines.size(); ++i) {
-      if (tracing) {
-        const FitCheck fit = timelines[i].check_fit(vm);
-        if (!fit.ok) {
-          decision.add_rejected(static_cast<ServerId>(i), fit);
-          ++rejections;
-          continue;
-        }
-        // The policy picks by CPU headroom; the trace still reports the
-        // incremental energy so traces are comparable across allocators.
-        decision.add_feasible(static_cast<ServerId>(i),
-                              incremental_cost(timelines[i], vm));
-      } else if (!timelines[i].can_fit(vm)) {
-        ++rejections;
-        continue;
-      }
-      ++feasible_probes;
-      const double headroom = timelines[i].spec().capacity.cpu -
-                              timelines[i].max_cpu_usage(vm.start, vm.end) -
-                              vm.demand.cpu;
-      if (headroom < best_headroom) {
-        best_headroom = headroom;
-        best_server = static_cast<ServerId>(i);
-      }
-    }
-    if (best_server == kNoServer) {
-      decision.commit(kNoServer);
-      continue;
-    }
-    const auto best = static_cast<std::size_t>(best_server);
-    if (decision.active())
-      decision.commit(best_server, incremental_cost(timelines[best], vm));
-    timelines[best].place(vm);
-    alloc.assignment[j] = best_server;
-  }
+  // The policy minimizes post-placement CPU headroom; while tracing,
+  // scan_allocate prices candidates with the Eq. 17 delta separately so
+  // traces stay comparable across allocators.
+  ScanTotals totals;
+  Allocation alloc = scan_allocate(
+      problem, options_.order, options_.scan, obs_, name(),
+      /*score_is_energy_delta=*/false,
+      [](const ServerTimeline& timeline, const VmSpec& vm) {
+        return timeline.spec().capacity.cpu -
+               timeline.max_cpu_usage(vm.start, vm.end) - vm.demand.cpu;
+      },
+      totals);
 
   record_allocation_metrics(obs_.metrics, name(), problem.num_vms(),
-                            feasible_probes, rejections,
+                            totals.feasible, totals.rejected,
                             alloc.num_unallocated());
+  if (options_.scan.cache)
+    record_scan_cache_metrics(obs_.metrics, name(), totals.cache_hits,
+                              totals.cache_misses);
   return alloc;
 }
 

@@ -12,15 +12,27 @@ namespace esva {
 
 class BestFitCpuAllocator final : public Allocator {
  public:
-  explicit BestFitCpuAllocator(VmOrder order = VmOrder::ByStartTime)
-      : order_(order) {}
+  struct Options {
+    VmOrder order = VmOrder::ByStartTime;
+    /// Scan-engine knobs (core/candidate_scan.h); any setting yields the
+    /// identical assignment.
+    ScanConfig scan;
+  };
+
+  BestFitCpuAllocator() = default;
+  explicit BestFitCpuAllocator(VmOrder order) { options_.order = order; }
+  explicit BestFitCpuAllocator(Options options) : options_(options) {}
 
   std::string name() const override { return "best-fit-cpu"; }
+
+  void set_scan_config(const ScanConfig& config) override {
+    options_.scan = config;
+  }
 
   Allocation allocate(const ProblemInstance& problem, Rng& rng) override;
 
  private:
-  VmOrder order_;
+  Options options_;
 };
 
 }  // namespace esva

@@ -1,7 +1,7 @@
 #include "baselines/lowest_idle_power.h"
 
 #include "cluster/timeline.h"
-#include "core/cost_model.h"
+#include "core/candidate_scan.h"
 #include "obs/metrics.h"
 #include "util/types.h"
 
@@ -10,55 +10,22 @@ namespace esva {
 Allocation LowestIdlePowerAllocator::allocate(const ProblemInstance& problem,
                                               Rng& /*rng*/) {
   ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
-  const bool tracing = obs_.tracing();
 
-  Allocation alloc;
-  alloc.assignment.assign(problem.num_vms(), kNoServer);
-
-  std::vector<ServerTimeline> timelines =
-      make_timelines(problem.servers, problem.horizon);
-
-  std::int64_t feasible_probes = 0;
-  std::int64_t rejections = 0;
-  for (std::size_t j : ordered_indices(problem, order_)) {
-    const VmSpec& vm = problem.vms[j];
-    DecisionBuilder decision(obs_, name(), vm.id);
-    ServerId best_server = kNoServer;
-    Watts best_idle = kInf;
-    for (std::size_t i = 0; i < timelines.size(); ++i) {
-      if (tracing) {
-        const FitCheck fit = timelines[i].check_fit(vm);
-        if (!fit.ok) {
-          decision.add_rejected(static_cast<ServerId>(i), fit);
-          ++rejections;
-          continue;
-        }
-        decision.add_feasible(static_cast<ServerId>(i),
-                              incremental_cost(timelines[i], vm));
-      } else if (!timelines[i].can_fit(vm)) {
-        ++rejections;
-        continue;
-      }
-      ++feasible_probes;
-      if (timelines[i].spec().p_idle < best_idle) {
-        best_idle = timelines[i].spec().p_idle;
-        best_server = static_cast<ServerId>(i);
-      }
-    }
-    if (best_server == kNoServer) {
-      decision.commit(kNoServer);
-      continue;
-    }
-    const auto best = static_cast<std::size_t>(best_server);
-    if (decision.active())
-      decision.commit(best_server, incremental_cost(timelines[best], vm));
-    timelines[best].place(vm);
-    alloc.assignment[j] = best_server;
-  }
+  ScanTotals totals;
+  Allocation alloc = scan_allocate(
+      problem, options_.order, options_.scan, obs_, name(),
+      /*score_is_energy_delta=*/false,
+      [](const ServerTimeline& timeline, const VmSpec& /*vm*/) {
+        return timeline.spec().p_idle;
+      },
+      totals);
 
   record_allocation_metrics(obs_.metrics, name(), problem.num_vms(),
-                            feasible_probes, rejections,
+                            totals.feasible, totals.rejected,
                             alloc.num_unallocated());
+  if (options_.scan.cache)
+    record_scan_cache_metrics(obs_.metrics, name(), totals.cache_hits,
+                              totals.cache_misses);
   return alloc;
 }
 

@@ -12,15 +12,27 @@ namespace esva {
 
 class LowestIdlePowerAllocator final : public Allocator {
  public:
-  explicit LowestIdlePowerAllocator(VmOrder order = VmOrder::ByStartTime)
-      : order_(order) {}
+  struct Options {
+    VmOrder order = VmOrder::ByStartTime;
+    /// Scan-engine knobs (core/candidate_scan.h); any setting yields the
+    /// identical assignment.
+    ScanConfig scan;
+  };
+
+  LowestIdlePowerAllocator() = default;
+  explicit LowestIdlePowerAllocator(VmOrder order) { options_.order = order; }
+  explicit LowestIdlePowerAllocator(Options options) : options_(options) {}
 
   std::string name() const override { return "lowest-idle-power"; }
+
+  void set_scan_config(const ScanConfig& config) override {
+    options_.scan = config;
+  }
 
   Allocation allocate(const ProblemInstance& problem, Rng& rng) override;
 
  private:
-  VmOrder order_;
+  Options options_;
 };
 
 }  // namespace esva

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "cluster/timeline.h"
-#include "core/cost_model.h"
+#include "core/candidate_scan.h"
 #include "obs/metrics.h"
 #include "util/types.h"
 
@@ -12,71 +12,41 @@ namespace esva {
 Allocation DotProductFitAllocator::allocate(const ProblemInstance& problem,
                                             Rng& /*rng*/) {
   ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
-  const bool tracing = obs_.tracing();
 
-  Allocation alloc;
-  alloc.assignment.assign(problem.num_vms(), kNoServer);
-
-  std::vector<ServerTimeline> timelines =
-      make_timelines(problem.servers, problem.horizon);
-
-  std::int64_t feasible_probes = 0;
-  std::int64_t rejections = 0;
-  for (std::size_t j : ordered_indices(problem, order_)) {
-    const VmSpec& vm = problem.vms[j];
-    DecisionBuilder decision(obs_, name(), vm.id);
-    const double demand_norm =
-        std::sqrt(vm.demand.cpu * vm.demand.cpu + vm.demand.mem * vm.demand.mem);
-    ServerId best_server = kNoServer;
-    double best_alignment = -kInf;
-    for (std::size_t i = 0; i < timelines.size(); ++i) {
-      if (tracing) {
-        const FitCheck fit = timelines[i].check_fit(vm);
-        if (!fit.ok) {
-          decision.add_rejected(static_cast<ServerId>(i), fit);
-          ++rejections;
-          continue;
+  // scan_allocate minimizes, so the score is the *negated* cosine alignment:
+  // -a < -b exactly when a > b (negation is exact in IEEE754), keeping the
+  // selection bit-identical to the historical maximizing loop.
+  ScanTotals totals;
+  Allocation alloc = scan_allocate(
+      problem, options_.order, options_.scan, obs_, name(),
+      /*score_is_energy_delta=*/false,
+      [](const ServerTimeline& timeline, const VmSpec& vm) {
+        const double demand_norm = std::sqrt(
+            vm.demand.cpu * vm.demand.cpu + vm.demand.mem * vm.demand.mem);
+        const Resources remaining{
+            timeline.spec().capacity.cpu -
+                timeline.max_cpu_usage(vm.start, vm.end),
+            timeline.spec().capacity.mem -
+                timeline.max_mem_usage(vm.start, vm.end)};
+        const double remaining_norm = std::sqrt(
+            remaining.cpu * remaining.cpu + remaining.mem * remaining.mem);
+        // A zero-demand or exactly-full server degenerates; score it neutral.
+        double alignment = 0.0;
+        if (demand_norm > kEps && remaining_norm > kEps) {
+          alignment = (vm.demand.cpu * remaining.cpu +
+                       vm.demand.mem * remaining.mem) /
+                      (demand_norm * remaining_norm);
         }
-        decision.add_feasible(static_cast<ServerId>(i),
-                              incremental_cost(timelines[i], vm));
-      } else if (!timelines[i].can_fit(vm)) {
-        ++rejections;
-        continue;
-      }
-      ++feasible_probes;
-      const Resources remaining{
-          timelines[i].spec().capacity.cpu -
-              timelines[i].max_cpu_usage(vm.start, vm.end),
-          timelines[i].spec().capacity.mem -
-              timelines[i].max_mem_usage(vm.start, vm.end)};
-      const double remaining_norm = std::sqrt(
-          remaining.cpu * remaining.cpu + remaining.mem * remaining.mem);
-      // A zero-demand or exactly-full server degenerates; score it neutral.
-      double alignment = 0.0;
-      if (demand_norm > kEps && remaining_norm > kEps) {
-        alignment = (vm.demand.cpu * remaining.cpu +
-                     vm.demand.mem * remaining.mem) /
-                    (demand_norm * remaining_norm);
-      }
-      if (alignment > best_alignment) {
-        best_alignment = alignment;
-        best_server = static_cast<ServerId>(i);
-      }
-    }
-    if (best_server == kNoServer) {
-      decision.commit(kNoServer);
-      continue;
-    }
-    const auto best = static_cast<std::size_t>(best_server);
-    if (decision.active())
-      decision.commit(best_server, incremental_cost(timelines[best], vm));
-    timelines[best].place(vm);
-    alloc.assignment[j] = best_server;
-  }
+        return -alignment;
+      },
+      totals);
 
   record_allocation_metrics(obs_.metrics, name(), problem.num_vms(),
-                            feasible_probes, rejections,
+                            totals.feasible, totals.rejected,
                             alloc.num_unallocated());
+  if (options_.scan.cache)
+    record_scan_cache_metrics(obs_.metrics, name(), totals.cache_hits,
+                              totals.cache_misses);
   return alloc;
 }
 

@@ -16,10 +16,22 @@ namespace esva {
 
 class DotProductFitAllocator final : public Allocator {
  public:
-  explicit DotProductFitAllocator(VmOrder order = VmOrder::ByStartTime)
-      : order_(order) {}
+  struct Options {
+    VmOrder order = VmOrder::ByStartTime;
+    /// Scan-engine knobs (core/candidate_scan.h); any setting yields the
+    /// identical assignment.
+    ScanConfig scan;
+  };
+
+  DotProductFitAllocator() = default;
+  explicit DotProductFitAllocator(VmOrder order) { options_.order = order; }
+  explicit DotProductFitAllocator(Options options) : options_(options) {}
 
   std::string name() const override { return "dot-product-fit"; }
+
+  void set_scan_config(const ScanConfig& config) override {
+    options_.scan = config;
+  }
 
   /// Deterministic: maximizes the cosine between the VM's demand and the
   /// server's peak remaining capacity over the VM's interval; ties toward
@@ -27,7 +39,7 @@ class DotProductFitAllocator final : public Allocator {
   Allocation allocate(const ProblemInstance& problem, Rng& rng) override;
 
  private:
-  VmOrder order_;
+  Options options_;
 };
 
 }  // namespace esva

@@ -95,6 +95,7 @@ void apply_demand(RangeAddMaxTree& cpu, RangeAddMaxTree& mem,
 
 ServerTimeline::PlaceRecord ServerTimeline::place(const VmSpec& vm) {
   assert(can_fit(vm));
+  ++epoch_;
   apply_demand(cpu_, mem_, vm, +1.0);
   PlaceRecord record;
   record.vm = vm.id;
@@ -107,6 +108,7 @@ void ServerTimeline::undo(const PlaceRecord& record, const VmSpec& vm) {
   assert(!vms_.empty() && vms_.back() == record.vm &&
          "placements must be undone in LIFO order");
   assert(vm.id == record.vm);
+  ++epoch_;
   vms_.pop_back();
   apply_demand(cpu_, mem_, vm, -1.0);
   // Restore the busy structure: remove the merged interval, re-add whatever

@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,13 @@ class ServerTimeline {
 
   const ServerSpec& spec() const { return spec_; }
   Time horizon() const { return horizon_; }
+
+  /// Mutation counter: bumped by every place() and undo(), never reused.
+  /// Anything derived from this timeline's state (feasibility verdicts,
+  /// incremental-cost deltas) stays valid exactly while the epoch is
+  /// unchanged — the invariant behind the shape-keyed scan cache
+  /// (core/candidate_scan.h).
+  std::uint64_t epoch() const { return epoch_; }
 
   /// True iff the VM's demand fits within spare capacity at every time unit
   /// of its interval. VMs whose interval exceeds the horizon do not fit.
@@ -102,6 +110,7 @@ class ServerTimeline {
   RangeAddMaxTree mem_;
   IntervalSet busy_;
   std::vector<VmId> vms_;
+  std::uint64_t epoch_ = 0;
 };
 
 /// Builds one timeline per server over the instance horizon.

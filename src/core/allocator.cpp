@@ -2,10 +2,17 @@
 
 #include <algorithm>
 #include <numeric>
+#include <thread>
 
 #include "obs/metrics.h"
 
 namespace esva {
+
+int ScanConfig::resolved_threads() const {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
 
 Timer* allocate_timer(MetricsRegistry* metrics, const std::string& allocator) {
   if (!metrics) return nullptr;
@@ -23,6 +30,16 @@ void record_allocation_metrics(MetricsRegistry* metrics,
   metrics->inc(prefix + "feasible_candidates", feasible_candidates);
   metrics->inc(prefix + "rejections", rejections);
   metrics->inc(prefix + "unallocated", static_cast<std::int64_t>(unallocated));
+}
+
+void record_scan_cache_metrics(MetricsRegistry* metrics,
+                               const std::string& allocator,
+                               std::int64_t cache_hits,
+                               std::int64_t cache_misses) {
+  if (!metrics) return;
+  const std::string prefix = "allocator." + allocator + ".";
+  metrics->inc(prefix + "cache_hits", cache_hits);
+  metrics->inc(prefix + "cache_misses", cache_misses);
 }
 
 std::string to_string(VmOrder order) {

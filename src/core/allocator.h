@@ -37,6 +37,23 @@ std::string to_string(VmOrder order);
 std::vector<std::size_t> ordered_indices(const ProblemInstance& problem,
                                          VmOrder order);
 
+/// Configuration of the candidate-scan engine (core/candidate_scan.h) shared
+/// by the allocators that probe every server per VM. The defaults reproduce
+/// the original serial, uncached loop exactly; any other setting is proven
+/// bit-identical to it (tests/test_parallel_scan.cpp, docs/PERFORMANCE.md).
+struct ScanConfig {
+  /// Worker threads per scan: 1 = serial (default), 0 = hardware
+  /// concurrency, N > 1 = exactly N. Results are identical at any count.
+  int threads = 1;
+  /// Shape-keyed memoization of feasibility + score per server, invalidated
+  /// by the timeline epoch. Off by default: it pays off only on workloads
+  /// where (CPU, MEM, interval) shapes repeat (docs/PERFORMANCE.md).
+  bool cache = false;
+
+  /// `threads` with 0 resolved to the hardware concurrency (at least 1).
+  int resolved_threads() const;
+};
+
 class Allocator {
  public:
   virtual ~Allocator() = default;
@@ -46,6 +63,12 @@ class Allocator {
 
   /// Produces an assignment for every VM (kNoServer where infeasible).
   virtual Allocation allocate(const ProblemInstance& problem, Rng& rng) = 0;
+
+  /// Configures the candidate-scan engine for allocators built on it
+  /// (min-incremental, best-fit-cpu, lowest-idle-power, dot-product-fit).
+  /// Default: no-op — allocators without an exhaustive scan (ffps,
+  /// random-fit) ignore it.
+  virtual void set_scan_config(const ScanConfig& /*config*/) {}
 
   /// Observability hook shared by every allocator (obs/trace.h): a trace
   /// sink receiving one VmDecisionTrace per VM, and a metrics registry for
@@ -75,5 +98,14 @@ void record_allocation_metrics(MetricsRegistry* metrics,
                                std::int64_t feasible_candidates,
                                std::int64_t rejections,
                                std::size_t unallocated);
+
+/// Flushes the scan-cache counters ("allocator.<name>.cache_hits",
+/// ".cache_misses"). Call only when the cache ran (ScanConfig::cache), so
+/// cache-less runs don't emit zero-valued counters; no-op when `metrics` is
+/// null.
+void record_scan_cache_metrics(MetricsRegistry* metrics,
+                               const std::string& allocator,
+                               std::int64_t cache_hits,
+                               std::int64_t cache_misses);
 
 }  // namespace esva

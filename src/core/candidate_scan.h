@@ -1,0 +1,323 @@
+// The candidate-scan engine: every exhaustive allocator in the library spends
+// its time in the same loop — for each VM, probe all n server timelines
+// (feasibility + a per-server score) and keep the arg-min. This header owns
+// that loop once, in three layers:
+//
+//   * scan_candidates() — the arg-min itself, serial or partitioned across a
+//     ThreadPool. Deterministic by construction: each thread takes one
+//     contiguous index chunk and runs the *same* strict-< loop the serial
+//     scan runs, and the per-chunk minima are reduced in increasing chunk
+//     order with the same strict <. Chunks are contiguous and ascending, so
+//     "first index with a strictly smaller score" — the serial winner — wins
+//     the reduction at any thread count; scores are computed independently
+//     per server, so they are bit-identical to the serial run's. Verified
+//     byte-for-byte in tests/test_parallel_scan.cpp.
+//
+//   * ScanCache — per-(server, shape) memoization of feasibility + score,
+//     keyed by the VM's (CPU, MEM, start, end) shape and guarded by the
+//     timeline's epoch (cluster/timeline.h): the cached value is the very
+//     double the uncached probe would recompute, valid until the probed
+//     timeline actually mutates. Each scan probes each server exactly once,
+//     so per-server cache state evolves identically at any thread count.
+//     Profiled VMs (time-varying demand) bypass the cache — their demand is
+//     not captured by the shape key.
+//
+//   * scan_allocate() — the full allocation loop shared by min-incremental
+//     and the scan-based baselines: VM ordering, tracing (serial, uncached —
+//     decision records are inherently ordered and need check_fit
+//     diagnostics), placement, and probe accounting. The fast path with
+//     default ScanConfig is the exact pre-engine serial loop, preserving the
+//     null-sink zero-overhead contract (bench/perf_allocators).
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/timeline.h"
+#include "core/allocator.h"
+#include "core/cost_model.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+#include "util/types.h"
+
+namespace esva {
+
+/// "No feasible candidate" marker for ScanOutcome::best.
+inline constexpr std::size_t kNoCandidate = static_cast<std::size_t>(-1);
+
+/// Result of one arg-min scan over [0, n) candidates.
+struct ScanOutcome {
+  std::size_t best = kNoCandidate;
+  double best_score = kInf;
+  std::int64_t feasible = 0;
+  std::int64_t rejected = 0;
+};
+
+/// The one arg-min loop every allocator variant funnels through (the serial
+/// scan, one parallel chunk, and the traced scan are all instantiations).
+/// `eval(i)` returns the candidate's score, or nullopt when infeasible;
+/// strictly smaller scores win, ties keep the lowest index.
+template <typename Eval>
+ScanOutcome scan_range(std::size_t lo, std::size_t hi, const Eval& eval) {
+  ScanOutcome out;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const std::optional<double> score = eval(i);
+    if (!score) {
+      ++out.rejected;
+      continue;
+    }
+    ++out.feasible;
+    if (*score < out.best_score) {
+      out.best_score = *score;
+      out.best = i;
+    }
+  }
+  return out;
+}
+
+/// Arg-min over [0, n): serial when `pool` is null (or the fleet is too small
+/// for fan-out to pay), otherwise partitioned into pool->size() + 1
+/// contiguous chunks — the calling thread scans the first chunk while the
+/// workers scan the rest. Bit-identical to scan_range(0, n, eval) at any
+/// thread count (header comment); exceptions from `eval` propagate.
+template <typename Eval>
+ScanOutcome scan_candidates(std::size_t n, const Eval& eval,
+                            ThreadPool* pool) {
+  // Below this fleet size a scan is microseconds of work; waking workers
+  // would cost more than it saves. Purely a latency guard — the result is
+  // identical either way.
+  constexpr std::size_t kMinParallelCandidates = 8;
+  if (pool == nullptr || n < kMinParallelCandidates)
+    return scan_range(std::size_t{0}, n, eval);
+
+  const std::size_t chunks = std::min(pool->size() + 1, n);
+  std::vector<std::future<ScanOutcome>> pending;
+  pending.reserve(chunks - 1);
+  const auto chunk_begin = [&](std::size_t c) { return n * c / chunks; };
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const std::size_t lo = chunk_begin(c);
+    const std::size_t hi = chunk_begin(c + 1);
+    pending.push_back(
+        pool->submit([&eval, lo, hi] { return scan_range(lo, hi, eval); }));
+  }
+  ScanOutcome total = scan_range(chunk_begin(0), chunk_begin(1), eval);
+  for (std::future<ScanOutcome>& future : pending) {
+    const ScanOutcome chunk = future.get();
+    total.feasible += chunk.feasible;
+    total.rejected += chunk.rejected;
+    if (chunk.best != kNoCandidate && chunk.best_score < total.best_score) {
+      total.best_score = chunk.best_score;
+      total.best = chunk.best;
+    }
+  }
+  return total;
+}
+
+/// The (CPU, MEM, interval) shape of a stable VM — the cache key. Exact
+/// double equality is intended: VMs instantiated from the same catalog type
+/// carry bit-identical demands.
+struct VmShape {
+  double cpu = 0.0;
+  double mem = 0.0;
+  Time start = 0;
+  Time end = 0;
+
+  bool operator==(const VmShape& other) const {
+    return cpu == other.cpu && mem == other.mem && start == other.start &&
+           end == other.end;
+  }
+};
+
+struct VmShapeHash {
+  std::size_t operator()(const VmShape& shape) const {
+    const auto mix = [](std::size_t seed, std::size_t v) {
+      return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+    };
+    std::size_t h = std::hash<double>{}(shape.cpu);
+    h = mix(h, std::hash<double>{}(shape.mem));
+    h = mix(h, std::hash<Time>{}(shape.start));
+    h = mix(h, std::hash<Time>{}(shape.end));
+    return h;
+  }
+};
+
+/// Epoch-validated memo of (feasible, score) per (server, shape). Thread-safe
+/// under the scan engine's access pattern: a scan partitions servers across
+/// threads disjointly, so each per-server slot is touched by one thread at a
+/// time.
+class ScanCache {
+ public:
+  void resize(std::size_t num_servers) { servers_.resize(num_servers); }
+  bool enabled() const { return !servers_.empty(); }
+
+  /// Cached equivalent of "can_fit(vm) ? score(timeline, vm) : nullopt" for
+  /// server `i`. A stored entry is reused iff the timeline's epoch is
+  /// unchanged since it was stored; the first probe after a mutation drops
+  /// the server's entries. Profiled VMs bypass the cache entirely.
+  template <typename ScoreFn>
+  std::optional<double> probe(std::size_t i, const ServerTimeline& timeline,
+                              const VmSpec& vm, const ScoreFn& score) {
+    if (vm.has_profile()) {
+      if (!timeline.can_fit(vm)) return std::nullopt;
+      return score(timeline, vm);
+    }
+    Slot& slot = servers_[i];
+    if (slot.epoch != timeline.epoch() || !slot.valid) {
+      slot.entries.clear();
+      slot.epoch = timeline.epoch();
+      slot.valid = true;
+    }
+    const VmShape shape{vm.demand.cpu, vm.demand.mem, vm.start, vm.end};
+    if (const auto it = slot.entries.find(shape); it != slot.entries.end()) {
+      ++slot.hits;
+      if (!it->second.feasible) return std::nullopt;
+      return it->second.score;
+    }
+    ++slot.misses;
+    Entry entry;
+    entry.feasible = timeline.can_fit(vm);
+    if (entry.feasible) entry.score = score(timeline, vm);
+    slot.entries.emplace(shape, entry);
+    if (!entry.feasible) return std::nullopt;
+    return entry.score;
+  }
+
+  std::int64_t hits() const { return sum(&Slot::hits); }
+  std::int64_t misses() const { return sum(&Slot::misses); }
+
+ private:
+  struct Entry {
+    bool feasible = false;
+    double score = 0.0;
+  };
+  struct Slot {
+    std::uint64_t epoch = 0;
+    bool valid = false;  ///< false until the first probe adopts an epoch
+    std::unordered_map<VmShape, Entry, VmShapeHash> entries;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+  };
+
+  std::int64_t sum(std::int64_t Slot::* field) const {
+    std::int64_t total = 0;
+    for (const Slot& slot : servers_) total += slot.*field;
+    return total;
+  }
+
+  std::vector<Slot> servers_;
+};
+
+/// Probe accounting for one allocate() run.
+struct ScanTotals {
+  std::int64_t feasible = 0;
+  std::int64_t rejected = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+};
+
+/// The allocation loop shared by every scan-based allocator: presents VMs in
+/// `order`, arg-min-scans the fleet with `score` (lower is better; ties to
+/// the lowest server index), places the winner, and leaves losers
+/// unallocated.
+///
+/// While tracing, the scan runs serial and uncached — decision records are
+/// inherently ordered, and rejection diagnostics need check_fit — but flows
+/// through the same scan_candidates arg-min, so traced and untraced runs
+/// cannot diverge (tests/test_obs_trace.cpp). `score_is_energy_delta` tells
+/// the tracer whether `score` already *is* the Eq. 17 incremental energy;
+/// otherwise candidates are priced separately for the trace, as the baselines
+/// always did.
+template <typename ScoreFn>
+Allocation scan_allocate(const ProblemInstance& problem, VmOrder order,
+                         const ScanConfig& config, const ObsContext& obs,
+                         const std::string& name, bool score_is_energy_delta,
+                         const ScoreFn& score, ScanTotals& totals) {
+  Allocation alloc;
+  alloc.assignment.assign(problem.num_vms(), kNoServer);
+  std::vector<ServerTimeline> timelines =
+      make_timelines(problem.servers, problem.horizon);
+  const std::size_t n = timelines.size();
+  const bool tracing = obs.tracing();
+
+  std::unique_ptr<ThreadPool> pool;
+  if (!tracing && config.resolved_threads() > 1 && n > 1)
+    pool = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(config.resolved_threads()) - 1);
+  ScanCache cache;
+  if (!tracing && config.cache) cache.resize(n);
+
+  const std::vector<std::size_t> indices = ordered_indices(problem, order);
+  if (tracing) {
+    for (std::size_t j : indices) {
+      const VmSpec& vm = problem.vms[j];
+      DecisionBuilder decision(obs, name, vm.id);
+      const ScanOutcome out = scan_candidates(
+          n,
+          [&](std::size_t i) -> std::optional<double> {
+            const FitCheck fit = timelines[i].check_fit(vm);
+            if (!fit.ok) {
+              decision.add_rejected(static_cast<ServerId>(i), fit);
+              return std::nullopt;
+            }
+            const double s = score(timelines[i], vm);
+            decision.add_feasible(static_cast<ServerId>(i),
+                                  score_is_energy_delta
+                                      ? s
+                                      : incremental_cost(timelines[i], vm));
+            return s;
+          },
+          nullptr);
+      totals.feasible += out.feasible;
+      totals.rejected += out.rejected;
+      if (out.best == kNoCandidate) {
+        decision.commit(kNoServer);
+        continue;  // reported as unallocated
+      }
+      decision.commit(static_cast<ServerId>(out.best),
+                      score_is_energy_delta
+                          ? out.best_score
+                          : incremental_cost(timelines[out.best], vm));
+      timelines[out.best].place(vm);
+      alloc.assignment[j] = static_cast<ServerId>(out.best);
+    }
+    return alloc;
+  }
+
+  for (std::size_t j : indices) {
+    const VmSpec& vm = problem.vms[j];
+    const ScanOutcome out =
+        cache.enabled()
+            ? scan_candidates(
+                  n,
+                  [&](std::size_t i) -> std::optional<double> {
+                    return cache.probe(i, timelines[i], vm, score);
+                  },
+                  pool.get())
+            : scan_candidates(
+                  n,
+                  [&](std::size_t i) -> std::optional<double> {
+                    if (!timelines[i].can_fit(vm)) return std::nullopt;
+                    return score(timelines[i], vm);
+                  },
+                  pool.get());
+    totals.feasible += out.feasible;
+    totals.rejected += out.rejected;
+    if (out.best == kNoCandidate) continue;  // reported as unallocated
+    timelines[out.best].place(vm);
+    alloc.assignment[j] = static_cast<ServerId>(out.best);
+  }
+  totals.cache_hits = cache.hits();
+  totals.cache_misses = cache.misses();
+  return alloc;
+}
+
+}  // namespace esva

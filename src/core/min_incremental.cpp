@@ -1,109 +1,35 @@
 #include "core/min_incremental.h"
 
-#include "cluster/timeline.h"
+#include "core/candidate_scan.h"
 #include "obs/metrics.h"
 
 namespace esva {
 
-namespace {
-
-/// Untraced allocation loop. Kept free of any per-candidate observability
-/// branching so a null ObsContext pays nothing (the zero-overhead contract
-/// enforced by bench/perf_allocators); the traced twin below mirrors it.
-Allocation allocate_fast(const ProblemInstance& problem,
-                         const MinIncrementalAllocator::Options& options,
-                         std::int64_t& feasible_probes,
-                         std::int64_t& rejections) {
-  Allocation alloc;
-  alloc.assignment.assign(problem.num_vms(), kNoServer);
-
-  std::vector<ServerTimeline> timelines =
-      make_timelines(problem.servers, problem.horizon);
-
-  for (std::size_t j : ordered_indices(problem, options.order)) {
-    const VmSpec& vm = problem.vms[j];
-    ServerId best_server = kNoServer;
-    Energy best_delta = kInf;
-    for (std::size_t i = 0; i < timelines.size(); ++i) {
-      if (!timelines[i].can_fit(vm)) {
-        ++rejections;
-        continue;
-      }
-      ++feasible_probes;
-      const Energy delta = incremental_cost(timelines[i], vm, options.cost);
-      if (delta < best_delta) {
-        best_delta = delta;
-        best_server = static_cast<ServerId>(i);
-      }
-    }
-    if (best_server == kNoServer) continue;  // reported as unallocated
-    timelines[static_cast<std::size_t>(best_server)].place(vm);
-    alloc.assignment[j] = best_server;
-  }
-  return alloc;
-}
-
-/// Traced twin of allocate_fast: identical decisions, but every probe goes
-/// through check_fit (which resource, which time unit) and is recorded.
-Allocation allocate_traced(const ProblemInstance& problem,
-                           const MinIncrementalAllocator::Options& options,
-                           const ObsContext& obs, const std::string& name,
-                           std::int64_t& feasible_probes,
-                           std::int64_t& rejections) {
-  Allocation alloc;
-  alloc.assignment.assign(problem.num_vms(), kNoServer);
-
-  std::vector<ServerTimeline> timelines =
-      make_timelines(problem.servers, problem.horizon);
-
-  for (std::size_t j : ordered_indices(problem, options.order)) {
-    const VmSpec& vm = problem.vms[j];
-    DecisionBuilder decision(obs, name, vm.id);
-    ServerId best_server = kNoServer;
-    Energy best_delta = kInf;
-    for (std::size_t i = 0; i < timelines.size(); ++i) {
-      const FitCheck fit = timelines[i].check_fit(vm);
-      if (!fit.ok) {
-        decision.add_rejected(static_cast<ServerId>(i), fit);
-        ++rejections;
-        continue;
-      }
-      ++feasible_probes;
-      const Energy delta = incremental_cost(timelines[i], vm, options.cost);
-      decision.add_feasible(static_cast<ServerId>(i), delta);
-      if (delta < best_delta) {
-        best_delta = delta;
-        best_server = static_cast<ServerId>(i);
-      }
-    }
-    if (best_server == kNoServer) {
-      decision.commit(kNoServer);
-      continue;  // reported as unallocated
-    }
-    decision.commit(best_server, best_delta);
-    timelines[static_cast<std::size_t>(best_server)].place(vm);
-    alloc.assignment[j] = best_server;
-  }
-  return alloc;
-}
-
-}  // namespace
-
+// The whole decision loop — traced and untraced, serial and parallel, cached
+// and uncached — lives in scan_allocate (core/candidate_scan.h), so the
+// traced twin can never drift from the fast path (the equivalence test in
+// tests/test_obs_trace.cpp pins them together). The score *is* the Eq. 17
+// incremental energy, which is also what the trace reports.
 Allocation MinIncrementalAllocator::allocate(const ProblemInstance& problem,
                                              Rng& /*rng*/) {
   ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
 
-  std::int64_t feasible_probes = 0;
-  std::int64_t rejections = 0;
-  Allocation alloc =
-      obs_.tracing()
-          ? allocate_traced(problem, options_, obs_, name(), feasible_probes,
-                            rejections)
-          : allocate_fast(problem, options_, feasible_probes, rejections);
+  ScanTotals totals;
+  const CostOptions cost = options_.cost;
+  Allocation alloc = scan_allocate(
+      problem, options_.order, options_.scan, obs_, name(),
+      /*score_is_energy_delta=*/true,
+      [&cost](const ServerTimeline& timeline, const VmSpec& vm) {
+        return incremental_cost(timeline, vm, cost);
+      },
+      totals);
 
   record_allocation_metrics(obs_.metrics, name(), problem.num_vms(),
-                            feasible_probes, rejections,
+                            totals.feasible, totals.rejected,
                             alloc.num_unallocated());
+  if (options_.scan.cache)
+    record_scan_cache_metrics(obs_.metrics, name(), totals.cache_hits,
+                              totals.cache_misses);
   return alloc;
 }
 

@@ -1,0 +1,97 @@
+// Fixed-size worker pool backing the parallel candidate scan
+// (core/candidate_scan.h).
+//
+// Deliberately minimal: N workers, one FIFO queue, submit() returning a
+// std::future. Exceptions thrown by a task surface through its future
+// (std::packaged_task semantics), tasks still queued at destruction are
+// drained before the workers exit, and a pool can be reused for arbitrarily
+// many submission rounds. There is no work stealing and no task priorities —
+// the scan engine submits one coarse task per worker per scan, so a plain
+// queue is never the bottleneck.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace esva {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least one).
+  explicit ThreadPool(std::size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  /// Joins every worker. Tasks already queued are executed first, so a
+  /// future obtained from submit() never dangles in a broken-promise state
+  /// because of pool teardown.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `task` and returns the future for its result. If the task
+  /// throws, the exception is rethrown by future::get().
+  template <typename F>
+  std::future<std::invoke_result_t<F&>> submit(F task) {
+    using Result = std::invoke_result_t<F&>;
+    // packaged_task is move-only and std::function requires copyable
+    // callables, so the task rides in a shared_ptr.
+    auto packaged =
+        std::make_shared<std::packaged_task<Result()>>(std::move(task));
+    std::future<Result> future = packaged->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_)
+        throw std::runtime_error("ThreadPool::submit on a stopped pool");
+      queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ and nothing left to drain
+        task = std::move(queue_.front());
+        queue_.erase(queue_.begin());
+      }
+      task();  // exceptions land in the task's promise, never here
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace esva

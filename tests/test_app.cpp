@@ -133,6 +133,32 @@ TEST_F(AppTest, FullPipelineGenerateAllocateEvaluateSimulate) {
   EXPECT_EQ(header, "t,total_power_w,active_servers,running_vms");
 }
 
+TEST_F(AppTest, AllocateThreadsAndCacheFlagsPreserveTheAssignment) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "60", "--servers", "24", "--out-vms",
+                 path("t_vms.csv"), "--out-servers", path("t_srv.csv")}),
+            0);
+  ASSERT_EQ(run("allocate",
+                {"--vms", path("t_vms.csv"), "--servers", path("t_srv.csv"),
+                 "--out-assignment", path("t_serial.csv")}),
+            0)
+      << err();
+  // --threads 0 resolves to hardware concurrency; --cache memoizes scores.
+  // Either way the assignment must be the serial one, byte for byte.
+  ASSERT_EQ(run("allocate",
+                {"--vms", path("t_vms.csv"), "--servers", path("t_srv.csv"),
+                 "--threads", "0", "--cache", "--out-assignment",
+                 path("t_parallel.csv")}),
+            0)
+      << err();
+  std::ifstream serial(path("t_serial.csv"));
+  std::ifstream parallel(path("t_parallel.csv"));
+  std::stringstream serial_body, parallel_body;
+  serial_body << serial.rdbuf();
+  parallel_body << parallel.rdbuf();
+  EXPECT_EQ(serial_body.str(), parallel_body.str());
+}
+
 TEST_F(AppTest, AllocateAcceptsExtensionAllocators) {
   ASSERT_EQ(run("generate",
                 {"--vms", "25", "--servers", "12", "--out-vms",

@@ -1,0 +1,278 @@
+// Differential harness for the candidate-scan engine (core/candidate_scan.h):
+// whatever ScanConfig says — serial or parallel, cached or uncached — every
+// scan-based allocator must produce an assignment *byte-identical* to the
+// historical serial uncached loop. Randomized over generator-seeded
+// instances, stable and per-time-unit (profiled) workloads.
+
+#include "core/candidate_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "cluster/catalog.h"
+#include "core/allocation.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace esva {
+namespace {
+
+constexpr int kNumVms = 220;
+constexpr int kNumServers = 44;
+
+const std::vector<std::string>& scan_allocators() {
+  static const std::vector<std::string> kNames = {
+      "min-incremental", "best-fit-cpu", "lowest-idle-power",
+      "dot-product-fit"};
+  return kNames;
+}
+
+std::vector<ServerSpec> make_fleet(int num_servers) {
+  std::vector<ServerSpec> servers;
+  const auto& types = all_server_types();
+  for (int i = 0; i < num_servers; ++i) {
+    const double transition_time = 0.5 + static_cast<double>(i % 3);
+    const std::size_t type_index =
+        types.size() - 1 - static_cast<std::size_t>(i) % types.size();
+    servers.push_back(make_server(types[type_index], i, transition_time));
+  }
+  return servers;
+}
+
+WorkloadConfig workload_config() {
+  WorkloadConfig config;
+  config.num_vms = kNumVms;
+  config.mean_interarrival = 1.5;
+  config.mean_duration = 30.0;
+  config.vm_types = all_vm_types();
+  return config;
+}
+
+/// Stable-demand instance (the paper's workload).
+ProblemInstance stable_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  return make_problem(generate_workload(workload_config(), rng),
+                      make_fleet(kNumServers));
+}
+
+/// Per-time-unit demand profiles (the general R_jt form) — exercises the
+/// cache's profiled-VM bypass and the profile branch of can_fit.
+ProblemInstance profiled_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  return make_problem(
+      generate_bursty_workload(workload_config(), /*phases=*/4,
+                               /*valley_factor=*/0.45, rng),
+      make_fleet(kNumServers));
+}
+
+/// Stable instance with starts and durations quantized to a coarse grid so
+/// (CPU, MEM, interval) shapes repeat heavily — the regime the shape cache
+/// is built for.
+ProblemInstance quantized_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VmSpec> vms = generate_workload(workload_config(), rng);
+  for (VmSpec& vm : vms) {
+    vm.start = ((vm.start - 1) / 20) * 20 + 1;
+    const Time duration = std::max<Time>(20, ((vm.duration() + 19) / 20) * 20);
+    vm.end = vm.start + duration - 1;
+  }
+  return make_problem(std::move(vms), make_fleet(kNumServers));
+}
+
+Allocation run(const std::string& name, const ProblemInstance& problem,
+               const ScanConfig& scan, MetricsRegistry* metrics = nullptr) {
+  AllocatorPtr allocator = make_allocator(name);
+  allocator->set_scan_config(scan);
+  if (metrics) {
+    ObsContext obs;
+    obs.metrics = metrics;
+    allocator->set_observability(obs);
+  }
+  Rng rng(7);  // the scan-based allocators are deterministic; any seed works
+  return allocator->allocate(problem, rng);
+}
+
+ScanConfig config(int threads, bool cache = false) {
+  ScanConfig scan;
+  scan.threads = threads;
+  scan.cache = cache;
+  return scan;
+}
+
+// --- serial vs parallel ----------------------------------------------------
+
+TEST(ParallelScanDifferential, ThreadCountNeverChangesAssignments) {
+  for (std::uint64_t seed : {11u, 29u}) {
+    for (const bool profiled : {false, true}) {
+      const ProblemInstance problem =
+          profiled ? profiled_instance(seed) : stable_instance(seed);
+      for (const std::string& name : scan_allocators()) {
+        const Allocation serial = run(name, problem, config(1));
+        for (const int threads : {2, 4, 8}) {
+          const Allocation parallel = run(name, problem, config(threads));
+          ASSERT_EQ(serial.assignment, parallel.assignment)
+              << name << " diverged at threads=" << threads << " seed=" << seed
+              << (profiled ? " (profiled)" : " (stable)");
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelScanDifferential, HardwareConcurrencyThreadsMatchSerial) {
+  const ProblemInstance problem = stable_instance(3);
+  for (const std::string& name : scan_allocators()) {
+    const Allocation serial = run(name, problem, config(1));
+    const Allocation parallel = run(name, problem, config(/*threads=*/0));
+    EXPECT_EQ(serial.assignment, parallel.assignment) << name;
+  }
+}
+
+// --- cache on vs cache off -------------------------------------------------
+
+TEST(ParallelScanDifferential, CacheNeverChangesAssignmentsOrEnergy) {
+  for (std::uint64_t seed : {5u, 23u}) {
+    for (const bool profiled : {false, true}) {
+      const ProblemInstance problem =
+          profiled ? profiled_instance(seed) : stable_instance(seed);
+      for (const std::string& name : scan_allocators()) {
+        const Allocation uncached = run(name, problem, config(1, false));
+        const Allocation cached = run(name, problem, config(1, true));
+        ASSERT_EQ(uncached.assignment, cached.assignment)
+            << name << " seed=" << seed
+            << (profiled ? " (profiled)" : " (stable)");
+        // Same double bits in, same double bits out: total energy agrees
+        // exactly, not approximately.
+        EXPECT_EQ(evaluate_cost(problem, uncached).total(),
+                  evaluate_cost(problem, cached).total())
+            << name;
+      }
+    }
+  }
+}
+
+TEST(ParallelScanDifferential, CacheAndThreadsComposed) {
+  const ProblemInstance problem = quantized_instance(13);
+  for (const std::string& name : scan_allocators()) {
+    const Allocation reference = run(name, problem, config(1, false));
+    for (const int threads : {2, 4, 8}) {
+      const Allocation combined = run(name, problem, config(threads, true));
+      ASSERT_EQ(reference.assignment, combined.assignment)
+          << name << " threads=" << threads << " cache=on";
+    }
+  }
+}
+
+// --- cache behavior --------------------------------------------------------
+
+TEST(ParallelScan, QuantizedShapesProduceCacheHits) {
+  const ProblemInstance problem = quantized_instance(41);
+  MetricsRegistry metrics;
+  (void)run("min-incremental", problem, config(1, true), &metrics);
+  const std::int64_t hits =
+      metrics.counter("allocator.min-incremental.cache_hits").value();
+  const std::int64_t misses =
+      metrics.counter("allocator.min-incremental.cache_misses").value();
+  EXPECT_GT(hits, 0) << "quantized workload should repeat shapes";
+  EXPECT_GT(misses, 0);
+  // Every probe is either a hit, a miss, or a profiled-VM bypass (none here).
+  const std::int64_t probes =
+      metrics.counter("allocator.min-incremental.feasible_candidates")
+          .value() +
+      metrics.counter("allocator.min-incremental.rejections").value();
+  EXPECT_EQ(hits + misses, probes);
+}
+
+TEST(ParallelScan, ProfiledVmsBypassTheCache) {
+  const ProblemInstance problem = profiled_instance(41);
+  MetricsRegistry metrics;
+  (void)run("min-incremental", problem, config(1, true), &metrics);
+  EXPECT_EQ(metrics.counter("allocator.min-incremental.cache_hits").value(),
+            0);
+  EXPECT_EQ(metrics.counter("allocator.min-incremental.cache_misses").value(),
+            0);
+}
+
+TEST(ParallelScan, CacheCountersAbsentWhenCacheDisabled) {
+  const ProblemInstance problem = stable_instance(41);
+  MetricsRegistry metrics;
+  (void)run("min-incremental", problem, config(4, false), &metrics);
+  bool found = false;
+  for (const auto& [cname, value] : metrics.snapshot().counters)
+    if (cname.find("cache") != std::string::npos) found = true;
+  EXPECT_FALSE(found) << "cache-off runs must not emit cache counters";
+}
+
+// --- probe accounting is thread-count invariant ----------------------------
+
+TEST(ParallelScan, ProbeCountersMatchAcrossThreadCounts) {
+  const ProblemInstance problem = stable_instance(19);
+  MetricsRegistry serial_metrics;
+  (void)run("min-incremental", problem, config(1), &serial_metrics);
+  MetricsRegistry parallel_metrics;
+  (void)run("min-incremental", problem, config(4), &parallel_metrics);
+  for (const char* counter :
+       {"allocator.min-incremental.feasible_candidates",
+        "allocator.min-incremental.rejections",
+        "allocator.min-incremental.unallocated"}) {
+    EXPECT_EQ(serial_metrics.counter(counter).value(),
+              parallel_metrics.counter(counter).value())
+        << counter;
+  }
+}
+
+// --- the scan primitive itself ---------------------------------------------
+
+TEST(ScanCandidates, EmptyAndTinyRangesStaySerial) {
+  ThreadPool pool(3);
+  const auto nothing = [](std::size_t) -> std::optional<double> {
+    return std::nullopt;
+  };
+  ScanOutcome empty = scan_candidates(0, nothing, &pool);
+  EXPECT_EQ(empty.best, kNoCandidate);
+  EXPECT_EQ(empty.feasible, 0);
+  EXPECT_EQ(empty.rejected, 0);
+
+  const auto identity = [](std::size_t i) -> std::optional<double> {
+    return static_cast<double>(i);
+  };
+  ScanOutcome tiny = scan_candidates(3, identity, &pool);
+  EXPECT_EQ(tiny.best, 0u);
+  EXPECT_EQ(tiny.feasible, 3);
+}
+
+TEST(ScanCandidates, TiesBreakToLowestIndexAtAnyThreadCount) {
+  // Scores: all equal except a strict minimum duplicated at 18 and 90 —
+  // the serial rule (strict <) keeps index 18 everywhere.
+  const auto eval = [](std::size_t i) -> std::optional<double> {
+    if (i % 7 == 3) return std::nullopt;  // sprinkle infeasibles
+    return (i == 18 || i == 90) ? 1.0 : 2.0;
+  };
+  const ScanOutcome serial = scan_range(std::size_t{0}, std::size_t{100}, eval);
+  EXPECT_EQ(serial.best, 18u);
+  for (const std::size_t workers : {1u, 2u, 3u, 7u}) {
+    ThreadPool pool(workers);
+    const ScanOutcome parallel = scan_candidates(100, eval, &pool);
+    EXPECT_EQ(parallel.best, serial.best) << workers;
+    EXPECT_EQ(parallel.best_score, serial.best_score);
+    EXPECT_EQ(parallel.feasible, serial.feasible);
+    EXPECT_EQ(parallel.rejected, serial.rejected);
+  }
+}
+
+TEST(ScanCandidates, EvalExceptionPropagatesFromWorkerChunk) {
+  ThreadPool pool(3);
+  const auto eval = [](std::size_t i) -> std::optional<double> {
+    if (i == 97) throw std::runtime_error("probe exploded");
+    return static_cast<double>(i);
+  };
+  EXPECT_THROW(scan_candidates(100, eval, &pool), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace esva

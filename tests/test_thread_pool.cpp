@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace esva {
+namespace {
+
+TEST(ThreadPool, ConstructDestroyWithIdleWorkersAndNoTasks) {
+  // Zero tasks ever submitted: the destructor must join cleanly while every
+  // worker is parked on the condition variable.
+  for (std::size_t threads : {1u, 2u, 4u, 16u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+  }
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 41 + 1; }).get(), 42);
+}
+
+TEST(ThreadPool, RunsManyMoreTasksThanThreads) {
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  std::vector<std::future<int>> results;
+  for (int k = 0; k < 100; ++k)
+    results.push_back(pool.submit([k, &executed] {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      return k * k;
+    }));
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(results[static_cast<std::size_t>(k)].get(), k * k);
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ThreadPool, TasksActuallyRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::future<std::thread::id>> ids;
+  for (int k = 0; k < 8; ++k)
+    ids.push_back(pool.submit([] { return std::this_thread::get_id(); }));
+  std::set<std::thread::id> distinct;
+  for (auto& f : ids) {
+    const std::thread::id id = f.get();
+    EXPECT_NE(id, caller);
+    distinct.insert(id);
+  }
+  EXPECT_LE(distinct.size(), 2u);  // only the pool's workers ran tasks
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFutureAndPoolSurvives) {
+  ThreadPool pool(2);
+  std::future<int> boom =
+      pool.submit([]() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  // The worker that hosted the throwing task must still serve new work.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+  std::future<void> boom_void =
+      pool.submit([] { throw std::invalid_argument("void task failed"); });
+  EXPECT_THROW(boom_void.get(), std::invalid_argument);
+  EXPECT_EQ(pool.submit([] { return 8; }).get(), 8);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRounds) {
+  ThreadPool pool(4);
+  long long total = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::future<int>> batch;
+    for (int k = 0; k < 5; ++k)
+      batch.push_back(pool.submit([round, k] { return round + k; }));
+    for (auto& f : batch) total += f.get();
+  }
+  // Σ_{round<200} Σ_{k<5} (round + k) = 5·Σround + 200·(0+1+2+3+4)
+  EXPECT_EQ(total, 5LL * (199 * 200 / 2) + 200LL * 10);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(1);
+    // One slow task to back the queue up, then a burst behind it; every
+    // future must still complete (no broken promises at teardown).
+    for (int k = 0; k < 20; ++k)
+      (void)pool.submit([k, &executed] {
+        if (k == 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+  }
+  EXPECT_EQ(executed.load(), 20);
+}
+
+}  // namespace
+}  // namespace esva

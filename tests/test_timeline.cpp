@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/candidate_scan.h"
+#include "core/cost_model.h"
 #include "test_util.h"
 #include "util/rng.h"
 
@@ -122,6 +129,113 @@ TEST(ServerTimeline, LifoUndoPropertyOnRandomPlacements) {
     ASSERT_EQ(timeline.busy().intervals(), busy_before) << "trial " << trial;
     ASSERT_DOUBLE_EQ(timeline.max_cpu_usage(1, 19), 0.0);
     ASSERT_DOUBLE_EQ(timeline.max_cpu_usage(61, 99), 0.0);
+  }
+}
+
+// --- epoch counter (backs core/candidate_scan.h's ScanCache) ---------------
+
+TEST(ServerTimeline, EpochStartsAtZeroAndBumpsOnEveryMutation) {
+  ServerTimeline timeline(basic_server(), 100);
+  EXPECT_EQ(timeline.epoch(), 0u);
+
+  const VmSpec first = vm(0, 10, 20, 3.0, 2.0);
+  timeline.place(first);
+  EXPECT_EQ(timeline.epoch(), 1u);
+
+  const VmSpec second = vm(1, 15, 40, 2.0, 1.0);
+  const auto record = timeline.place(second);
+  EXPECT_EQ(timeline.epoch(), 2u);
+
+  // Undo restores the *state* but advances the epoch — the timeline mutated,
+  // so any cached probe against epoch 2 must not be reused.
+  timeline.undo(record, second);
+  EXPECT_EQ(timeline.epoch(), 3u);
+}
+
+TEST(ServerTimeline, ReadsDoNotAdvanceEpoch) {
+  ServerTimeline timeline(basic_server(), 100);
+  timeline.place(vm(0, 10, 20, 3.0, 2.0));
+  const std::uint64_t before = timeline.epoch();
+  (void)timeline.can_fit(vm(1, 5, 50, 1.0, 1.0));
+  (void)timeline.check_fit(vm(2, 5, 50, 20.0, 1.0));
+  (void)timeline.max_cpu_usage(1, 100);
+  (void)timeline.busy_time();
+  EXPECT_EQ(timeline.epoch(), before);
+}
+
+// Property: a ScanCache entry is reused iff the timeline's epoch is unchanged
+// since that shape was last probed — and whether reused or recomputed, the
+// probe returns exactly what a direct can_fit/incremental_cost evaluation
+// returns.
+TEST(ScanCacheProperty, EntryReusedIffEpochUnchangedAndValuesExact) {
+  Rng rng(123);
+  const CostOptions cost_options;
+  const auto score = [&](const ServerTimeline& t,
+                         const VmSpec& v) { return incremental_cost(t, v, cost_options); };
+
+  for (int trial = 0; trial < 20; ++trial) {
+    ServerTimeline timeline(basic_server(), 200);
+    ScanCache cache;
+    cache.resize(1);
+
+    // Reference model of the slot: the epoch its entries were stored under,
+    // and the set of shapes stored. Mirrors the documented invalidation rule.
+    std::optional<std::uint64_t> model_epoch;
+    std::unordered_map<VmShape, bool, VmShapeHash> model_shapes;
+
+    // A small pool of repeating shapes so hits actually occur, plus LIFO
+    // place/undo mutations interleaved with probes.
+    std::vector<VmSpec> shapes;
+    for (int s = 0; s < 5; ++s) {
+      const Time start = static_cast<Time>(rng.uniform_int(1, 150));
+      const Time end =
+          static_cast<Time>(rng.uniform_int(start, start + 40));
+      shapes.push_back(vm(100 + s, start, end, 1.0 + s * 0.5, 1.0 + s));
+    }
+    std::vector<std::pair<ServerTimeline::PlaceRecord, VmSpec>> stack;
+    int next_id = 0;
+
+    for (int step = 0; step < 300; ++step) {
+      const int action = static_cast<int>(rng.uniform_int(0, 9));
+      if (action < 6) {  // probe a random repeating shape
+        const VmSpec& probe_vm =
+            shapes[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+        if (model_epoch != timeline.epoch()) {
+          model_epoch = timeline.epoch();
+          model_shapes.clear();
+        }
+        const VmShape key{probe_vm.demand.cpu, probe_vm.demand.mem,
+                          probe_vm.start, probe_vm.end};
+        const bool expect_hit = model_shapes.count(key) > 0;
+        model_shapes.emplace(key, true);
+
+        const std::int64_t hits_before = cache.hits();
+        const std::optional<double> cached =
+            cache.probe(0, timeline, probe_vm, score);
+        ASSERT_EQ(cache.hits() - hits_before, expect_hit ? 1 : 0)
+            << "trial " << trial << " step " << step;
+
+        // Whether it hit or missed, the value must be the direct
+        // recomputation bit-for-bit.
+        const std::optional<double> direct =
+            timeline.can_fit(probe_vm)
+                ? std::optional<double>(score(timeline, probe_vm))
+                : std::nullopt;
+        ASSERT_EQ(cached.has_value(), direct.has_value());
+        if (cached) ASSERT_EQ(*cached, *direct);  // exact, not approximate
+      } else if (action < 8 || stack.empty()) {  // place
+        const Time start = static_cast<Time>(rng.uniform_int(1, 150));
+        const Time end = static_cast<Time>(rng.uniform_int(start, start + 30));
+        const VmSpec extra = vm(next_id++, start, end, 0.5, 0.5);
+        if (!timeline.can_fit(extra)) continue;
+        stack.emplace_back(timeline.place(extra), extra);
+      } else {  // undo (LIFO)
+        timeline.undo(stack.back().first, stack.back().second);
+        stack.pop_back();
+      }
+    }
+    // The repeating shapes must have produced genuine reuse.
+    EXPECT_GT(cache.hits(), 0) << "trial " << trial;
   }
 }
 
