@@ -32,6 +32,7 @@
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,7 +44,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/metrics.h"
+#include "sim/replay.h"
 #include "util/cli.h"
+#include "workload/arrival_stream.h"
 #include "workload/scenarios.h"
 
 namespace {
@@ -414,6 +417,95 @@ ParallelScanReport measure_parallel_scan(int num_vms, int reps,
   return report;
 }
 
+// ---------------------------------------------------------------------------
+// Streaming engine: request throughput, submit latency, GC memory bound
+// ---------------------------------------------------------------------------
+
+struct StreamingVariant {
+  double median_ms = 0.0;
+  double requests_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t peak_resident_time_units = 0;
+  bool matches_batch = false;
+};
+
+struct StreamingReport {
+  int num_vms = 0;
+  StreamingVariant gc;
+  StreamingVariant no_gc;
+  bool pass = true;
+};
+
+StreamingVariant run_streaming(const ProblemInstance& problem,
+                               const Allocation& batch, bool rolling_gc,
+                               int reps) {
+  StreamingVariant variant;
+  std::vector<double> times;
+  ReplayReport report;
+  for (int rep = 0; rep < reps; ++rep) {
+    times.push_back(time_ms([&] {
+      AllocatorPtr allocator = make_allocator("min-incremental");
+      std::unique_ptr<PlacementPolicy> policy = allocator->make_policy();
+      Rng rng(7);
+      VectorArrivalStream arrivals(problem.vms);
+      ReplayOptions options;
+      options.rolling_gc = rolling_gc;
+      report = replay_stream(arrivals, problem.servers, *policy, rng, options);
+      benchmark::DoNotOptimize(report.assignment.data());
+    }));
+  }
+  variant.median_ms = median(times);
+  variant.requests_per_sec = report.requests_per_sec;
+  variant.p50_ms = report.latency.p50_ms;
+  variant.p99_ms = report.latency.p99_ms;
+  variant.peak_resident_time_units = report.peak_resident_time_units;
+
+  Allocation streamed;
+  streamed.assignment.assign(problem.num_vms(), kNoServer);
+  for (std::size_t j = 0; j < problem.num_vms(); ++j) {
+    const auto id = static_cast<std::size_t>(problem.vms[j].id);
+    if (id < report.assignment.size())
+      streamed.assignment[j] = report.assignment[id];
+  }
+  variant.matches_batch = streamed.assignment == batch.assignment;
+  return variant;
+}
+
+StreamingReport measure_streaming(int num_vms, int reps) {
+  StreamingReport report;
+  report.num_vms = num_vms;
+  const ProblemInstance problem = instance_for(num_vms, 42);
+  Rng rng(7);
+  const Allocation batch =
+      make_allocator("min-incremental")->allocate(problem, rng);
+
+  std::printf("measuring streaming engine (%d VMs, min-incremental)...\n",
+              num_vms);
+  report.gc = run_streaming(problem, batch, /*rolling_gc=*/true, reps);
+  report.no_gc = run_streaming(problem, batch, /*rolling_gc=*/false, reps);
+  report.pass = report.gc.matches_batch && report.no_gc.matches_batch;
+  for (const auto& [label, v] :
+       {std::pair<const char*, const StreamingVariant&>{"gc on ", report.gc},
+        {"gc off", report.no_gc}}) {
+    std::printf("  %s: %8.2f ms, %9.0f req/s, p50 %.4f ms, p99 %.4f ms, "
+                "peak resident %zu units, batch match %s\n",
+                label, v.median_ms, v.requests_per_sec, v.p50_ms, v.p99_ms,
+                v.peak_resident_time_units,
+                v.matches_batch ? "yes" : "NO (BUG)");
+  }
+  std::printf("  GC memory: %zu / %zu peak resident units (%.1f%%)\n",
+              report.gc.peak_resident_time_units,
+              report.no_gc.peak_resident_time_units,
+              report.no_gc.peak_resident_time_units > 0
+                  ? 100.0 *
+                        static_cast<double>(report.gc.peak_resident_time_units) /
+                        static_cast<double>(
+                            report.no_gc.peak_resident_time_units)
+                  : 0.0);
+  return report;
+}
+
 int run_perf_report(const std::string& out_path, int num_vms, int reps,
                     double overhead_budget, double speedup_budget,
                     bool quick) {
@@ -448,6 +540,9 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
 
   const ParallelScanReport scan =
       measure_parallel_scan(num_vms, reps, speedup_budget, quick);
+
+  const StreamingReport streaming =
+      measure_streaming(num_vms, std::max(3, reps / 2));
 
   std::ofstream out(out_path);
   if (!out) {
@@ -499,7 +594,25 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
       << "      \"batch_uncached_ms\": " << scan.batch_uncached_ms << ",\n"
       << "      \"batch_cached_ms\": " << scan.batch_cached_ms << "\n"
       << "    },\n"
-      << "    \"pass\": " << (scan.pass ? "true" : "false") << "\n  }\n";
+      << "    \"pass\": " << (scan.pass ? "true" : "false") << "\n  },\n";
+  out << "  \"streaming\": {\n"
+      << "    \"allocator\": \"min-incremental\",\n"
+      << "    \"num_vms\": " << streaming.num_vms << ",\n";
+  const auto emit_variant = [&out](const char* key,
+                                   const StreamingVariant& v, bool last) {
+    out << "    \"" << key << "\": {\n"
+        << "      \"median_ms\": " << v.median_ms << ",\n"
+        << "      \"requests_per_sec\": " << v.requests_per_sec << ",\n"
+        << "      \"submit_p50_ms\": " << v.p50_ms << ",\n"
+        << "      \"submit_p99_ms\": " << v.p99_ms << ",\n"
+        << "      \"peak_resident_time_units\": " << v.peak_resident_time_units
+        << ",\n"
+        << "      \"matches_batch\": " << (v.matches_batch ? "true" : "false")
+        << "\n    }" << (last ? "" : ",") << "\n";
+  };
+  emit_variant("rolling_gc", streaming.gc, false);
+  emit_variant("no_gc", streaming.no_gc, false);
+  out << "    \"pass\": " << (streaming.pass ? "true" : "false") << "\n  }\n";
   out << "}\n";
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -525,6 +638,12 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
     std::fprintf(stderr,
                  "FAIL: 4-thread speedup %.2fx below budget %.1fx\n",
                  scan.speedup_at_4, speedup_budget);
+    return 1;
+  }
+  if (!streaming.pass) {
+    std::fprintf(stderr,
+                 "FAIL: streaming replay diverged from the batch "
+                 "assignment\n");
     return 1;
   }
   return 0;

@@ -1,36 +1,19 @@
-// Instance builders shared by the bench binaries (kept out of the library
-// because they encode bench-specific sizing, not paper semantics).
+// Forwarding header: the instance builders moved to
+// testsupport/instance_builders.h so tests/ and bench/ share one copy.
 
 #pragma once
 
-#include "cluster/catalog.h"
-#include "core/problem.h"
-#include "util/rng.h"
-#include "workload/generator.h"
+#include "testsupport/instance_builders.h"
 
 namespace esva::bench {
 
-/// A tiny instance the exact solver can certify: VMs from Table I, servers
-/// cycling the catalog from the largest type down (so every VM fits
-/// somewhere), short horizon.
+/// A tiny instance the exact solver can certify (the historical bench sizing:
+/// shorter VMs than the test default so branch-and-bound stays tractable).
 inline ProblemInstance tiny_random_problem(Rng& rng, int num_vms,
                                            int num_servers) {
-  WorkloadConfig config;
-  config.num_vms = num_vms;
-  config.mean_interarrival = 2.0;
-  config.mean_duration = 6.0;
-  config.vm_types = all_vm_types();
-  std::vector<VmSpec> vms = generate_workload(config, rng);
-
-  std::vector<ServerSpec> servers;
-  const auto& types = all_server_types();
-  for (int i = 0; i < num_servers; ++i) {
-    const std::size_t type_index =
-        types.size() - 1 - static_cast<std::size_t>(i) % types.size();
-    servers.push_back(
-        make_server(types[type_index], i, 0.5 + static_cast<double>(i % 3)));
-  }
-  return make_problem(std::move(vms), std::move(servers));
+  return testsupport::random_problem(rng, num_vms, num_servers,
+                                     /*mean_interarrival=*/2.0,
+                                     /*mean_duration=*/6.0);
 }
 
 }  // namespace esva::bench

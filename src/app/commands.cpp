@@ -19,6 +19,7 @@
 #include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/metrics.h"
+#include "sim/replay.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/logging.h"
@@ -237,6 +238,200 @@ int cmd_allocate(const std::vector<std::string>& args, std::ostream& out,
   }
 }
 
+int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  CliParser parser(
+      "esva stream — event-driven replay through the streaming engine");
+  parser.add_string("vms", "",
+                    "VM trace to replay in start-time order (exclusive with "
+                    "--generate)");
+  parser.add_int("generate", 0,
+                 "synthesize N requests lazily instead of reading --vms");
+  parser.add_double("interarrival", 2.0,
+                    "mean inter-arrival time (min, with --generate)");
+  parser.add_double("duration", 50.0, "mean VM duration (min, with --generate)");
+  parser.add_string("vm-types", "all",
+                    "all|standard|memory-intensive|cpu-intensive "
+                    "(with --generate)");
+  parser.add_bool("diurnal", "day/night arrival process (with --generate)");
+  parser.add_double("amplitude", 0.8, "diurnal swing in [0,1)");
+  parser.add_string("servers", "servers.csv", "server trace");
+  parser.add_string("allocator", "min-incremental", "policy name");
+  parser.add_int("seed", 42, "seed");
+  parser.add_int("threads", 1,
+                 "candidate-scan threads: 1 = serial (default), 0 = hardware "
+                 "concurrency, N = exactly N; identical results at any count");
+  parser.add_bool("cache", "enable the shape-keyed scan cache");
+  parser.add_bool("no-gc",
+                  "keep full history instead of garbage-collecting behind the "
+                  "frontier (identical decisions; more memory)");
+  parser.add_string("out-assignment", "", "assignment CSV output (optional)");
+  parser.add_string("latency-json", "",
+                    "per-request latency report output: requests/sec plus "
+                    "p50/p99 submit latency as JSON (optional)");
+  parser.add_string("trace", "", "JSONL decision trace output (optional)");
+  parser.add_string("stats", "",
+                    "metrics JSON output: engine.submit_ms, engine.requests "
+                    "and allocator.* (optional)");
+  if (!parse_args(parser, args)) return parser_exit_code(parser);
+
+  try {
+    register_extension_allocators();
+    const bool generate = parser.get_int("generate") > 0;
+    if (generate == !parser.get_string("vms").empty())
+      throw std::invalid_argument(
+          "pass exactly one of --vms <trace> or --generate <n>");
+
+    MetricsRegistry metrics;
+    std::unique_ptr<JsonlTraceSink> trace_sink;
+    if (!parser.get_string("trace").empty())
+      trace_sink = std::make_unique<JsonlTraceSink>(parser.get_string("trace"));
+
+    const std::vector<ServerSpec> servers =
+        load_server_trace(parser.get_string("servers"));
+
+    AllocatorPtr allocator = make_allocator(parser.get_string("allocator"));
+    ScanConfig scan;
+    scan.threads = static_cast<int>(parser.get_int("threads"));
+    scan.cache = parser.get_bool("cache");
+    allocator->set_scan_config(scan);
+    ObsContext obs;
+    obs.trace = trace_sink.get();
+    obs.metrics = &metrics;
+    allocator->set_observability(obs);
+    std::unique_ptr<PlacementPolicy> policy = allocator->make_policy();
+    if (!policy)
+      throw std::invalid_argument("allocator '" + allocator->name() +
+                                  "' is batch-only (no streaming policy)");
+
+    // The request source and the policy draw from independent generators,
+    // matching the generate-then-allocate two-command pipeline.
+    Rng workload_rng(static_cast<std::uint64_t>(parser.get_int("seed")));
+    Rng policy_rng(static_cast<std::uint64_t>(parser.get_int("seed")));
+    std::vector<VmSpec> trace_vms;
+    std::unique_ptr<ArrivalStream> arrivals;
+    if (generate) {
+      if (parser.get_bool("diurnal")) {
+        DiurnalConfig config;
+        config.num_vms = static_cast<int>(parser.get_int("generate"));
+        config.base_rate = 1.0 / parser.get_double("interarrival");
+        config.amplitude = parser.get_double("amplitude");
+        config.mean_duration = parser.get_double("duration");
+        config.vm_types = vm_types_by_name(parser.get_string("vm-types"));
+        arrivals = std::make_unique<DiurnalArrivalStream>(config, workload_rng);
+      } else {
+        WorkloadConfig config;
+        config.num_vms = static_cast<int>(parser.get_int("generate"));
+        config.mean_interarrival = parser.get_double("interarrival");
+        config.mean_duration = parser.get_double("duration");
+        config.vm_types = vm_types_by_name(parser.get_string("vm-types"));
+        arrivals = std::make_unique<PoissonArrivalStream>(config, workload_rng);
+      }
+    } else {
+      trace_vms = load_vm_trace(parser.get_string("vms"));
+      arrivals = std::make_unique<VectorArrivalStream>(trace_vms);
+    }
+
+    ReplayOptions options;
+    options.rolling_gc = !parser.get_bool("no-gc");
+    options.obs.metrics = &metrics;
+    const ReplayReport report =
+        replay_stream(*arrivals, servers, *policy, policy_rng, options);
+    log_info() << allocator->name() << " streamed " << report.placed << "/"
+               << report.requests << " requests at " << report.requests_per_sec
+               << " req/s";
+
+    out << "allocator: " << allocator->name() << '\n';
+    TextTable table;
+    table.set_header({"metric", "value"});
+    table.add_row({"requests", std::to_string(report.requests)});
+    table.add_row({"placed", std::to_string(report.placed)});
+    table.add_row({"rejected", std::to_string(report.rejected)});
+    table.add_row(
+        {"requests/sec", fmt_double(report.requests_per_sec, 1)});
+    table.add_row(
+        {"submit latency p50 (ms)", fmt_double(report.latency.p50_ms, 4)});
+    table.add_row(
+        {"submit latency p99 (ms)", fmt_double(report.latency.p99_ms, 4)});
+    table.add_row(
+        {"submit latency max (ms)", fmt_double(report.latency.max_ms, 4)});
+    table.add_row(
+        {"total energy (W*min)", fmt_double(report.total_energy, 1)});
+    table.add_row({"peak resident time units",
+                   std::to_string(report.peak_resident_time_units)});
+    table.add_row({"final resident time units",
+                   std::to_string(report.final_resident_time_units)});
+    table.add_row(
+        {"peak active VMs", std::to_string(report.peak_active_vms)});
+    table.add_row({"final frontier", std::to_string(report.final_frontier)});
+    out << table.render();
+
+    if (!parser.get_string("out-assignment").empty()) {
+      // Allocation is indexed by the trace's VM position; the replay report
+      // by VmId — remap so the CSV lines up with `esva allocate` output.
+      Allocation alloc;
+      if (generate) {
+        alloc.assignment = report.assignment;  // generated ids are positional
+        alloc.assignment.resize(report.requests, kNoServer);
+      } else {
+        alloc.assignment.assign(trace_vms.size(), kNoServer);
+        for (std::size_t j = 0; j < trace_vms.size(); ++j) {
+          const auto id = static_cast<std::size_t>(trace_vms[j].id);
+          if (id < report.assignment.size())
+            alloc.assignment[j] = report.assignment[id];
+        }
+      }
+      save_assignment(parser.get_string("out-assignment"), alloc);
+      out << "assignment written to " << parser.get_string("out-assignment")
+          << '\n';
+    }
+    if (!parser.get_string("latency-json").empty()) {
+      const std::string path = parser.get_string("latency-json");
+      std::ofstream file(path);
+      if (!file)
+        throw std::runtime_error("cannot open latency file '" + path + "'");
+      file.precision(17);
+      file << "{\n"
+           << "  \"allocator\": \"" << allocator->name() << "\",\n"
+           << "  \"rolling_gc\": " << (options.rolling_gc ? "true" : "false")
+           << ",\n"
+           << "  \"requests\": " << report.requests << ",\n"
+           << "  \"placed\": " << report.placed << ",\n"
+           << "  \"rejected\": " << report.rejected << ",\n"
+           << "  \"requests_per_sec\": " << report.requests_per_sec << ",\n"
+           << "  \"submit_latency_ms\": {\n"
+           << "    \"mean\": " << report.latency.mean_ms << ",\n"
+           << "    \"p50\": " << report.latency.p50_ms << ",\n"
+           << "    \"p99\": " << report.latency.p99_ms << ",\n"
+           << "    \"max\": " << report.latency.max_ms << "\n"
+           << "  },\n"
+           << "  \"total_energy\": " << report.total_energy << ",\n"
+           << "  \"peak_resident_time_units\": "
+           << report.peak_resident_time_units << ",\n"
+           << "  \"final_resident_time_units\": "
+           << report.final_resident_time_units << ",\n"
+           << "  \"peak_active_vms\": " << report.peak_active_vms << ",\n"
+           << "  \"final_frontier\": " << report.final_frontier << "\n"
+           << "}\n";
+      out << "latency report written to " << path << '\n';
+    }
+    if (trace_sink) {
+      trace_sink.reset();  // flush + close before reporting
+      out << "decision trace written to " << parser.get_string("trace")
+          << '\n';
+    }
+    if (!parser.get_string("stats").empty()) {
+      metrics.set("instance.servers", static_cast<double>(servers.size()));
+      write_stats(parser.get_string("stats"), metrics);
+      out << "stats written to " << parser.get_string("stats") << '\n';
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "stream: " << e.what() << '\n';
+    return 1;
+  }
+}
+
 int cmd_evaluate(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err) {
   CliParser parser("esva evaluate — price an existing assignment");
@@ -423,6 +618,8 @@ std::string usage() {
       "subcommands:\n"
       "  generate         synthesize a workload + fleet as CSV traces\n"
       "  allocate         run an allocation policy over traces\n"
+      "  stream           feed requests one at a time through the streaming\n"
+      "                   engine; per-request latency + rolling-horizon GC\n"
       "  evaluate         price an existing assignment (Eq. 17)\n"
       "  simulate         event-driven replay; per-minute power samples\n"
       "  export-lp        write the boolean ILP in CPLEX-LP format\n"
@@ -480,6 +677,7 @@ int esva_main(int argc, const char* const* argv, std::ostream& out,
   }
   if (command == "generate") return cmd_generate(args, out, err);
   if (command == "allocate") return cmd_allocate(args, out, err);
+  if (command == "stream") return cmd_stream(args, out, err);
   if (command == "evaluate") return cmd_evaluate(args, out, err);
   if (command == "simulate") return cmd_simulate(args, out, err);
   if (command == "export-lp") return cmd_export_lp(args, out, err);

@@ -6,6 +6,8 @@
 //   esva allocate  --vms vms.csv --servers servers.csv
 //                  --allocator min-incremental --out-assignment assign.csv
 //                  --trace decisions.jsonl --stats stats.json
+//   esva stream    --vms vms.csv --servers servers.csv
+//                  --allocator min-incremental --latency-json latency.json
 //   esva evaluate  --vms vms.csv --servers servers.csv --assignment assign.csv
 //   esva simulate  --vms vms.csv --servers servers.csv --assignment assign.csv
 //                  --power-csv power.csv
@@ -34,6 +36,8 @@ int cmd_generate(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err);
 int cmd_allocate(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err);
+int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
 int cmd_evaluate(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err);
 int cmd_simulate(const std::vector<std::string>& args, std::ostream& out,

@@ -2,35 +2,36 @@
 
 #include "cluster/timeline.h"
 #include "core/candidate_scan.h"
+#include "core/streaming.h"
 #include "obs/metrics.h"
 #include "util/types.h"
 
 namespace esva {
 
+namespace {
+
+/// Post-placement CPU headroom: minimizing it is classical Best Fit. While
+/// tracing, ScanPolicy prices candidates with the Eq. 17 delta separately so
+/// traces stay comparable across allocators.
+struct BestFitCpuScore {
+  double operator()(const ServerTimeline& timeline, const VmSpec& vm) const {
+    return timeline.spec().capacity.cpu -
+           timeline.max_cpu_usage(vm.start, vm.end) - vm.demand.cpu;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> BestFitCpuAllocator::make_policy() const {
+  return make_scan_policy(name(), /*score_is_energy_delta=*/false,
+                          BestFitCpuScore{}, options_.scan, obs_);
+}
+
 Allocation BestFitCpuAllocator::allocate(const ProblemInstance& problem,
-                                         Rng& /*rng*/) {
+                                         Rng& rng) {
   ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
-
-  // The policy minimizes post-placement CPU headroom; while tracing,
-  // scan_allocate prices candidates with the Eq. 17 delta separately so
-  // traces stay comparable across allocators.
-  ScanTotals totals;
-  Allocation alloc = scan_allocate(
-      problem, options_.order, options_.scan, obs_, name(),
-      /*score_is_energy_delta=*/false,
-      [](const ServerTimeline& timeline, const VmSpec& vm) {
-        return timeline.spec().capacity.cpu -
-               timeline.max_cpu_usage(vm.start, vm.end) - vm.demand.cpu;
-      },
-      totals);
-
-  record_allocation_metrics(obs_.metrics, name(), problem.num_vms(),
-                            totals.feasible, totals.rejected,
-                            alloc.num_unallocated());
-  if (options_.scan.cache)
-    record_scan_cache_metrics(obs_.metrics, name(), totals.cache_hits,
-                              totals.cache_misses);
-  return alloc;
+  const std::unique_ptr<PlacementPolicy> policy = make_policy();
+  return run_batch(problem, *policy, options_.order, rng);
 }
 
 }  // namespace esva

@@ -4,62 +4,89 @@
 
 #include "cluster/timeline.h"
 #include "core/cost_model.h"
+#include "core/streaming.h"
 #include "obs/metrics.h"
 
 namespace esva {
 
-Allocation FfpsAllocator::allocate(const ProblemInstance& problem, Rng& rng) {
-  ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
-  const bool tracing = obs_.tracing();
+namespace {
 
-  Allocation alloc;
-  alloc.assignment.assign(problem.num_vms(), kNoServer);
+/// First-fit over a (possibly shuffled) probe order, one request at a time.
+/// §IV-A: "servers are randomly sorted" — one shared order drawn at begin(),
+/// optionally re-drawn per VM (Options::reshuffle_per_vm).
+class FfpsPolicy final : public PlacementPolicy {
+ public:
+  FfpsPolicy(std::string name, FfpsAllocator::Options options,
+             const ObsContext& obs)
+      : name_(std::move(name)), options_(options), obs_(obs) {}
 
-  std::vector<ServerTimeline> timelines =
-      make_timelines(problem.servers, problem.horizon);
+  std::string name() const override { return name_; }
 
-  // §IV-A: "servers are randomly sorted" — one shared order, optionally
-  // re-drawn per VM (see Options::reshuffle_per_vm).
-  std::vector<std::size_t> probe_order(problem.num_servers());
-  std::iota(probe_order.begin(), probe_order.end(), std::size_t{0});
-  if (options_.shuffle_servers) rng.shuffle(probe_order);
+  void begin(const ClusterState& cluster, Rng& rng) override {
+    probe_order_.resize(cluster.num_servers());
+    std::iota(probe_order_.begin(), probe_order_.end(), std::size_t{0});
+    if (options_.shuffle_servers) rng.shuffle(probe_order_);
+  }
 
-  std::int64_t feasible_probes = 0;
-  std::int64_t rejections = 0;
-  for (std::size_t j : ordered_indices(problem, options_.order)) {
-    const VmSpec& vm = problem.vms[j];
+  PlacementDecision place_one(const ClusterState& cluster, const VmSpec& vm,
+                              Rng& rng) override {
+    const std::vector<ServerTimeline>& timelines = cluster.timelines();
     if (options_.shuffle_servers && options_.reshuffle_per_vm)
-      rng.shuffle(probe_order);
-    DecisionBuilder decision(obs_, name(), vm.id);
-    for (std::size_t i : probe_order) {
+      rng.shuffle(probe_order_);
+    const bool tracing = obs_.tracing();
+    DecisionBuilder decision(obs_, name_, vm.id);
+    PlacementDecision result;
+    for (std::size_t i : probe_order_) {
       // First fit: the trace records only the servers actually probed —
       // rejections up to (and including) the server taken.
       if (tracing) {
         const FitCheck fit = timelines[i].check_fit(vm);
         if (!fit.ok) {
           decision.add_rejected(static_cast<ServerId>(i), fit);
-          ++rejections;
+          ++rejections_;
           continue;
         }
         const Energy delta = incremental_cost(timelines[i], vm);
         decision.add_feasible(static_cast<ServerId>(i), delta);
         decision.commit(static_cast<ServerId>(i), delta);
+        result.has_delta = true;
+        result.delta = delta;
       } else if (!timelines[i].can_fit(vm)) {
-        ++rejections;
+        ++rejections_;
         continue;
       }
-      ++feasible_probes;
-      timelines[i].place(vm);
-      alloc.assignment[j] = static_cast<ServerId>(i);
-      break;
+      ++feasible_probes_;
+      result.server = static_cast<ServerId>(i);
+      return result;
     }
-    if (alloc.assignment[j] == kNoServer) decision.commit(kNoServer);
+    decision.commit(kNoServer);
+    return result;
   }
 
-  record_allocation_metrics(obs_.metrics, name(), problem.num_vms(),
-                            feasible_probes, rejections,
-                            alloc.num_unallocated());
-  return alloc;
+  void finish(std::size_t requests, std::size_t unallocated) override {
+    record_allocation_metrics(obs_.metrics, name_, requests, feasible_probes_,
+                              rejections_, unallocated);
+  }
+
+ private:
+  std::string name_;
+  FfpsAllocator::Options options_;
+  ObsContext obs_;
+  std::vector<std::size_t> probe_order_;
+  std::int64_t feasible_probes_ = 0;
+  std::int64_t rejections_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> FfpsAllocator::make_policy() const {
+  return std::make_unique<FfpsPolicy>(name(), options_, obs_);
+}
+
+Allocation FfpsAllocator::allocate(const ProblemInstance& problem, Rng& rng) {
+  ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
+  const std::unique_ptr<PlacementPolicy> policy = make_policy();
+  return run_batch(problem, *policy, options_.order, rng);
 }
 
 }  // namespace esva

@@ -41,6 +41,10 @@ class FfpsAllocator final : public Allocator {
   /// The server probe order is shuffled once per call using `rng`.
   Allocation allocate(const ProblemInstance& problem, Rng& rng) override;
 
+  /// First-fit as a stream policy; the probe-order shuffle happens at
+  /// begin(), exactly where allocate() drew it.
+  std::unique_ptr<PlacementPolicy> make_policy() const override;
+
  private:
   Options options_;
 };

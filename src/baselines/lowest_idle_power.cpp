@@ -2,31 +2,34 @@
 
 #include "cluster/timeline.h"
 #include "core/candidate_scan.h"
+#include "core/streaming.h"
 #include "obs/metrics.h"
 #include "util/types.h"
 
 namespace esva {
 
+namespace {
+
+struct LowestIdlePowerScore {
+  double operator()(const ServerTimeline& timeline,
+                    const VmSpec& /*vm*/) const {
+    return timeline.spec().p_idle;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> LowestIdlePowerAllocator::make_policy()
+    const {
+  return make_scan_policy(name(), /*score_is_energy_delta=*/false,
+                          LowestIdlePowerScore{}, options_.scan, obs_);
+}
+
 Allocation LowestIdlePowerAllocator::allocate(const ProblemInstance& problem,
-                                              Rng& /*rng*/) {
+                                              Rng& rng) {
   ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
-
-  ScanTotals totals;
-  Allocation alloc = scan_allocate(
-      problem, options_.order, options_.scan, obs_, name(),
-      /*score_is_energy_delta=*/false,
-      [](const ServerTimeline& timeline, const VmSpec& /*vm*/) {
-        return timeline.spec().p_idle;
-      },
-      totals);
-
-  record_allocation_metrics(obs_.metrics, name(), problem.num_vms(),
-                            totals.feasible, totals.rejected,
-                            alloc.num_unallocated());
-  if (options_.scan.cache)
-    record_scan_cache_metrics(obs_.metrics, name(), totals.cache_hits,
-                              totals.cache_misses);
-  return alloc;
+  const std::unique_ptr<PlacementPolicy> policy = make_policy();
+  return run_batch(problem, *policy, options_.order, rng);
 }
 
 }  // namespace esva

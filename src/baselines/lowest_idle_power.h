@@ -31,6 +31,8 @@ class LowestIdlePowerAllocator final : public Allocator {
 
   Allocation allocate(const ProblemInstance& problem, Rng& rng) override;
 
+  std::unique_ptr<PlacementPolicy> make_policy() const override;
+
  private:
   Options options_;
 };

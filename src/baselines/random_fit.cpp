@@ -2,61 +2,82 @@
 
 #include "cluster/timeline.h"
 #include "core/cost_model.h"
+#include "core/streaming.h"
 #include "obs/metrics.h"
 
 namespace esva {
 
-Allocation RandomFitAllocator::allocate(const ProblemInstance& problem,
-                                        Rng& rng) {
-  ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
-  const bool tracing = obs_.tracing();
+namespace {
 
-  Allocation alloc;
-  alloc.assignment.assign(problem.num_vms(), kNoServer);
+class RandomFitPolicy final : public PlacementPolicy {
+ public:
+  RandomFitPolicy(std::string name, const ObsContext& obs)
+      : name_(std::move(name)), obs_(obs) {}
 
-  std::vector<ServerTimeline> timelines =
-      make_timelines(problem.servers, problem.horizon);
+  std::string name() const override { return name_; }
 
-  std::int64_t feasible_probes = 0;
-  std::int64_t rejections = 0;
-  std::vector<std::size_t> feasible;
-  for (std::size_t j : ordered_indices(problem, order_)) {
-    const VmSpec& vm = problem.vms[j];
-    DecisionBuilder decision(obs_, name(), vm.id);
-    feasible.clear();
+  PlacementDecision place_one(const ClusterState& cluster, const VmSpec& vm,
+                              Rng& rng) override {
+    const std::vector<ServerTimeline>& timelines = cluster.timelines();
+    const bool tracing = obs_.tracing();
+    DecisionBuilder decision(obs_, name_, vm.id);
+    feasible_.clear();
     for (std::size_t i = 0; i < timelines.size(); ++i) {
       if (tracing) {
         const FitCheck fit = timelines[i].check_fit(vm);
         if (!fit.ok) {
           decision.add_rejected(static_cast<ServerId>(i), fit);
-          ++rejections;
+          ++rejections_;
           continue;
         }
         decision.add_feasible(static_cast<ServerId>(i),
                               incremental_cost(timelines[i], vm));
       } else if (!timelines[i].can_fit(vm)) {
-        ++rejections;
+        ++rejections_;
         continue;
       }
-      ++feasible_probes;
-      feasible.push_back(i);
+      ++feasible_probes_;
+      feasible_.push_back(i);
     }
-    if (feasible.empty()) {
+    PlacementDecision result;
+    if (feasible_.empty()) {
       decision.commit(kNoServer);
-      continue;
+      return result;
     }
-    const std::size_t pick = feasible[rng.index(feasible.size())];
-    if (decision.active())
-      decision.commit(static_cast<ServerId>(pick),
-                      incremental_cost(timelines[pick], vm));
-    timelines[pick].place(vm);
-    alloc.assignment[j] = static_cast<ServerId>(pick);
+    const std::size_t pick = feasible_[rng.index(feasible_.size())];
+    if (decision.active()) {
+      result.has_delta = true;
+      result.delta = incremental_cost(timelines[pick], vm);
+      decision.commit(static_cast<ServerId>(pick), result.delta);
+    }
+    result.server = static_cast<ServerId>(pick);
+    return result;
   }
 
-  record_allocation_metrics(obs_.metrics, name(), problem.num_vms(),
-                            feasible_probes, rejections,
-                            alloc.num_unallocated());
-  return alloc;
+  void finish(std::size_t requests, std::size_t unallocated) override {
+    record_allocation_metrics(obs_.metrics, name_, requests, feasible_probes_,
+                              rejections_, unallocated);
+  }
+
+ private:
+  std::string name_;
+  ObsContext obs_;
+  std::vector<std::size_t> feasible_;
+  std::int64_t feasible_probes_ = 0;
+  std::int64_t rejections_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> RandomFitAllocator::make_policy() const {
+  return std::make_unique<RandomFitPolicy>(name(), obs_);
+}
+
+Allocation RandomFitAllocator::allocate(const ProblemInstance& problem,
+                                        Rng& rng) {
+  ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
+  const std::unique_ptr<PlacementPolicy> policy = make_policy();
+  return run_batch(problem, *policy, order_, rng);
 }
 
 }  // namespace esva

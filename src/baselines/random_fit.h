@@ -17,6 +17,8 @@ class RandomFitAllocator final : public Allocator {
 
   Allocation allocate(const ProblemInstance& problem, Rng& rng) override;
 
+  std::unique_ptr<PlacementPolicy> make_policy() const override;
+
  private:
   VmOrder order_;
 };

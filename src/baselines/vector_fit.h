@@ -38,6 +38,8 @@ class DotProductFitAllocator final : public Allocator {
   /// the lower server id.
   Allocation allocate(const ProblemInstance& problem, Rng& rng) override;
 
+  std::unique_ptr<PlacementPolicy> make_policy() const override;
+
  private:
   Options options_;
 };

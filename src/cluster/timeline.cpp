@@ -1,20 +1,36 @@
 #include "cluster/timeline.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace esva {
 
 ServerTimeline::ServerTimeline(const ServerSpec& spec, Time horizon)
+    : ServerTimeline(spec, /*base=*/1, horizon) {}
+
+ServerTimeline::ServerTimeline(const ServerSpec& spec, Time base, Time horizon)
     : spec_(spec),
+      base_(base),
       horizon_(horizon),
-      cpu_(static_cast<std::size_t>(horizon)),
-      mem_(static_cast<std::size_t>(horizon)) {
-  assert(horizon >= 0);
+      cpu_(static_cast<std::size_t>(horizon - base + 1)),
+      mem_(static_cast<std::size_t>(horizon - base + 1)) {
+  assert(base >= 1);
+  assert(horizon >= base - 1);
+}
+
+void ServerTimeline::inherit_epoch(std::uint64_t floor) {
+  epoch_ = std::max(epoch_, floor);
+}
+
+void ServerTimeline::seed_busy(Time lo, Time hi) {
+  assert(lo >= 1 && lo <= hi);
+  ++epoch_;
+  busy_.insert(lo, hi);
 }
 
 bool ServerTimeline::can_fit(const VmSpec& vm) const {
   assert(vm.valid());
-  if (vm.end > horizon_) return false;
+  if (vm.start < base_ || vm.end > horizon_) return false;
   const std::size_t lo = index_of(vm.start);
   const std::size_t hi = index_of(vm.end);
   // Fast path: peak demand over the whole window (exact for stable VMs,
@@ -36,7 +52,7 @@ bool ServerTimeline::can_fit(const VmSpec& vm) const {
 FitCheck ServerTimeline::check_fit(const VmSpec& vm) const {
   assert(vm.valid());
   FitCheck check;
-  if (vm.end > horizon_) {
+  if (vm.start < base_ || vm.end > horizon_) {
     check.reject = FitReject::Horizon;
     return check;
   }
@@ -73,11 +89,12 @@ std::string to_string(FitReject reject) {
 
 namespace {
 
-/// Applies (or reverts, with sign = -1) a VM's resource footprint.
+/// Applies (or reverts, with sign = -1) a VM's resource footprint. `base` is
+/// the timeline's window base (tree index 0).
 void apply_demand(RangeAddMaxTree& cpu, RangeAddMaxTree& mem,
-                  const VmSpec& vm, double sign) {
+                  const VmSpec& vm, Time base, double sign) {
   const auto index_of = [&](Time t) {
-    return static_cast<std::size_t>(t - 1);
+    return static_cast<std::size_t>(t - base);
   };
   if (!vm.has_profile()) {
     cpu.add(index_of(vm.start), index_of(vm.end), sign * vm.demand.cpu);
@@ -96,7 +113,7 @@ void apply_demand(RangeAddMaxTree& cpu, RangeAddMaxTree& mem,
 ServerTimeline::PlaceRecord ServerTimeline::place(const VmSpec& vm) {
   assert(can_fit(vm));
   ++epoch_;
-  apply_demand(cpu_, mem_, vm, +1.0);
+  apply_demand(cpu_, mem_, vm, base_, +1.0);
   PlaceRecord record;
   record.vm = vm.id;
   record.busy_delta = busy_.insert(vm.start, vm.end);
@@ -110,7 +127,7 @@ void ServerTimeline::undo(const PlaceRecord& record, const VmSpec& vm) {
   assert(vm.id == record.vm);
   ++epoch_;
   vms_.pop_back();
-  apply_demand(cpu_, mem_, vm, -1.0);
+  apply_demand(cpu_, mem_, vm, base_, -1.0);
   // Restore the busy structure: remove the merged interval, re-add whatever
   // it absorbed.
   const Interval& merged = record.busy_delta.merged;
@@ -119,12 +136,12 @@ void ServerTimeline::undo(const PlaceRecord& record, const VmSpec& vm) {
 }
 
 double ServerTimeline::max_cpu_usage(Time lo, Time hi) const {
-  assert(1 <= lo && lo <= hi && hi <= horizon_);
+  assert(base_ <= lo && lo <= hi && hi <= horizon_);
   return cpu_.max(index_of(lo), index_of(hi));
 }
 
 double ServerTimeline::max_mem_usage(Time lo, Time hi) const {
-  assert(1 <= lo && lo <= hi && hi <= horizon_);
+  assert(base_ <= lo && lo <= hi && hi <= horizon_);
   return mem_.max(index_of(lo), index_of(hi));
 }
 

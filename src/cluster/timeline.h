@@ -30,7 +30,7 @@ namespace esva {
 /// layer serializes these verbatim).
 enum class FitReject {
   None,     ///< the VM fits
-  Horizon,  ///< the VM's interval extends past the timeline horizon
+  Horizon,  ///< the VM's interval falls outside the base..horizon window
   Cpu,      ///< insufficient spare CPU at some time unit
   Mem,      ///< insufficient spare memory at some time unit
 };
@@ -50,8 +50,20 @@ class ServerTimeline {
   /// A timeline for `spec` over times 1..horizon (inclusive).
   ServerTimeline(const ServerSpec& spec, Time horizon);
 
+  /// A timeline over the window base..horizon (inclusive; empty when
+  /// horizon == base - 1). Resource trees cover only the window, so memory
+  /// is O(horizon - base); the rolling-horizon ClusterState
+  /// (core/streaming.h) rebuilds timelines with an advanced base to keep
+  /// state proportional to the active window. VMs starting before `base`
+  /// do not fit.
+  ServerTimeline(const ServerSpec& spec, Time base, Time horizon);
+
   const ServerSpec& spec() const { return spec_; }
+  Time base() const { return base_; }
   Time horizon() const { return horizon_; }
+
+  /// Resident window size in time units (the resource-tree footprint).
+  Time window_units() const { return horizon_ - base_ + 1; }
 
   /// Mutation counter: bumped by every place() and undo(), never reused.
   /// Anything derived from this timeline's state (feasibility verdicts,
@@ -60,8 +72,22 @@ class ServerTimeline {
   /// (core/candidate_scan.h).
   std::uint64_t epoch() const { return epoch_; }
 
+  /// Raises the epoch to at least `floor`. A rebuilt timeline (rolling
+  /// garbage collection) starts from the epoch of the timeline it replaces,
+  /// so external caches keyed by epoch can never mistake the fresh state
+  /// for a stale one.
+  void inherit_epoch(std::uint64_t floor);
+
+  /// Inserts a raw busy interval without reserving resources. Used when
+  /// rebuilding a garbage-collected timeline: a unit sentinel at the latest
+  /// retired busy endpoint preserves every future structure-cost delta
+  /// (core/streaming.h explains why). May lie before `base`; the busy
+  /// structure is time-indexed, not window-indexed.
+  void seed_busy(Time lo, Time hi);
+
   /// True iff the VM's demand fits within spare capacity at every time unit
-  /// of its interval. VMs whose interval exceeds the horizon do not fit.
+  /// of its interval. VMs whose interval falls outside the base..horizon
+  /// window do not fit.
   bool can_fit(const VmSpec& vm) const;
 
   /// can_fit with a diagnosis: which dimension failed first, and where.
@@ -90,7 +116,7 @@ class ServerTimeline {
   const std::vector<VmId>& vms() const { return vms_; }
 
   /// Peak CPU / memory usage over an inclusive time range (0 if empty range
-  /// semantics never arise: requires 1 <= lo <= hi <= horizon).
+  /// semantics never arise: requires base <= lo <= hi <= horizon).
   double max_cpu_usage(Time lo, Time hi) const;
   double max_mem_usage(Time lo, Time hi) const;
 
@@ -102,9 +128,12 @@ class ServerTimeline {
   Time busy_time() const { return busy_.total_length(); }
 
  private:
-  std::size_t index_of(Time t) const { return static_cast<std::size_t>(t - 1); }
+  std::size_t index_of(Time t) const {
+    return static_cast<std::size_t>(t - base_);
+  }
 
   ServerSpec spec_;
+  Time base_;
   Time horizon_;
   RangeAddMaxTree cpu_;
   RangeAddMaxTree mem_;

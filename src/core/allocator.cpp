@@ -4,9 +4,14 @@
 #include <numeric>
 #include <thread>
 
+#include "core/streaming.h"
 #include "obs/metrics.h"
 
 namespace esva {
+
+std::unique_ptr<PlacementPolicy> Allocator::make_policy() const {
+  return nullptr;
+}
 
 int ScanConfig::resolved_threads() const {
   if (threads > 0) return threads;

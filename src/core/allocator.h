@@ -20,6 +20,8 @@
 
 namespace esva {
 
+class PlacementPolicy;  // core/streaming.h
+
 /// Order in which VMs are presented to an allocator. The paper always uses
 /// ByStartTime; the others exist for the ordering ablation
 /// (bench/ablation_ordering).
@@ -63,6 +65,15 @@ class Allocator {
 
   /// Produces an assignment for every VM (kNoServer where infeasible).
   virtual Allocation allocate(const ProblemInstance& problem, Rng& rng) = 0;
+
+  /// Streaming counterpart of allocate(): a fresh per-request policy
+  /// (core/streaming.h) bound to the allocator's current options and
+  /// observability context. For every allocator that overrides this,
+  /// allocate() is implemented as "sort by start time, feed the stream" over
+  /// exactly this policy, so the batch and streaming paths cannot drift
+  /// (tests/test_streaming.cpp). Returns null for inherently batch
+  /// allocators (the ext lookahead/reoptimization passes).
+  virtual std::unique_ptr<PlacementPolicy> make_policy() const;
 
   /// Configures the candidate-scan engine for allocators built on it
   /// (min-incremental, best-fit-cpu, lowest-idle-power, dot-product-fit).

@@ -22,11 +22,13 @@
 //     Profiled VMs (time-varying demand) bypass the cache — their demand is
 //     not captured by the shape key.
 //
-//   * scan_allocate() — the full allocation loop shared by min-incremental
-//     and the scan-based baselines: VM ordering, tracing (serial, uncached —
-//     decision records are inherently ordered and need check_fit
-//     diagnostics), placement, and probe accounting. The fast path with
-//     default ScanConfig is the exact pre-engine serial loop, preserving the
+//   * ScanPolicy — the per-request decision loop shared by min-incremental
+//     and the scan-based baselines, as a streaming PlacementPolicy
+//     (core/streaming.h): tracing (serial, uncached — decision records are
+//     inherently ordered and need check_fit diagnostics), scoring, and probe
+//     accounting. Batch allocate() runs the same policy through run_batch
+//     ("sort by start time, feed the stream"), so the fast path with default
+//     ScanConfig is the exact pre-engine serial loop, preserving the
 //     null-sink zero-overhead contract (bench/perf_allocators).
 
 #pragma once
@@ -45,6 +47,7 @@
 #include "cluster/timeline.h"
 #include "core/allocator.h"
 #include "core/cost_model.h"
+#include "core/streaming.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "util/types.h"
@@ -224,10 +227,11 @@ struct ScanTotals {
   std::int64_t cache_misses = 0;
 };
 
-/// The allocation loop shared by every scan-based allocator: presents VMs in
-/// `order`, arg-min-scans the fleet with `score` (lower is better; ties to
-/// the lowest server index), places the winner, and leaves losers
-/// unallocated.
+/// The per-request decision loop shared by every scan-based allocator, as a
+/// streaming policy: arg-min-scans the fleet with `score` (lower is better;
+/// ties to the lowest server index). Batch allocate() and the streaming
+/// replay both run exactly this code (core/streaming.h run_batch /
+/// PlacementEngine), so they cannot diverge.
 ///
 /// While tracing, the scan runs serial and uncached — decision records are
 /// inherently ordered, and rejection diagnostics need check_fit — but flows
@@ -237,29 +241,34 @@ struct ScanTotals {
 /// otherwise candidates are priced separately for the trace, as the baselines
 /// always did.
 template <typename ScoreFn>
-Allocation scan_allocate(const ProblemInstance& problem, VmOrder order,
-                         const ScanConfig& config, const ObsContext& obs,
-                         const std::string& name, bool score_is_energy_delta,
-                         const ScoreFn& score, ScanTotals& totals) {
-  Allocation alloc;
-  alloc.assignment.assign(problem.num_vms(), kNoServer);
-  std::vector<ServerTimeline> timelines =
-      make_timelines(problem.servers, problem.horizon);
-  const std::size_t n = timelines.size();
-  const bool tracing = obs.tracing();
+class ScanPolicy final : public PlacementPolicy {
+ public:
+  ScanPolicy(std::string name, bool score_is_energy_delta, ScoreFn score,
+             const ScanConfig& config, const ObsContext& obs)
+      : name_(std::move(name)),
+        score_is_energy_delta_(score_is_energy_delta),
+        score_(std::move(score)),
+        config_(config),
+        obs_(obs) {}
 
-  std::unique_ptr<ThreadPool> pool;
-  if (!tracing && config.resolved_threads() > 1 && n > 1)
-    pool = std::make_unique<ThreadPool>(
-        static_cast<std::size_t>(config.resolved_threads()) - 1);
-  ScanCache cache;
-  if (!tracing && config.cache) cache.resize(n);
+  std::string name() const override { return name_; }
+  const ScanTotals& totals() const { return totals_; }
 
-  const std::vector<std::size_t> indices = ordered_indices(problem, order);
-  if (tracing) {
-    for (std::size_t j : indices) {
-      const VmSpec& vm = problem.vms[j];
-      DecisionBuilder decision(obs, name, vm.id);
+  void begin(const ClusterState& cluster, Rng& /*rng*/) override {
+    const std::size_t n = cluster.num_servers();
+    if (!obs_.tracing() && config_.resolved_threads() > 1 && n > 1)
+      pool_ = std::make_unique<ThreadPool>(
+          static_cast<std::size_t>(config_.resolved_threads()) - 1);
+    if (!obs_.tracing() && config_.cache) cache_.resize(n);
+  }
+
+  PlacementDecision place_one(const ClusterState& cluster, const VmSpec& vm,
+                              Rng& /*rng*/) override {
+    const std::vector<ServerTimeline>& timelines = cluster.timelines();
+    const std::size_t n = timelines.size();
+    PlacementDecision result;
+    if (obs_.tracing()) {
+      DecisionBuilder decision(obs_, name_, vm.id);
       const ScanOutcome out = scan_candidates(
           n,
           [&](std::size_t i) -> std::optional<double> {
@@ -268,56 +277,85 @@ Allocation scan_allocate(const ProblemInstance& problem, VmOrder order,
               decision.add_rejected(static_cast<ServerId>(i), fit);
               return std::nullopt;
             }
-            const double s = score(timelines[i], vm);
+            const double s = score_(timelines[i], vm);
             decision.add_feasible(static_cast<ServerId>(i),
-                                  score_is_energy_delta
+                                  score_is_energy_delta_
                                       ? s
                                       : incremental_cost(timelines[i], vm));
             return s;
           },
           nullptr);
-      totals.feasible += out.feasible;
-      totals.rejected += out.rejected;
+      totals_.feasible += out.feasible;
+      totals_.rejected += out.rejected;
       if (out.best == kNoCandidate) {
         decision.commit(kNoServer);
-        continue;  // reported as unallocated
+        return result;  // reported as unallocated
       }
-      decision.commit(static_cast<ServerId>(out.best),
-                      score_is_energy_delta
-                          ? out.best_score
-                          : incremental_cost(timelines[out.best], vm));
-      timelines[out.best].place(vm);
-      alloc.assignment[j] = static_cast<ServerId>(out.best);
+      result.server = static_cast<ServerId>(out.best);
+      result.has_delta = true;
+      result.delta = score_is_energy_delta_
+                         ? out.best_score
+                         : incremental_cost(timelines[out.best], vm);
+      decision.commit(result.server, result.delta);
+      return result;
     }
-    return alloc;
-  }
 
-  for (std::size_t j : indices) {
-    const VmSpec& vm = problem.vms[j];
     const ScanOutcome out =
-        cache.enabled()
+        cache_.enabled()
             ? scan_candidates(
                   n,
                   [&](std::size_t i) -> std::optional<double> {
-                    return cache.probe(i, timelines[i], vm, score);
+                    return cache_.probe(i, timelines[i], vm, score_);
                   },
-                  pool.get())
+                  pool_.get())
             : scan_candidates(
                   n,
                   [&](std::size_t i) -> std::optional<double> {
                     if (!timelines[i].can_fit(vm)) return std::nullopt;
-                    return score(timelines[i], vm);
+                    return score_(timelines[i], vm);
                   },
-                  pool.get());
-    totals.feasible += out.feasible;
-    totals.rejected += out.rejected;
-    if (out.best == kNoCandidate) continue;  // reported as unallocated
-    timelines[out.best].place(vm);
-    alloc.assignment[j] = static_cast<ServerId>(out.best);
+                  pool_.get());
+    totals_.feasible += out.feasible;
+    totals_.rejected += out.rejected;
+    if (out.best == kNoCandidate) return result;  // reported as unallocated
+    result.server = static_cast<ServerId>(out.best);
+    if (score_is_energy_delta_) {
+      result.has_delta = true;
+      result.delta = out.best_score;
+    }
+    return result;
   }
-  totals.cache_hits = cache.hits();
-  totals.cache_misses = cache.misses();
-  return alloc;
+
+  void finish(std::size_t requests, std::size_t unallocated) override {
+    totals_.cache_hits = cache_.hits();
+    totals_.cache_misses = cache_.misses();
+    record_allocation_metrics(obs_.metrics, name_, requests, totals_.feasible,
+                              totals_.rejected, unallocated);
+    if (config_.cache)
+      record_scan_cache_metrics(obs_.metrics, name_, totals_.cache_hits,
+                                totals_.cache_misses);
+  }
+
+ private:
+  std::string name_;
+  bool score_is_energy_delta_;
+  ScoreFn score_;
+  ScanConfig config_;
+  ObsContext obs_;
+  std::unique_ptr<ThreadPool> pool_;
+  ScanCache cache_;
+  ScanTotals totals_;
+};
+
+/// Deduces the ScoreFn type; the scan-based allocators' make_policy() and
+/// allocate() both construct their policy through this.
+template <typename ScoreFn>
+std::unique_ptr<ScanPolicy<ScoreFn>> make_scan_policy(
+    std::string name, bool score_is_energy_delta, ScoreFn score,
+    const ScanConfig& config, const ObsContext& obs) {
+  return std::make_unique<ScanPolicy<ScoreFn>>(std::move(name),
+                                               score_is_energy_delta,
+                                               std::move(score), config, obs);
 }
 
 }  // namespace esva

@@ -1,36 +1,40 @@
 #include "core/min_incremental.h"
 
 #include "core/candidate_scan.h"
+#include "core/streaming.h"
 #include "obs/metrics.h"
 
 namespace esva {
 
+namespace {
+
+/// The Eq. 17 incremental energy — the score *is* the quantity the paper
+/// minimizes, which is also what the trace reports.
+struct MinIncrementalScore {
+  CostOptions cost;
+  double operator()(const ServerTimeline& timeline, const VmSpec& vm) const {
+    return incremental_cost(timeline, vm, cost);
+  }
+};
+
+}  // namespace
+
 // The whole decision loop — traced and untraced, serial and parallel, cached
-// and uncached — lives in scan_allocate (core/candidate_scan.h), so the
-// traced twin can never drift from the fast path (the equivalence test in
-// tests/test_obs_trace.cpp pins them together). The score *is* the Eq. 17
-// incremental energy, which is also what the trace reports.
+// and uncached — lives in ScanPolicy (core/candidate_scan.h), so the traced
+// twin can never drift from the fast path (the equivalence test in
+// tests/test_obs_trace.cpp pins them together) and the batch and streaming
+// drivers share one code path (tests/test_streaming.cpp).
+std::unique_ptr<PlacementPolicy> MinIncrementalAllocator::make_policy() const {
+  return make_scan_policy(name(), /*score_is_energy_delta=*/true,
+                          MinIncrementalScore{options_.cost}, options_.scan,
+                          obs_);
+}
+
 Allocation MinIncrementalAllocator::allocate(const ProblemInstance& problem,
-                                             Rng& /*rng*/) {
+                                             Rng& rng) {
   ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
-
-  ScanTotals totals;
-  const CostOptions cost = options_.cost;
-  Allocation alloc = scan_allocate(
-      problem, options_.order, options_.scan, obs_, name(),
-      /*score_is_energy_delta=*/true,
-      [&cost](const ServerTimeline& timeline, const VmSpec& vm) {
-        return incremental_cost(timeline, vm, cost);
-      },
-      totals);
-
-  record_allocation_metrics(obs_.metrics, name(), problem.num_vms(),
-                            totals.feasible, totals.rejected,
-                            alloc.num_unallocated());
-  if (options_.scan.cache)
-    record_scan_cache_metrics(obs_.metrics, name(), totals.cache_hits,
-                              totals.cache_misses);
-  return alloc;
+  const std::unique_ptr<PlacementPolicy> policy = make_policy();
+  return run_batch(problem, *policy, options_.order, rng);
 }
 
 }  // namespace esva

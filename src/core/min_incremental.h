@@ -52,6 +52,10 @@ class MinIncrementalAllocator final : public Allocator {
   /// lowest server id, at every thread count.
   Allocation allocate(const ProblemInstance& problem, Rng& rng) override;
 
+  /// The same decision loop as allocate(), one request at a time
+  /// (core/streaming.h).
+  std::unique_ptr<PlacementPolicy> make_policy() const override;
+
  private:
   Options options_;
 };

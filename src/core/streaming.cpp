@@ -1,0 +1,163 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace esva {
+
+ClusterState::ClusterState(std::vector<ServerSpec> servers,
+                           Time initial_horizon)
+    : servers_(std::move(servers)),
+      active_(servers_.size()),
+      retired_hi_(servers_.size(), 0),
+      horizon_(std::max<Time>(initial_horizon, 0)) {
+  timelines_.reserve(servers_.size());
+  for (const ServerSpec& spec : servers_)
+    timelines_.emplace_back(spec, /*base=*/1, horizon_);
+  resident_units_ =
+      servers_.size() * static_cast<std::size_t>(horizon_);
+}
+
+Time ClusterState::window_base(std::size_t i) const {
+  // Every active VM must stay inside the window, and the next request may
+  // start exactly at the frontier.
+  Time base = frontier_;
+  for (const VmSpec& vm : active_[i]) base = std::min(base, vm.start);
+  return base;
+}
+
+bool ClusterState::should_rebuild(std::size_t i) const {
+  const Time dead = window_base(i) - timelines_[i].base();
+  if (dead <= 0) return false;
+  // Rebuild once the dead prefix rivals the live window (2x amortization):
+  // each unit of rebuild work is paid for by a unit of frontier progress,
+  // and resident memory stays within 2x the active window plus slack.
+  const Time live = horizon_ - window_base(i) + 1;
+  return dead >= std::max<Time>(32, live);
+}
+
+void ClusterState::rebuild(std::size_t i, Time base, Time horizon) {
+  ServerTimeline fresh(servers_[i], base, horizon);
+  // Epochs must stay unique across rebuilds or the scan cache could mistake
+  // the fresh timeline for a stale snapshot it has entries for.
+  fresh.inherit_epoch(timelines_[i].epoch() + 1);
+  if (retired_hi_[i] > 0) fresh.seed_busy(retired_hi_[i], retired_hi_[i]);
+  for (const VmSpec& vm : active_[i]) fresh.place(vm);
+  resident_units_ += static_cast<std::size_t>(fresh.window_units()) -
+                     static_cast<std::size_t>(timelines_[i].window_units());
+  timelines_[i] = std::move(fresh);
+}
+
+void ClusterState::ensure_horizon(Time end) {
+  if (end <= horizon_) return;
+  // Double the forward window (with a floor) so repeated small extensions
+  // cost O(1) rebuild work per time unit, amortized.
+  const Time slack = std::max<Time>(256, horizon_ - frontier_ + 1);
+  horizon_ = std::max<Time>(end, horizon_ + slack);
+  for (std::size_t i = 0; i < timelines_.size(); ++i)
+    rebuild(i, window_base(i), horizon_);
+}
+
+void ClusterState::place(std::size_t server, const VmSpec& vm) {
+  assert(server < timelines_.size());
+  timelines_[server].place(vm);
+  next_retire_ = next_retire_ == 0 ? vm.end : std::min(next_retire_, vm.end);
+  active_[server].push_back(vm);
+}
+
+void ClusterState::advance_to(Time t) {
+  if (t <= frontier_) return;
+  frontier_ = t;
+  if (next_retire_ == 0 || next_retire_ >= frontier_) return;
+
+  Time next = 0;
+  for (std::size_t i = 0; i < timelines_.size(); ++i) {
+    std::vector<VmSpec>& vms = active_[i];
+    std::size_t kept = 0;
+    for (std::size_t k = 0; k < vms.size(); ++k) {
+      VmSpec& vm = vms[k];
+      if (vm.end < frontier_) {
+        retired_hi_[i] = std::max(retired_hi_[i], vm.end);
+      } else {
+        next = next == 0 ? vm.end : std::min(next, vm.end);
+        // Compact in place, keeping placement order; guard against
+        // self-move, which would gut the profile vector.
+        if (kept != k) vms[kept] = std::move(vm);
+        ++kept;
+      }
+    }
+    vms.resize(kept);
+    if (should_rebuild(i)) rebuild(i, window_base(i), horizon_);
+  }
+  next_retire_ = next;
+}
+
+std::size_t ClusterState::active_vms() const {
+  std::size_t total = 0;
+  for (const std::vector<VmSpec>& vms : active_) total += vms.size();
+  return total;
+}
+
+void PlacementPolicy::begin(const ClusterState& /*cluster*/, Rng& /*rng*/) {}
+
+void PlacementPolicy::finish(std::size_t /*requests*/,
+                             std::size_t /*unallocated*/) {}
+
+PlacementEngine::PlacementEngine(std::vector<ServerSpec> servers,
+                                 PlacementPolicy& policy, Rng& rng,
+                                 EngineOptions options)
+    : cluster_(std::move(servers), options.initial_horizon),
+      policy_(policy),
+      rng_(rng),
+      options_(options) {
+  if (options_.obs.metrics) {
+    submit_timer_ = &options_.obs.metrics->timer("engine.submit_ms");
+    request_counter_ = &options_.obs.metrics->counter("engine.requests");
+  }
+  policy_.begin(cluster_, rng_);
+}
+
+PlacementDecision PlacementEngine::submit(const VmSpec& vm) {
+  ScopedTimer timer(submit_timer_);
+  if (options_.auto_advance) cluster_.advance_to(vm.start);
+  if (vm.start < cluster_.frontier())
+    throw std::invalid_argument(
+        "PlacementEngine: request starts before the frontier");
+  cluster_.ensure_horizon(vm.end);
+  const PlacementDecision decision = policy_.place_one(cluster_, vm, rng_);
+  ++requests_;
+  if (request_counter_) request_counter_->inc();
+  if (decision.server != kNoServer) {
+    const auto i = static_cast<std::size_t>(decision.server);
+    if (options_.account_energy)
+      energy_ += decision.has_delta
+                     ? decision.delta
+                     : incremental_cost(cluster_.timelines()[i], vm,
+                                        options_.cost);
+    cluster_.place(i, vm);
+    ++placed_;
+  }
+  peak_resident_ = std::max(peak_resident_, cluster_.resident_time_units());
+  return decision;
+}
+
+void PlacementEngine::advance_to(Time t) { cluster_.advance_to(t); }
+
+Allocation run_batch(const ProblemInstance& problem, PlacementPolicy& policy,
+                     VmOrder order, Rng& rng) {
+  EngineOptions options;
+  options.initial_horizon = problem.horizon;
+  PlacementEngine engine(problem.servers, policy, rng, options);
+  Allocation alloc;
+  alloc.assignment.assign(problem.num_vms(), kNoServer);
+  for (std::size_t j : ordered_indices(problem, order))
+    alloc.assignment[j] = engine.submit(problem.vms[j]).server;
+  policy.finish(problem.num_vms(), alloc.num_unallocated());
+  return alloc;
+}
+
+}  // namespace esva

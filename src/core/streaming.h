@@ -1,0 +1,216 @@
+// Streaming allocation core: the event-driven counterpart of the batch
+// Allocator interface. The paper's heuristic is already online in start-time
+// order (§III) — this layer makes that operational: requests are submitted
+// one at a time to a stateful PlacementEngine, and advance_to(t) garbage-
+// collects occupancy structure strictly before the time frontier so resident
+// state is O(active window), not O(horizon).
+//
+// Three pieces:
+//
+//   * ClusterState — owns one ServerTimeline per server over a rolling
+//     window [base_i, horizon]. advance_to(t) retires VMs that finish before
+//     the frontier and, amortized, rebuilds each timeline with an advanced
+//     base; ensure_horizon(end) grows the forward window with doubling so
+//     per-request growth is O(1) amortized.
+//
+//   * PlacementPolicy — the incremental `place_one` interface every
+//     streamable allocator implements (the scan-based ScanPolicy in
+//     core/candidate_scan.h, first-fit and random-fit policies in
+//     baselines/). A policy only *chooses* a server; the engine commits the
+//     placement, so batch and streaming drivers share one decision path.
+//
+//   * PlacementEngine — submit(VmSpec) -> PlacementDecision per request,
+//     plus advance_to(t). run_batch() reimplements the historical
+//     Allocator::allocate() as "sort by start time, feed the stream",
+//     bit-identical to the pre-refactor batch loops
+//     (tests/test_streaming.cpp).
+//
+// Why garbage collection cannot change decisions: a future placement's
+// feasibility depends only on usage within its own interval (at or after the
+// frontier), and its structure-cost delta (core/cost_model.h) depends only
+// on the IntervalSet::preview_insert neighborhood — the left neighbor's hi,
+// the right neighbor's lo, the absorbed intervals, and whether the busy set
+// is empty. Every busy interval dropped by GC ends strictly before the
+// frontier, so the only observable trace it could leave on a future delta is
+// the hi of the *latest* dropped interval (as left-gap anchor) and busy
+// non-emptiness. Rebuilding with a unit sentinel interval at that endpoint
+// (ServerTimeline::seed_busy) preserves both exactly, so every subsequent
+// delta — and therefore every subsequent decision — is bitwise unchanged.
+// tests/test_streaming.cpp pins this property differentially.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/server_spec.h"
+#include "cluster/timeline.h"
+#include "cluster/vm.h"
+#include "core/allocator.h"
+#include "core/cost_model.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace esva {
+
+class Counter;  // obs/metrics.h
+
+/// Per-server timelines behind a rolling time frontier.
+class ClusterState {
+ public:
+  /// Timelines over [1, initial_horizon]; pass 0 to grow on demand via
+  /// ensure_horizon (the streaming replay default).
+  ClusterState(std::vector<ServerSpec> servers, Time initial_horizon);
+
+  std::size_t num_servers() const { return timelines_.size(); }
+  const std::vector<ServerTimeline>& timelines() const { return timelines_; }
+  const ServerSpec& server(std::size_t i) const { return servers_[i]; }
+
+  /// Requests must start at or after the frontier; structure strictly before
+  /// it is garbage-collectible.
+  Time frontier() const { return frontier_; }
+  Time horizon() const { return horizon_; }
+
+  /// Grows the horizon to cover `end` (amortized doubling of the forward
+  /// window). No-op when already covered.
+  void ensure_horizon(Time end);
+
+  /// Commits a placement chosen by a policy. The VM must fit (asserted by
+  /// the timeline) and is tracked as active until it retires.
+  void place(std::size_t server, const VmSpec& vm);
+
+  /// Advances the frontier to `t` (no-op backwards), retires VMs ending
+  /// before it, and — amortized — rebuilds timelines over the shrunken
+  /// window. Never changes any subsequent decision (header comment).
+  void advance_to(Time t);
+
+  /// VMs placed and not yet retired by advance_to.
+  std::size_t active_vms() const;
+
+  /// Total resident window size, in time units summed over servers — the
+  /// resource-tree memory footprint the rolling horizon bounds. O(1).
+  std::size_t resident_time_units() const { return resident_units_; }
+
+ private:
+  Time window_base(std::size_t i) const;
+  bool should_rebuild(std::size_t i) const;
+  void rebuild(std::size_t i, Time base, Time horizon);
+
+  std::vector<ServerSpec> servers_;
+  std::vector<ServerTimeline> timelines_;
+  /// Active VMs per server, in placement order (rebuild replays them).
+  std::vector<std::vector<VmSpec>> active_;
+  /// Latest end among retired VMs per server (0 = none): the sentinel busy
+  /// endpoint seeded into rebuilt timelines.
+  std::vector<Time> retired_hi_;
+  Time frontier_ = 1;
+  Time horizon_ = 0;
+  /// Earliest end among all active VMs (0 = none): advance_to's fast path.
+  Time next_retire_ = 0;
+  std::size_t resident_units_ = 0;
+};
+
+/// One placement decision. `delta` carries the Eq. 17 incremental energy
+/// when the policy priced the winner anyway (min-incremental, traced runs);
+/// consumers needing energy otherwise price it themselves.
+struct PlacementDecision {
+  ServerId server = kNoServer;
+  bool has_delta = false;
+  Energy delta = 0.0;
+};
+
+/// The incremental interface every streamable allocator implements. A policy
+/// instance drives one run: begin() binds it to the cluster (FFPS draws its
+/// probe order here), place_one() chooses a server per request without
+/// mutating the cluster, finish() flushes per-run metrics.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Short stable name used in metrics ("min-incremental", "ffps", ...).
+  virtual std::string name() const = 0;
+
+  /// Called once, before the first request.
+  virtual void begin(const ClusterState& cluster, Rng& rng);
+
+  /// Chooses a server for `vm` (kNoServer when infeasible everywhere). Must
+  /// not mutate the cluster — the engine commits the placement.
+  virtual PlacementDecision place_one(const ClusterState& cluster,
+                                      const VmSpec& vm, Rng& rng) = 0;
+
+  /// Called once, after the last request. `requests` is the number
+  /// submitted, `unallocated` how many found no server.
+  virtual void finish(std::size_t requests, std::size_t unallocated);
+};
+
+struct EngineOptions {
+  /// Fixed horizon to pre-build timelines for; 0 grows on demand.
+  Time initial_horizon = 0;
+  /// Advance the frontier to each request's start time on submit — the
+  /// streaming replay mode. Off for the batch driver, where ablation orders
+  /// present VMs with non-monotone start times.
+  bool auto_advance = false;
+  /// Accumulate the Eq. 17 incremental energy of every placement (the
+  /// telescoped total equals the batch post-hoc evaluation). Off by default:
+  /// policies that don't price candidates would pay an extra delta per
+  /// request.
+  bool account_energy = false;
+  /// Cost options used when account_energy prices a placement itself.
+  CostOptions cost;
+  /// Engine-level observability: the "engine.submit_ms" timer and
+  /// "engine.requests" counter (docs/OBSERVABILITY.md). Policies carry
+  /// their own ObsContext for tracing and allocator.* metrics.
+  ObsContext obs;
+};
+
+/// Stateful streaming allocator: submit requests in non-decreasing
+/// start-time order (enforced against the frontier), get a decision each.
+class PlacementEngine {
+ public:
+  /// Binds `policy` (begin() is called here) to a fresh cluster. The policy
+  /// and rng must outlive the engine; one policy instance drives one engine.
+  PlacementEngine(std::vector<ServerSpec> servers, PlacementPolicy& policy,
+                  Rng& rng, EngineOptions options = {});
+
+  /// Places one request. Throws std::invalid_argument if vm.start is
+  /// already behind the frontier (its window may have been collected).
+  PlacementDecision submit(const VmSpec& vm);
+
+  /// Forwards to ClusterState::advance_to.
+  void advance_to(Time t);
+
+  const ClusterState& cluster() const { return cluster_; }
+
+  std::int64_t requests() const { return requests_; }
+  std::int64_t placed() const { return placed_; }
+  /// Telescoped incremental energy of all placements; 0 unless
+  /// EngineOptions::account_energy.
+  Energy total_energy() const { return energy_; }
+  /// High-water mark of ClusterState::resident_time_units().
+  std::size_t peak_resident_time_units() const { return peak_resident_; }
+
+ private:
+  ClusterState cluster_;
+  PlacementPolicy& policy_;
+  Rng& rng_;
+  EngineOptions options_;
+  Timer* submit_timer_ = nullptr;
+  Counter* request_counter_ = nullptr;
+  std::int64_t requests_ = 0;
+  std::int64_t placed_ = 0;
+  Energy energy_ = 0.0;
+  std::size_t peak_resident_ = 0;
+};
+
+/// The historical batch contract as a stream driver: presents problem.vms in
+/// `order` to a PlacementEngine over a fixed problem.horizon window and
+/// collects the assignment. With the policy an allocator's make_policy()
+/// returns, this *is* that allocator's allocate() — bit-identical to the
+/// pre-streaming batch loops (tests/test_streaming.cpp).
+Allocation run_batch(const ProblemInstance& problem, PlacementPolicy& policy,
+                     VmOrder order, Rng& rng);
+
+}  // namespace esva

@@ -1,0 +1,67 @@
+#include "sim/replay.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "stats/summary.h"
+
+namespace esva {
+
+ReplayReport replay_stream(ArrivalStream& arrivals,
+                           const std::vector<ServerSpec>& servers,
+                           PlacementPolicy& policy, Rng& rng,
+                           const ReplayOptions& options) {
+  EngineOptions engine_options;
+  engine_options.initial_horizon = 0;  // grow on demand with the stream
+  engine_options.auto_advance = options.rolling_gc;
+  engine_options.account_energy = true;
+  engine_options.cost = options.cost;
+  engine_options.obs = options.obs;
+  PlacementEngine engine(servers, policy, rng, engine_options);
+
+  ReplayReport report;
+  using Clock = std::chrono::steady_clock;
+  while (auto vm = arrivals.next()) {
+    const auto t0 = Clock::now();
+    const PlacementDecision decision = engine.submit(*vm);
+    const auto t1 = Clock::now();
+    report.submit_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+
+    ++report.requests;
+    if (decision.server != kNoServer) {
+      ++report.placed;
+    } else {
+      ++report.rejected;
+    }
+    const auto id = static_cast<std::size_t>(vm->id);
+    if (report.assignment.size() <= id) {
+      report.assignment.resize(id + 1, kNoServer);
+    }
+    report.assignment[id] = decision.server;
+    report.peak_active_vms =
+        std::max(report.peak_active_vms, engine.cluster().active_vms());
+  }
+  policy.finish(report.requests, report.rejected);
+
+  for (double ms : report.submit_ms) report.submit_total_ms += ms;
+  if (!report.submit_ms.empty()) {
+    report.latency.mean_ms =
+        report.submit_total_ms / static_cast<double>(report.submit_ms.size());
+    report.latency.p50_ms = quantile(report.submit_ms, 0.50);
+    report.latency.p99_ms = quantile(report.submit_ms, 0.99);
+    report.latency.max_ms = quantile(report.submit_ms, 1.0);
+  }
+  if (report.submit_total_ms > 0.0) {
+    report.requests_per_sec = static_cast<double>(report.requests) /
+                              (report.submit_total_ms / 1000.0);
+  }
+
+  report.total_energy = engine.total_energy();
+  report.peak_resident_time_units = engine.peak_resident_time_units();
+  report.final_resident_time_units = engine.cluster().resident_time_units();
+  report.final_frontier = engine.cluster().frontier();
+  return report;
+}
+
+}  // namespace esva

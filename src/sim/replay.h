@@ -1,0 +1,67 @@
+// Streaming replay: drives a PlacementEngine (core/streaming.h) from an
+// ArrivalStream (workload/arrival_stream.h), advancing the rolling horizon
+// to each arrival's start time, and reports what a serving system would
+// report — per-request placement latency (p50/p99), requests/sec, telescoped
+// energy, and the peak resident timeline footprint the garbage collection
+// bounds. Backs the `esva stream` CLI command and the streaming section of
+// bench/perf_allocators.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/streaming.h"
+#include "workload/arrival_stream.h"
+
+namespace esva {
+
+struct ReplayOptions {
+  /// Advance the frontier to each arrival's start before placing it, letting
+  /// the engine garbage-collect history. Off replays with full batch state
+  /// (the differential baseline: GC must not change any decision).
+  bool rolling_gc = true;
+  /// Prices each placement (Eq. 17) for the energy report.
+  CostOptions cost;
+  /// Engine metrics (engine.submit_ms / engine.requests) land here; the
+  /// policy carries its own ObsContext for tracing and allocator.* metrics.
+  ObsContext obs;
+};
+
+/// Per-request submit latency, milliseconds.
+struct LatencySummary {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct ReplayReport {
+  std::size_t requests = 0;
+  std::size_t placed = 0;
+  std::size_t rejected = 0;  ///< requests with no feasible server
+  /// Wall time spent inside submit() and the resulting throughput.
+  double submit_total_ms = 0.0;
+  double requests_per_sec = 0.0;
+  LatencySummary latency;
+  /// Raw per-request latencies, in submission order (the percentile source).
+  std::vector<double> submit_ms;
+  /// Telescoped Eq. 17 incremental energy of all placements.
+  Energy total_energy = 0.0;
+  std::size_t peak_resident_time_units = 0;
+  std::size_t final_resident_time_units = 0;
+  std::size_t peak_active_vms = 0;
+  Time final_frontier = 1;
+  /// Assignment indexed by VmId (the generators and the trace loader produce
+  /// dense ids).
+  std::vector<ServerId> assignment;
+};
+
+/// Replays every arrival through `policy`. The stream must present requests
+/// in non-decreasing start-time order (the ArrivalStream contract).
+ReplayReport replay_stream(ArrivalStream& arrivals,
+                           const std::vector<ServerSpec>& servers,
+                           PlacementPolicy& policy, Rng& rng,
+                           const ReplayOptions& options = {});
+
+}  // namespace esva

@@ -54,4 +54,9 @@ struct Summary {
 /// Summarizes a sample; all-zero summary for an empty span.
 Summary summarize(std::span<const double> xs);
 
+/// Sample p-quantile (p in [0, 1]) with linear interpolation between order
+/// statistics; 0 for an empty sample. Sorts a copy — intended for
+/// end-of-run reporting (latency percentiles), not hot paths.
+double quantile(std::span<const double> xs, double p);
+
 }  // namespace esva

@@ -1,0 +1,91 @@
+#include "workload/arrival_stream.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace esva {
+
+VectorArrivalStream::VectorArrivalStream(std::vector<VmSpec> vms)
+    : vms_(std::move(vms)), order_(order_by_start(vms_)) {}
+
+std::optional<VmSpec> VectorArrivalStream::next() {
+  if (pos_ >= order_.size()) return std::nullopt;
+  return vms_[order_[pos_++]];
+}
+
+PoissonArrivalStream::PoissonArrivalStream(const WorkloadConfig& config,
+                                           Rng& rng)
+    : config_(config), rng_(&rng) {
+  assert(config_.num_vms >= 0);
+  assert(config_.mean_interarrival > 0 && config_.mean_duration > 0);
+  assert(!config_.vm_types.empty());
+}
+
+std::optional<VmSpec> PoissonArrivalStream::next() {
+  if (produced_ >= config_.num_vms) return std::nullopt;
+  arrival_clock_ += rng_->exponential(config_.mean_interarrival);
+  const Time start =
+      std::max<Time>(1, static_cast<Time>(std::ceil(arrival_clock_)));
+  const Time duration = std::max<Time>(
+      1, static_cast<Time>(
+             std::llround(rng_->exponential(config_.mean_duration))));
+
+  const VmType& type = config_.vm_types[rng_->index(config_.vm_types.size())];
+  VmSpec vm;
+  vm.id = produced_++;
+  vm.type_name = type.name;
+  vm.demand = type.demand;
+  vm.start = start;
+  vm.end = start + duration - 1;
+  assert(vm.valid());
+  return vm;
+}
+
+DiurnalArrivalStream::DiurnalArrivalStream(const DiurnalConfig& config,
+                                           Rng& rng)
+    : config_(config),
+      rng_(&rng),
+      // Lewis–Shedler thinning: propose arrivals at the envelope rate
+      // lambda_max, accept each with probability lambda(t)/lambda_max.
+      lambda_max_(config.base_rate * (1.0 + config.amplitude)) {
+  assert(config_.num_vms >= 0);
+  assert(config_.mean_duration > 0 && config_.period > 0);
+  assert(!config_.vm_types.empty());
+}
+
+std::optional<VmSpec> DiurnalArrivalStream::next() {
+  if (produced_ >= config_.num_vms) return std::nullopt;
+  for (;;) {
+    clock_ += rng_->exponential(1.0 / lambda_max_);
+    if (rng_->next_double() * lambda_max_ > diurnal_rate(config_, clock_))
+      continue;  // thinned out
+
+    const Time start =
+        std::max<Time>(1, static_cast<Time>(std::ceil(clock_)));
+    const Time duration = std::max<Time>(
+        1, static_cast<Time>(
+               std::llround(rng_->exponential(config_.mean_duration))));
+    const VmType& type =
+        config_.vm_types[rng_->index(config_.vm_types.size())];
+
+    VmSpec vm;
+    vm.id = produced_++;
+    vm.type_name = type.name;
+    vm.demand = type.demand;
+    vm.start = start;
+    vm.end = start + duration - 1;
+    assert(vm.valid());
+    return vm;
+  }
+}
+
+std::vector<VmSpec> drain(ArrivalStream& stream) {
+  std::vector<VmSpec> vms;
+  while (std::optional<VmSpec> vm = stream.next())
+    vms.push_back(std::move(*vm));
+  return vms;
+}
+
+}  // namespace esva

@@ -1,8 +1,9 @@
 #include "workload/diurnal.h"
 
-#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "workload/arrival_stream.h"
 
 namespace esva {
 
@@ -14,40 +15,13 @@ double diurnal_rate(const DiurnalConfig& config, double t) {
   return config.base_rate * (1.0 + config.amplitude * std::sin(angle));
 }
 
+// The thinning loop lives in DiurnalArrivalStream
+// (workload/arrival_stream.h); materializing is just draining it, so the
+// lazy and batch request sequences cannot drift.
 std::vector<VmSpec> generate_diurnal_workload(const DiurnalConfig& config,
                                               Rng& rng) {
-  assert(config.num_vms >= 0);
-  assert(config.mean_duration > 0 && config.period > 0);
-  assert(!config.vm_types.empty());
-
-  // Lewis–Shedler thinning: propose arrivals at the envelope rate
-  // lambda_max, accept each with probability lambda(t)/lambda_max.
-  const double lambda_max = config.base_rate * (1.0 + config.amplitude);
-
-  std::vector<VmSpec> vms;
-  vms.reserve(static_cast<std::size_t>(config.num_vms));
-  double clock = 0.0;
-  while (static_cast<int>(vms.size()) < config.num_vms) {
-    clock += rng.exponential(1.0 / lambda_max);
-    if (rng.next_double() * lambda_max > diurnal_rate(config, clock))
-      continue;  // thinned out
-
-    const Time start = std::max<Time>(1, static_cast<Time>(std::ceil(clock)));
-    const Time duration = std::max<Time>(
-        1,
-        static_cast<Time>(std::llround(rng.exponential(config.mean_duration))));
-    const VmType& type = config.vm_types[rng.index(config.vm_types.size())];
-
-    VmSpec vm;
-    vm.id = static_cast<VmId>(vms.size());
-    vm.type_name = type.name;
-    vm.demand = type.demand;
-    vm.start = start;
-    vm.end = start + duration - 1;
-    assert(vm.valid());
-    vms.push_back(std::move(vm));
-  }
-  return vms;
+  DiurnalArrivalStream stream(config, rng);
+  return drain(stream);
 }
 
 }  // namespace esva

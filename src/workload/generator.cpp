@@ -2,37 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
+
+#include "workload/arrival_stream.h"
 
 namespace esva {
 
+// The per-arrival draw sequence lives in PoissonArrivalStream
+// (workload/arrival_stream.h); materializing is just draining it, so the
+// lazy and batch request sequences cannot drift.
 std::vector<VmSpec> generate_workload(const WorkloadConfig& config, Rng& rng) {
-  assert(config.num_vms >= 0);
-  assert(config.mean_interarrival > 0 && config.mean_duration > 0);
-  assert(!config.vm_types.empty());
-
-  std::vector<VmSpec> vms;
-  vms.reserve(static_cast<std::size_t>(config.num_vms));
-
-  double arrival_clock = 0.0;
-  for (int j = 0; j < config.num_vms; ++j) {
-    arrival_clock += rng.exponential(config.mean_interarrival);
-    const Time start =
-        std::max<Time>(1, static_cast<Time>(std::ceil(arrival_clock)));
-    const Time duration = std::max<Time>(
-        1, static_cast<Time>(std::llround(rng.exponential(config.mean_duration))));
-
-    const VmType& type = config.vm_types[rng.index(config.vm_types.size())];
-    VmSpec vm;
-    vm.id = j;
-    vm.type_name = type.name;
-    vm.demand = type.demand;
-    vm.start = start;
-    vm.end = start + duration - 1;
-    assert(vm.valid());
-    vms.push_back(std::move(vm));
-  }
-  return vms;
+  PoissonArrivalStream stream(config, rng);
+  return drain(stream);
 }
 
 std::vector<VmSpec> generate_bursty_workload(const WorkloadConfig& config,

@@ -159,6 +159,81 @@ TEST_F(AppTest, AllocateThreadsAndCacheFlagsPreserveTheAssignment) {
   EXPECT_EQ(serial_body.str(), parallel_body.str());
 }
 
+TEST_F(AppTest, StreamReplaysTraceWithLatencyJsonIdenticalToBatch) {
+  // The acceptance instance: 220 VMs on 44 servers, replayed end-to-end
+  // through the streaming engine with per-request latency metrics.
+  ASSERT_EQ(run("generate",
+                {"--vms", "220", "--servers", "44", "--seed", "7", "--out-vms",
+                 path("st_vms.csv"), "--out-servers", path("st_srv.csv")}),
+            0);
+  ASSERT_EQ(run("allocate",
+                {"--vms", path("st_vms.csv"), "--servers", path("st_srv.csv"),
+                 "--out-assignment", path("st_batch.csv")}),
+            0)
+      << err();
+  ASSERT_EQ(run("stream",
+                {"--vms", path("st_vms.csv"), "--servers", path("st_srv.csv"),
+                 "--out-assignment", path("st_stream.csv"), "--latency-json",
+                 path("st_latency.json"), "--stats", path("st_stats.json")}),
+            0)
+      << err();
+  EXPECT_NE(out().find("requests/sec"), std::string::npos);
+  EXPECT_NE(out().find("submit latency p99"), std::string::npos);
+
+  // Streaming with rolling GC must reproduce the batch assignment exactly.
+  std::ifstream batch(path("st_batch.csv"));
+  std::ifstream stream(path("st_stream.csv"));
+  std::stringstream batch_body, stream_body;
+  batch_body << batch.rdbuf();
+  stream_body << stream.rdbuf();
+  EXPECT_EQ(batch_body.str(), stream_body.str());
+
+  std::ifstream latency(path("st_latency.json"));
+  ASSERT_TRUE(latency.good());
+  std::stringstream latency_body;
+  latency_body << latency.rdbuf();
+  EXPECT_NE(latency_body.str().find("\"p50\""), std::string::npos);
+  EXPECT_NE(latency_body.str().find("\"p99\""), std::string::npos);
+  EXPECT_NE(latency_body.str().find("\"requests\": 220"), std::string::npos);
+
+  std::ifstream stats(path("st_stats.json"));
+  std::stringstream stats_body;
+  stats_body << stats.rdbuf();
+  EXPECT_NE(stats_body.str().find("engine.submit_ms"), std::string::npos);
+  EXPECT_NE(stats_body.str().find("engine.requests"), std::string::npos);
+}
+
+TEST_F(AppTest, StreamGeneratesLazilyAndRejectsAmbiguousSource) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "10", "--servers", "16", "--out-vms",
+                 path("sg_vms.csv"), "--out-servers", path("sg_srv.csv")}),
+            0);
+  ASSERT_EQ(run("stream", {"--generate", "50", "--servers",
+                           path("sg_srv.csv"), "--allocator", "ffps"}),
+            0)
+      << err();
+  EXPECT_NE(out().find("ffps"), std::string::npos);
+
+  // Neither or both of --vms/--generate is an error.
+  EXPECT_EQ(run("stream", {"--servers", path("sg_srv.csv")}), 1);
+  EXPECT_NE(err().find("exactly one"), std::string::npos);
+  EXPECT_EQ(run("stream", {"--vms", path("sg_vms.csv"), "--generate", "5",
+                           "--servers", path("sg_srv.csv")}),
+            1);
+}
+
+TEST_F(AppTest, StreamRejectsBatchOnlyAllocators) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "10", "--servers", "8", "--out-vms",
+                 path("sb_vms.csv"), "--out-servers", path("sb_srv.csv")}),
+            0);
+  EXPECT_EQ(run("stream",
+                {"--vms", path("sb_vms.csv"), "--servers", path("sb_srv.csv"),
+                 "--allocator", "lookahead-8"}),
+            1);
+  EXPECT_NE(err().find("batch-only"), std::string::npos);
+}
+
 TEST_F(AppTest, AllocateAcceptsExtensionAllocators) {
   ASSERT_EQ(run("generate",
                 {"--vms", "25", "--servers", "12", "--out-vms",

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/registry.h"
@@ -263,6 +264,26 @@ TEST(ScanCandidates, TiesBreakToLowestIndexAtAnyThreadCount) {
     EXPECT_EQ(parallel.feasible, serial.feasible);
     EXPECT_EQ(parallel.rejected, serial.rejected);
   }
+}
+
+TEST(ScanConfigTest, ResolvedThreadsPassesExplicitCountsThrough) {
+  ScanConfig config;
+  EXPECT_EQ(config.resolved_threads(), 1);  // serial default
+  config.threads = 1;
+  EXPECT_EQ(config.resolved_threads(), 1);
+  config.threads = 7;
+  EXPECT_EQ(config.resolved_threads(), 7);
+}
+
+TEST(ScanConfigTest, ResolvedThreadsZeroMeansHardwareConcurrency) {
+  ScanConfig config;
+  config.threads = 0;
+  const int resolved = config.resolved_threads();
+  // hardware_concurrency() may return 0 on exotic platforms; the contract is
+  // "at least 1", and where the runtime does report a count, exactly that.
+  EXPECT_GE(resolved, 1);
+  const unsigned reported = std::thread::hardware_concurrency();
+  if (reported > 0) EXPECT_EQ(resolved, static_cast<int>(reported));
 }
 
 TEST(ScanCandidates, EvalExceptionPropagatesFromWorkerChunk) {
