@@ -40,6 +40,7 @@
 #include "baselines/registry.h"
 #include "cluster/timeline.h"
 #include "core/cost_model.h"
+#include "core/fault_plan.h"
 #include "core/min_incremental.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -506,6 +507,86 @@ StreamingReport measure_streaming(int num_vms, int reps) {
   return report;
 }
 
+// ---------------------------------------------------------------------------
+// Chaos: streaming under a seeded fault plan with the retry queue enabled
+// ---------------------------------------------------------------------------
+
+struct ChaosReport {
+  int num_vms = 0;
+  int failures = 0;
+  double median_ms = 0.0;
+  FaultStats stats;
+  std::size_t placed = 0;
+  std::size_t rejected = 0;
+  Energy total_energy = 0.0;
+  bool reproducible = false;  ///< two seeded runs byte-identical
+  bool pass = true;
+};
+
+ChaosReport measure_chaos(int num_vms, int reps) {
+  ChaosReport report;
+  report.num_vms = num_vms;
+  const ProblemInstance problem = instance_for(num_vms, 42);
+  // min-incremental packs onto low-id servers, so uniform failures need to
+  // cover a decent fraction of the fleet before evacuation actually triggers.
+  report.failures =
+      std::max(4, static_cast<int>(problem.num_servers()) / 3);
+
+  ChaosConfig chaos;
+  chaos.num_servers = problem.num_servers();
+  chaos.failures = report.failures;
+  chaos.window_lo = 5;
+  chaos.window_hi = std::max<Time>(10, problem.horizon / 2);
+  chaos.mean_repair = std::max<Time>(10, problem.horizon / 10);
+  Rng plan_rng(42);
+  const FaultPlan plan = random_fault_plan(chaos, plan_rng);
+
+  const auto run = [&] {
+    AllocatorPtr allocator = make_allocator("min-incremental");
+    std::unique_ptr<PlacementPolicy> policy = allocator->make_policy();
+    Rng rng(7);
+    VectorArrivalStream arrivals(problem.vms);
+    ReplayOptions options;
+    options.faults = &plan;
+    options.retry.max_attempts = 3;
+    return replay_stream(arrivals, problem.servers, *policy, rng, options);
+  };
+
+  std::printf("measuring chaos streaming (%d VMs, %d seeded failures, "
+              "retries on)...\n",
+              num_vms, report.failures);
+  std::vector<double> times;
+  ReplayReport first;
+  ReplayReport last;
+  for (int rep = 0; rep < std::max(2, reps); ++rep) {
+    times.push_back(time_ms([&] {
+      last = run();
+      benchmark::DoNotOptimize(last.assignment.data());
+    }));
+    if (rep == 0) first = last;
+  }
+  report.median_ms = median(times);
+  report.stats = last.faults;
+  report.placed = last.placed;
+  report.rejected = last.rejected;
+  report.total_energy = last.total_energy;
+  // The chaos gate: a seeded plan must replay byte-identically run-to-run.
+  report.reproducible = first.assignment == last.assignment &&
+                        first.total_energy == last.total_energy &&
+                        first.faults.rejected_final ==
+                            last.faults.rejected_final &&
+                        first.faults.downtime_units ==
+                            last.faults.downtime_units;
+  report.pass = report.reproducible;
+  std::printf("  %8.2f ms (median), %zu placed / %zu rejected, "
+              "%lld evacuated, %lld downtime units, reproducible %s\n",
+              report.median_ms, report.placed, report.rejected,
+              static_cast<long long>(report.stats.evacuated),
+              static_cast<long long>(report.stats.downtime_units),
+              report.reproducible ? "yes" : "NO (BUG)");
+  return report;
+}
+
 int run_perf_report(const std::string& out_path, int num_vms, int reps,
                     double overhead_budget, double speedup_budget,
                     bool quick) {
@@ -543,6 +624,8 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
 
   const StreamingReport streaming =
       measure_streaming(num_vms, std::max(3, reps / 2));
+
+  const ChaosReport chaos = measure_chaos(num_vms, std::max(2, reps / 2));
 
   std::ofstream out(out_path);
   if (!out) {
@@ -612,7 +695,25 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
   };
   emit_variant("rolling_gc", streaming.gc, false);
   emit_variant("no_gc", streaming.no_gc, false);
-  out << "    \"pass\": " << (streaming.pass ? "true" : "false") << "\n  }\n";
+  out << "    \"pass\": " << (streaming.pass ? "true" : "false") << "\n  },\n";
+  out << "  \"chaos\": {\n"
+      << "    \"allocator\": \"min-incremental\",\n"
+      << "    \"num_vms\": " << chaos.num_vms << ",\n"
+      << "    \"seeded_failures\": " << chaos.failures << ",\n"
+      << "    \"median_ms\": " << chaos.median_ms << ",\n"
+      << "    \"placed\": " << chaos.placed << ",\n"
+      << "    \"rejected\": " << chaos.rejected << ",\n"
+      << "    \"total_energy\": " << chaos.total_energy << ",\n"
+      << "    \"fault_events\": " << chaos.stats.fault_events << ",\n"
+      << "    \"displaced\": " << chaos.stats.displaced << ",\n"
+      << "    \"evacuated\": " << chaos.stats.evacuated << ",\n"
+      << "    \"retries\": " << chaos.stats.retries << ",\n"
+      << "    \"retried_placed\": " << chaos.stats.retried_placed << ",\n"
+      << "    \"rejected_final\": " << chaos.stats.rejected_final << ",\n"
+      << "    \"downtime_units\": " << chaos.stats.downtime_units << ",\n"
+      << "    \"reproducible\": " << (chaos.reproducible ? "true" : "false")
+      << ",\n"
+      << "    \"pass\": " << (chaos.pass ? "true" : "false") << "\n  }\n";
   out << "}\n";
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -644,6 +745,12 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
     std::fprintf(stderr,
                  "FAIL: streaming replay diverged from the batch "
                  "assignment\n");
+    return 1;
+  }
+  if (!chaos.pass) {
+    std::fprintf(stderr,
+                 "FAIL: seeded chaos replay was not reproducible "
+                 "run-to-run\n");
     return 1;
   }
   return 0;

@@ -9,6 +9,7 @@
 
 #include "baselines/registry.h"
 #include "cluster/datacenter.h"
+#include "core/fault_plan.h"
 #include "ext/register.h"
 #include "ext/timeout_policy.h"
 #include "ilp/lp_export.h"
@@ -265,6 +266,19 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
   parser.add_bool("no-gc",
                   "keep full history instead of garbage-collecting behind the "
                   "frontier (identical decisions; more memory)");
+  parser.add_string("faults", "",
+                    "fault-plan CSV (time,event,server with event in "
+                    "fail|drain|recover) applied at frontier advances "
+                    "(optional)");
+  parser.add_int("retry-max", 1,
+                 "total placement attempts per request (initial included); "
+                 "1 disables the retry queue");
+  parser.add_int("retry-delay", 8,
+                 "base delay before the first retry (time units)");
+  parser.add_double("retry-backoff", 2.0,
+                    "multiplier applied to the delay after each failed retry");
+  parser.add_int("retry-queue", 64,
+                 "retry queue capacity; admissions beyond it are rejected");
   parser.add_string("out-assignment", "", "assignment CSV output (optional)");
   parser.add_string("latency-json", "",
                     "per-request latency report output: requests/sec plus "
@@ -332,8 +346,20 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
       arrivals = std::make_unique<VectorArrivalStream>(trace_vms);
     }
 
+    FaultPlan fault_plan;
     ReplayOptions options;
     options.rolling_gc = !parser.get_bool("no-gc");
+    if (!parser.get_string("faults").empty()) {
+      fault_plan = load_fault_plan(parser.get_string("faults"));
+      fault_plan.validate(servers.size());
+      options.faults = &fault_plan;
+    }
+    options.retry.max_attempts = static_cast<int>(parser.get_int("retry-max"));
+    options.retry.base_delay =
+        static_cast<Time>(parser.get_int("retry-delay"));
+    options.retry.backoff = parser.get_double("retry-backoff");
+    options.retry.queue_capacity =
+        static_cast<std::size_t>(parser.get_int("retry-queue"));
     options.obs.metrics = &metrics;
     const ReplayReport report =
         replay_stream(*arrivals, servers, *policy, policy_rng, options);
@@ -364,6 +390,18 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
     table.add_row(
         {"peak active VMs", std::to_string(report.peak_active_vms)});
     table.add_row({"final frontier", std::to_string(report.final_frontier)});
+    if (options.faults || options.retry.enabled() ||
+        report.faults.late_arrivals > 0) {
+      const FaultStats& fs = report.faults;
+      table.add_row({"fault events", std::to_string(fs.fault_events)});
+      table.add_row({"late arrivals", std::to_string(fs.late_arrivals)});
+      table.add_row({"displaced", std::to_string(fs.displaced)});
+      table.add_row({"evacuated", std::to_string(fs.evacuated)});
+      table.add_row({"retries", std::to_string(fs.retries)});
+      table.add_row({"retried placed", std::to_string(fs.retried_placed)});
+      table.add_row({"rejected final", std::to_string(fs.rejected_final)});
+      table.add_row({"downtime (units)", std::to_string(fs.downtime_units)});
+    }
     out << table.render();
 
     if (!parser.get_string("out-assignment").empty()) {
@@ -411,7 +449,22 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
            << "  \"final_resident_time_units\": "
            << report.final_resident_time_units << ",\n"
            << "  \"peak_active_vms\": " << report.peak_active_vms << ",\n"
-           << "  \"final_frontier\": " << report.final_frontier << "\n"
+           << "  \"final_frontier\": " << report.final_frontier << ",\n"
+           << "  \"faults\": {\n"
+           << "    \"fault_events\": " << report.faults.fault_events << ",\n"
+           << "    \"late_arrivals\": " << report.faults.late_arrivals << ",\n"
+           << "    \"displaced\": " << report.faults.displaced << ",\n"
+           << "    \"evacuated\": " << report.faults.evacuated << ",\n"
+           << "    \"deferred\": " << report.faults.deferred << ",\n"
+           << "    \"retries\": " << report.faults.retries << ",\n"
+           << "    \"retried_placed\": " << report.faults.retried_placed
+           << ",\n"
+           << "    \"rejected_final\": " << report.faults.rejected_final
+           << ",\n"
+           << "    \"queue_full\": " << report.faults.queue_full << ",\n"
+           << "    \"downtime_units\": " << report.faults.downtime_units
+           << "\n"
+           << "  }\n"
            << "}\n";
       out << "latency report written to " << path << '\n';
     }

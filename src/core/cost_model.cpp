@@ -95,4 +95,8 @@ Energy incremental_cost(const ServerTimeline& timeline, const VmSpec& vm,
                               timeline.spec(), opts);
 }
 
+Energy migration_energy(const VmSpec& vm, Energy cost_per_gib) {
+  return cost_per_gib * vm.demand.mem;
+}
+
 }  // namespace esva

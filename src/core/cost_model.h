@@ -76,4 +76,11 @@ Energy server_cost(const ServerSpec& server, const std::vector<VmSpec>& vms,
 Energy incremental_cost(const ServerTimeline& timeline, const VmSpec& vm,
                         const CostOptions& opts = {});
 
+/// First-order live-migration energy of relocating `vm`:
+/// cost_per_gib × R^MEM_j — traffic and service degradation scale with the
+/// memory footprint. Shared by the migration post-pass (ext/migration.h) and
+/// the streaming engine's failure evacuation (core/streaming.h) so both
+/// charge the same term.
+Energy migration_energy(const VmSpec& vm, Energy cost_per_gib);
+
 }  // namespace esva

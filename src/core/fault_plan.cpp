@@ -1,0 +1,136 @@
+#include "core/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace esva {
+
+namespace {
+
+[[noreturn]] void fail_line(std::size_t line, const std::string& message) {
+  throw std::runtime_error("fault plan line " + std::to_string(line) + ": " +
+                           message);
+}
+
+long parse_long(const std::string& field, std::size_t line) {
+  try {
+    std::size_t consumed = 0;
+    const long value = std::stol(field, &consumed);
+    if (consumed != field.size())
+      fail_line(line, "trailing junk in '" + field + "'");
+    return value;
+  } catch (const std::logic_error&) {
+    fail_line(line, "expected an integer, got '" + field + "'");
+  }
+}
+
+FaultKind parse_kind(const std::string& field, std::size_t line) {
+  if (field == "fail") return FaultKind::kFail;
+  if (field == "drain") return FaultKind::kDrain;
+  if (field == "recover") return FaultKind::kRecover;
+  fail_line(line, "unknown event '" + field + "' (fail|drain|recover)");
+}
+
+}  // namespace
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFail:
+      return "fail";
+    case FaultKind::kDrain:
+      return "drain";
+    case FaultKind::kRecover:
+      return "recover";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(
+      events_.begin(), events_.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+void FaultPlan::validate(std::size_t num_servers) const {
+  for (const FaultEvent& e : events_) {
+    if (e.at < 1)
+      throw std::invalid_argument("fault plan: event at time " +
+                                  std::to_string(e.at) + " precedes time 1");
+    if (e.server < 0 ||
+        static_cast<std::size_t>(e.server) >= num_servers)
+      throw std::invalid_argument(
+          "fault plan: server " + std::to_string(e.server) +
+          " outside the fleet of " + std::to_string(num_servers));
+  }
+}
+
+void write_fault_plan(std::ostream& out, const FaultPlan& plan) {
+  CsvWriter csv(out);
+  csv.row({"time", "event", "server"});
+  for (const FaultEvent& e : plan.events())
+    csv.typed_row(static_cast<int>(e.at), to_string(e.kind), e.server);
+}
+
+FaultPlan read_fault_plan(std::istream& in) {
+  const auto rows = read_csv(in);
+  if (rows.empty()) throw std::runtime_error("fault plan: empty file");
+  std::vector<FaultEvent> events;
+  for (std::size_t r = 1; r < rows.size(); ++r) {  // rows[0] is the header
+    const auto& row = rows[r];
+    const std::size_t line = r + 1;
+    if (row.size() != 3) fail_line(line, "expected 3 columns");
+    FaultEvent e;
+    e.at = static_cast<Time>(parse_long(row[0], line));
+    e.kind = parse_kind(row[1], line);
+    e.server = static_cast<ServerId>(parse_long(row[2], line));
+    if (e.at < 1) fail_line(line, "event time must be >= 1");
+    if (e.server < 0) fail_line(line, "server id must be >= 0");
+    events.push_back(e);
+  }
+  return FaultPlan(std::move(events));
+}
+
+void save_fault_plan(const std::string& path, const FaultPlan& plan) {
+  std::ofstream file(path);
+  if (!file)
+    throw std::runtime_error("cannot open fault plan '" + path + "'");
+  write_fault_plan(file, plan);
+}
+
+FaultPlan load_fault_plan(const std::string& path) {
+  std::ifstream file(path);
+  if (!file)
+    throw std::runtime_error("cannot open fault plan '" + path + "'");
+  return read_fault_plan(file);
+}
+
+FaultPlan random_fault_plan(const ChaosConfig& config, Rng& rng) {
+  std::vector<FaultEvent> events;
+  events.reserve(static_cast<std::size_t>(config.failures) * 2);
+  for (int k = 0; k < config.failures; ++k) {
+    FaultEvent fail;
+    fail.at = static_cast<Time>(
+        rng.uniform_int(config.window_lo, config.window_hi));
+    fail.kind = FaultKind::kFail;
+    fail.server =
+        static_cast<ServerId>(rng.index(std::max<std::size_t>(1, config.num_servers)));
+    events.push_back(fail);
+
+    FaultEvent recover = fail;
+    recover.kind = FaultKind::kRecover;
+    const double repair =
+        std::max(1.0, std::round(rng.exponential(
+                          static_cast<double>(config.mean_repair))));
+    recover.at = fail.at + static_cast<Time>(repair);
+    events.push_back(recover);
+  }
+  return FaultPlan(std::move(events));
+}
+
+}  // namespace esva

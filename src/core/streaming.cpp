@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -9,11 +11,40 @@
 
 namespace esva {
 
+std::string to_string(ServerHealth health) {
+  switch (health) {
+    case ServerHealth::kUp:
+      return "up";
+    case ServerHealth::kDrained:
+      return "drained";
+    case ServerHealth::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+std::string to_string(PlacementReject reject) {
+  switch (reject) {
+    case PlacementReject::kNone:
+      return "none";
+    case PlacementReject::kNoCapacity:
+      return "no-capacity";
+    case PlacementReject::kLateArrival:
+      return "late-arrival";
+    case PlacementReject::kDeferred:
+      return "deferred";
+    case PlacementReject::kQueueFull:
+      return "queue-full";
+  }
+  return "?";
+}
+
 ClusterState::ClusterState(std::vector<ServerSpec> servers,
                            Time initial_horizon)
     : servers_(std::move(servers)),
       active_(servers_.size()),
       retired_hi_(servers_.size(), 0),
+      health_(servers_.size(), ServerHealth::kUp),
       horizon_(std::max<Time>(initial_horizon, 0)) {
   timelines_.reserve(servers_.size());
   for (const ServerSpec& spec : servers_)
@@ -33,6 +64,7 @@ Time ClusterState::window_base(std::size_t i) const {
 bool ClusterState::should_rebuild(std::size_t i) const {
   const Time dead = window_base(i) - timelines_[i].base();
   if (dead <= 0) return false;
+  if (eager_rebuild_) return true;
   // Rebuild once the dead prefix rivals the live window (2x amortization):
   // each unit of rebuild work is paid for by a unit of frontier progress,
   // and resident memory stays within 2x the active window plus slack.
@@ -41,6 +73,12 @@ bool ClusterState::should_rebuild(std::size_t i) const {
 }
 
 void ClusterState::rebuild(std::size_t i, Time base, Time horizon) {
+  // The frontier can outrun the lazily-extended planning horizon (a fault
+  // event or an arrival far past every previous VM's end). Nothing can be
+  // active there — place() ensured end <= horizon_ and the sweep retired the
+  // rest — so rebuild an empty window; the next ensure_horizon (every later
+  // request has end >= start >= frontier) extends and rebuilds it for real.
+  horizon = std::max(horizon, base - 1);
   ServerTimeline fresh(servers_[i], base, horizon);
   // Epochs must stay unique across rebuilds or the scan cache could mistake
   // the fresh timeline for a stale snapshot it has entries for.
@@ -52,6 +90,23 @@ void ClusterState::rebuild(std::size_t i, Time base, Time horizon) {
   timelines_[i] = std::move(fresh);
 }
 
+void ClusterState::stub_timeline(std::size_t i) {
+  // Empty window base..base-1 at the frontier: can_fit rejects every VM
+  // (Horizon), so the server disappears from every policy scan; the window
+  // holds no resource trees, so it costs no resident memory.
+  ServerTimeline stub(servers_[i], frontier_, frontier_ - 1);
+  stub.inherit_epoch(timelines_[i].epoch() + 1);
+  resident_units_ -= static_cast<std::size_t>(timelines_[i].window_units());
+  timelines_[i] = std::move(stub);
+}
+
+void ClusterState::recompute_next_retire() {
+  next_retire_ = 0;
+  for (const std::vector<VmSpec>& vms : active_)
+    for (const VmSpec& vm : vms)
+      next_retire_ = next_retire_ == 0 ? vm.end : std::min(next_retire_, vm.end);
+}
+
 void ClusterState::ensure_horizon(Time end) {
   if (end <= horizon_) return;
   // Double the forward window (with a floor) so repeated small extensions
@@ -59,14 +114,16 @@ void ClusterState::ensure_horizon(Time end) {
   const Time slack = std::max<Time>(256, horizon_ - frontier_ + 1);
   horizon_ = std::max<Time>(end, horizon_ + slack);
   for (std::size_t i = 0; i < timelines_.size(); ++i)
-    rebuild(i, window_base(i), horizon_);
+    if (placeable(i)) rebuild(i, window_base(i), horizon_);
 }
 
 void ClusterState::place(std::size_t server, const VmSpec& vm) {
   assert(server < timelines_.size());
+  assert(placeable(server));
   timelines_[server].place(vm);
   next_retire_ = next_retire_ == 0 ? vm.end : std::min(next_retire_, vm.end);
   active_[server].push_back(vm);
+  ++active_count_;
 }
 
 void ClusterState::advance_to(Time t) {
@@ -82,6 +139,7 @@ void ClusterState::advance_to(Time t) {
       VmSpec& vm = vms[k];
       if (vm.end < frontier_) {
         retired_hi_[i] = std::max(retired_hi_[i], vm.end);
+        --active_count_;
       } else {
         next = next == 0 ? vm.end : std::min(next, vm.end);
         // Compact in place, keeping placement order; guard against
@@ -91,21 +149,79 @@ void ClusterState::advance_to(Time t) {
       }
     }
     vms.resize(kept);
-    if (should_rebuild(i)) rebuild(i, window_base(i), horizon_);
+    // Stubs stay stubs: rebuilding a non-up server would resurrect its
+    // capacity for policy scans.
+    if (placeable(i) && should_rebuild(i)) rebuild(i, window_base(i), horizon_);
   }
   next_retire_ = next;
+  assert(active_count_ == active_vms_scan());
 }
 
-std::size_t ClusterState::active_vms() const {
+std::size_t ClusterState::active_vms_scan() const {
   std::size_t total = 0;
   for (const std::vector<VmSpec>& vms : active_) total += vms.size();
   return total;
+}
+
+std::vector<VmSpec> ClusterState::fail_server(std::size_t i) {
+  assert(i < timelines_.size());
+  if (health_[i] == ServerHealth::kFailed) return {};
+  health_[i] = ServerHealth::kFailed;
+  std::vector<VmSpec> displaced = std::move(active_[i]);
+  active_[i].clear();
+  active_count_ -= displaced.size();
+  assert(active_count_ == active_vms_scan());
+  // Occupancy ran right up to the failure instant; anchor future structure
+  // deltas (after recovery) at the last completed unit.
+  if (!displaced.empty() && frontier_ > 1)
+    retired_hi_[i] = std::max(retired_hi_[i], frontier_ - 1);
+  stub_timeline(i);
+  recompute_next_retire();
+  return displaced;
+}
+
+void ClusterState::drain_server(std::size_t i) {
+  assert(i < timelines_.size());
+  if (health_[i] != ServerHealth::kUp) return;
+  health_[i] = ServerHealth::kDrained;
+  // Active VMs stay in active_[i] and retire through the normal sweep; only
+  // the placement surface disappears.
+  stub_timeline(i);
+}
+
+void ClusterState::recover_server(std::size_t i) {
+  assert(i < timelines_.size());
+  if (health_[i] == ServerHealth::kUp) return;
+  health_[i] = ServerHealth::kUp;
+  rebuild(i, window_base(i), horizon_);
 }
 
 void PlacementPolicy::begin(const ClusterState& /*cluster*/, Rng& /*rng*/) {}
 
 void PlacementPolicy::finish(std::size_t /*requests*/,
                              std::size_t /*unallocated*/) {}
+
+Time RetryPolicy::delay_for(int attempts) const {
+  assert(attempts >= 1);
+  const double delay = static_cast<double>(base_delay) *
+                       std::pow(backoff, static_cast<double>(attempts - 1));
+  return std::max<Time>(1, static_cast<Time>(std::llround(delay)));
+}
+
+VmSpec clip_to(VmSpec vm, Time t) {
+  if (vm.start >= t) return vm;
+  assert(vm.end >= t);
+  if (vm.has_profile()) {
+    std::vector<Resources> tail(
+        vm.profile.begin() + static_cast<std::ptrdiff_t>(t - vm.start),
+        vm.profile.end());
+    vm.start = t;
+    vm.set_profile(std::move(tail));
+  } else {
+    vm.start = t;
+  }
+  return vm;
+}
 
 PlacementEngine::PlacementEngine(std::vector<ServerSpec> servers,
                                  PlacementPolicy& policy, Rng& rng,
@@ -114,38 +230,240 @@ PlacementEngine::PlacementEngine(std::vector<ServerSpec> servers,
       policy_(policy),
       rng_(rng),
       options_(options) {
+  if (options_.faults) options_.faults->validate(cluster_.num_servers());
   if (options_.obs.metrics) {
     submit_timer_ = &options_.obs.metrics->timer("engine.submit_ms");
     request_counter_ = &options_.obs.metrics->counter("engine.requests");
+    late_counter_ = &options_.obs.metrics->counter("engine.late_arrivals");
+    evacuated_counter_ = &options_.obs.metrics->counter("engine.evacuated");
+    retry_counter_ = &options_.obs.metrics->counter("engine.retries");
+    rejected_final_counter_ =
+        &options_.obs.metrics->counter("engine.rejected_final");
+    downtime_counter_ =
+        &options_.obs.metrics->counter("engine.downtime_units");
   }
   policy_.begin(cluster_, rng_);
 }
 
 PlacementDecision PlacementEngine::submit(const VmSpec& vm) {
   ScopedTimer timer(submit_timer_);
-  if (options_.auto_advance) cluster_.advance_to(vm.start);
-  if (vm.start < cluster_.frontier())
-    throw std::invalid_argument(
-        "PlacementEngine: request starts before the frontier");
-  cluster_.ensure_horizon(vm.end);
-  const PlacementDecision decision = policy_.place_one(cluster_, vm, rng_);
+  if (options_.auto_advance) step_to(vm.start);
   ++requests_;
   if (request_counter_) request_counter_->inc();
+  if (vm.start < cluster_.frontier()) {
+    if (!options_.tolerate_late_arrivals)
+      throw std::invalid_argument(
+          "PlacementEngine: request starts before the frontier");
+    // Structured rejection: the request's window may already be collected,
+    // so one straggler must not abort the whole replay.
+    ++faults_.late_arrivals;
+    if (late_counter_) late_counter_->inc();
+    PlacementDecision late;
+    late.reject = PlacementReject::kLateArrival;
+    return late;
+  }
+  cluster_.ensure_horizon(vm.end);
+  PlacementDecision decision = policy_.place_one(cluster_, vm, rng_);
   if (decision.server != kNoServer) {
-    const auto i = static_cast<std::size_t>(decision.server);
-    if (options_.account_energy)
-      energy_ += decision.has_delta
-                     ? decision.delta
-                     : incremental_cost(cluster_.timelines()[i], vm,
-                                        options_.cost);
-    cluster_.place(i, vm);
+    commit(decision, vm, /*charge_migration=*/false);
     ++placed_;
+  } else {
+    decision.reject =
+        defer_or_reject(vm, cluster_.frontier(), /*displaced=*/false,
+                        /*attempts=*/1);
   }
   peak_resident_ = std::max(peak_resident_, cluster_.resident_time_units());
   return decision;
 }
 
-void PlacementEngine::advance_to(Time t) { cluster_.advance_to(t); }
+void PlacementEngine::advance_to(Time t) { step_to(t); }
+
+void PlacementEngine::step_to(Time t) {
+  if (options_.faults) {
+    const std::vector<FaultEvent>& events = options_.faults->events();
+    while (fault_cursor_ < events.size() && events[fault_cursor_].at <= t) {
+      const FaultEvent& event = events[fault_cursor_++];
+      cluster_.advance_to(event.at);
+      // Retries due strictly before the event fire against the pre-event
+      // cluster; at the exact instant the fault wins (a failure at t
+      // affects placements made at t).
+      drain_retries(event.at - 1);
+      apply_event(event);
+    }
+  }
+  cluster_.advance_to(t);
+  drain_retries(t);
+}
+
+void PlacementEngine::finish_stream() {
+  const std::vector<FaultEvent>* events =
+      options_.faults ? &options_.faults->events() : nullptr;
+  while ((events && fault_cursor_ < events->size()) || !retry_queue_.empty()) {
+    Time next = std::numeric_limits<Time>::max();
+    if (events && fault_cursor_ < events->size())
+      next = (*events)[fault_cursor_].at;
+    if (!retry_queue_.empty())
+      next = std::min(next, retry_queue_.front().not_before);
+    step_to(next);
+  }
+}
+
+void PlacementEngine::apply_event(const FaultEvent& event) {
+  ++faults_.fault_events;
+  const auto i = static_cast<std::size_t>(event.server);
+  switch (event.kind) {
+    case FaultKind::kFail: {
+      std::vector<VmSpec> displaced = cluster_.fail_server(i);
+      faults_.displaced += static_cast<std::int64_t>(displaced.size());
+      for (VmSpec& vm : displaced) evacuate(std::move(vm), event.at);
+      break;
+    }
+    case FaultKind::kDrain:
+      cluster_.drain_server(i);
+      break;
+    case FaultKind::kRecover:
+      cluster_.recover_server(i);
+      break;
+  }
+  peak_resident_ = std::max(peak_resident_, cluster_.resident_time_units());
+}
+
+void PlacementEngine::evacuate(VmSpec vm, Time now) {
+  // The VM already ran [start, now); only the remainder needs a new home.
+  VmSpec remainder = clip_to(std::move(vm), now);
+  cluster_.ensure_horizon(remainder.end);
+  const PlacementDecision decision =
+      policy_.place_one(cluster_, remainder, rng_);
+  if (decision.server != kNoServer) {
+    commit(decision, remainder, /*charge_migration=*/true);
+    ++faults_.evacuated;
+    if (evacuated_counter_) evacuated_counter_->inc();
+    resolutions_.push_back({remainder.id, decision.server});
+    return;
+  }
+  // Off its old host either way — downtime starts now; the retry queue may
+  // still bring it back.
+  resolutions_.push_back({remainder.id, kNoServer});
+  defer_or_reject(std::move(remainder), now, /*displaced=*/true,
+                  /*attempts=*/1);
+}
+
+void PlacementEngine::commit(const PlacementDecision& decision,
+                             const VmSpec& vm, bool charge_migration) {
+  const auto i = static_cast<std::size_t>(decision.server);
+  if (options_.account_energy) {
+    energy_ += decision.has_delta
+                   ? decision.delta
+                   : incremental_cost(cluster_.timelines()[i], vm,
+                                      options_.cost);
+    if (charge_migration)
+      energy_ += migration_energy(vm, options_.migration_cost_per_gib);
+  }
+  cluster_.place(i, vm);
+}
+
+PlacementReject PlacementEngine::defer_or_reject(VmSpec vm, Time now,
+                                                 bool displaced,
+                                                 int attempts) {
+  if (options_.retry.enabled() && attempts < options_.retry.max_attempts) {
+    if (retry_queue_.size() < options_.retry.queue_capacity) {
+      PendingRequest pending;
+      pending.not_before = now + options_.retry.delay_for(attempts);
+      pending.attempts = attempts;
+      pending.displaced = displaced;
+      pending.waiting_since = displaced ? now : vm.start;
+      pending.vm = std::move(vm);
+      enqueue(std::move(pending));
+      ++faults_.deferred;
+      return PlacementReject::kDeferred;
+    }
+    ++faults_.queue_full;
+    PendingRequest bounced;
+    bounced.displaced = displaced;
+    bounced.waiting_since = now;
+    bounced.vm = std::move(vm);
+    final_reject(bounced);
+    return PlacementReject::kQueueFull;
+  }
+  PendingRequest terminal;
+  terminal.displaced = displaced;
+  terminal.waiting_since = now;
+  terminal.vm = std::move(vm);
+  final_reject(terminal);
+  return PlacementReject::kNoCapacity;
+}
+
+void PlacementEngine::final_reject(const PendingRequest& pending) {
+  ++faults_.rejected_final;
+  if (rejected_final_counter_) rejected_final_counter_->inc();
+  if (pending.displaced) {
+    // A displaced VM that never finds a new home sits unserved from its
+    // displacement instant through its end: downtime, not a crash.
+    const Time down =
+        std::max<Time>(0, pending.vm.end - pending.waiting_since + 1);
+    faults_.downtime_units += down;
+    if (downtime_counter_) downtime_counter_->inc(down);
+  }
+}
+
+void PlacementEngine::enqueue(PendingRequest pending) {
+  pending.seq = retry_seq_++;
+  const auto pos = std::upper_bound(
+      retry_queue_.begin(), retry_queue_.end(), pending,
+      [](const PendingRequest& a, const PendingRequest& b) {
+        return a.not_before != b.not_before ? a.not_before < b.not_before
+                                            : a.seq < b.seq;
+      });
+  retry_queue_.insert(pos, std::move(pending));
+}
+
+void PlacementEngine::drain_retries(Time now) {
+  while (!retry_queue_.empty() && retry_queue_.front().not_before <= now) {
+    PendingRequest pending = std::move(retry_queue_.front());
+    retry_queue_.erase(retry_queue_.begin());
+    ++faults_.retries;
+    if (retry_counter_) retry_counter_->inc();
+    // The cluster has been advanced at least to `now`; attempt at the
+    // frontier so the request's collected prefix is clipped away.
+    const Time at = cluster_.frontier();
+    if (pending.vm.end < at) {
+      final_reject(pending);
+      continue;
+    }
+    const VmSpec attempt_vm = clip_to(pending.vm, at);
+    cluster_.ensure_horizon(attempt_vm.end);
+    const PlacementDecision decision =
+        policy_.place_one(cluster_, attempt_vm, rng_);
+    if (decision.server != kNoServer) {
+      commit(decision, attempt_vm, /*charge_migration=*/pending.displaced);
+      ++faults_.retried_placed;
+      resolutions_.push_back({attempt_vm.id, decision.server});
+      if (pending.displaced) {
+        const Time down = at - pending.waiting_since;
+        faults_.downtime_units += down;
+        if (downtime_counter_) downtime_counter_->inc(down);
+        ++faults_.evacuated;
+        if (evacuated_counter_) evacuated_counter_->inc();
+      } else {
+        ++placed_;
+      }
+      peak_resident_ =
+          std::max(peak_resident_, cluster_.resident_time_units());
+      continue;
+    }
+    const int attempts = pending.attempts + 1;
+    if (attempts >= options_.retry.max_attempts) {
+      final_reject(pending);
+    } else if (retry_queue_.size() >= options_.retry.queue_capacity) {
+      ++faults_.queue_full;
+      final_reject(pending);
+    } else {
+      pending.attempts = attempts;
+      pending.not_before = at + options_.retry.delay_for(attempts);
+      enqueue(std::move(pending));
+    }
+  }
+}
 
 Allocation run_batch(const ProblemInstance& problem, PlacementPolicy& policy,
                      VmOrder order, Rng& rng) {

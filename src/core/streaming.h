@@ -11,7 +11,10 @@
 //     window [base_i, horizon]. advance_to(t) retires VMs that finish before
 //     the frontier and, amortized, rebuilds each timeline with an advanced
 //     base; ensure_horizon(end) grows the forward window with doubling so
-//     per-request growth is O(1) amortized.
+//     per-request growth is O(1) amortized. Servers also carry a health
+//     state (up / drained / failed): a non-up server's timeline is replaced
+//     by an empty-window stub, so every policy's can_fit probe rejects it —
+//     failed capacity vanishes from every scan without per-policy checks.
 //
 //   * PlacementPolicy — the incremental `place_one` interface every
 //     streamable allocator implements (the scan-based ScanPolicy in
@@ -23,7 +26,14 @@
 //     plus advance_to(t). run_batch() reimplements the historical
 //     Allocator::allocate() as "sort by start time, feed the stream",
 //     bit-identical to the pre-refactor batch loops
-//     (tests/test_streaming.cpp).
+//     (tests/test_streaming.cpp). The engine is also the fault-tolerance
+//     layer: it steps through an optional FaultPlan at advance_to
+//     boundaries, evacuates VMs displaced by server failures through the
+//     bound policy (charging ext/migration's first-order energy term), and
+//     runs a bounded retry queue with exponential backoff for infeasible and
+//     displaced requests. With no plan and retries disabled, every fault
+//     path is dormant and the engine is bit-identical to the fault-free one
+//     (tests/test_faults.cpp pins this differentially).
 //
 // Why garbage collection cannot change decisions: a future placement's
 // feasibility depends only on usage within its own interval (at or after the
@@ -50,6 +60,7 @@
 #include "cluster/vm.h"
 #include "core/allocator.h"
 #include "core/cost_model.h"
+#include "core/fault_plan.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -57,6 +68,15 @@
 namespace esva {
 
 class Counter;  // obs/metrics.h
+
+/// Availability of one server in a ClusterState.
+enum class ServerHealth {
+  kUp,       ///< accepting placements
+  kDrained,  ///< hosted VMs run to completion; no new placements
+  kFailed,   ///< dark: active VMs were displaced; no new placements
+};
+
+std::string to_string(ServerHealth health);
 
 /// Per-server timelines behind a rolling time frontier.
 class ClusterState {
@@ -79,7 +99,8 @@ class ClusterState {
   void ensure_horizon(Time end);
 
   /// Commits a placement chosen by a policy. The VM must fit (asserted by
-  /// the timeline) and is tracked as active until it retires.
+  /// the timeline), the server must be up, and the VM is tracked as active
+  /// until it retires.
   void place(std::size_t server, const VmSpec& vm);
 
   /// Advances the frontier to `t` (no-op backwards), retires VMs ending
@@ -87,17 +108,57 @@ class ClusterState {
   /// window. Never changes any subsequent decision (header comment).
   void advance_to(Time t);
 
-  /// VMs placed and not yet retired by advance_to.
-  std::size_t active_vms() const;
+  /// VMs placed and not yet retired by advance_to. O(1) — place() and the
+  /// retire sweep maintain a running count, asserted against
+  /// active_vms_scan() wherever the sweep already walks the fleet.
+  std::size_t active_vms() const { return active_count_; }
+
+  /// The O(num_servers) verification twin of active_vms(): recounts from
+  /// the per-server lists. Tests and debug asserts only.
+  std::size_t active_vms_scan() const;
 
   /// Total resident window size, in time units summed over servers — the
   /// resource-tree memory footprint the rolling horizon bounds. O(1).
   std::size_t resident_time_units() const { return resident_units_; }
 
+  // --- server health (core/fault_plan.h events) ----------------------------
+
+  ServerHealth health(std::size_t i) const { return health_[i]; }
+  bool placeable(std::size_t i) const {
+    return health_[i] == ServerHealth::kUp;
+  }
+
+  /// Marks the server failed and returns its still-active VMs in placement
+  /// order (the engine evacuates them). The timeline becomes an empty-window
+  /// stub every can_fit probe rejects; occupancy up to the failure instant
+  /// stays anchored via the retired-busy sentinel. No-op (empty result) if
+  /// already failed.
+  std::vector<VmSpec> fail_server(std::size_t i);
+
+  /// Graceful decommission: active VMs keep running (and retire normally),
+  /// but the timeline becomes a stub so nothing new lands here. Only
+  /// meaningful from the up state.
+  void drain_server(std::size_t i);
+
+  /// Returns a failed or drained server to service: its timeline is rebuilt
+  /// over the current window with surviving active VMs replayed and the
+  /// retired-busy sentinel seeded. No-op if already up.
+  void recover_server(std::size_t i);
+
+  /// Test/debug knob: rebuild a timeline whenever any dead prefix exists
+  /// (instead of the 2x-amortized threshold). Forces the retired-sentinel
+  /// path on every advance_to tick — decisions must not change
+  /// (tests/test_streaming.cpp).
+  void set_eager_rebuild(bool eager) { eager_rebuild_ = eager; }
+
  private:
   Time window_base(std::size_t i) const;
   bool should_rebuild(std::size_t i) const;
   void rebuild(std::size_t i, Time base, Time horizon);
+  /// Replaces timeline `i` with an empty-window stub at the frontier
+  /// (epoch-advanced so scan caches cannot confuse it with live state).
+  void stub_timeline(std::size_t i);
+  void recompute_next_retire();
 
   std::vector<ServerSpec> servers_;
   std::vector<ServerTimeline> timelines_;
@@ -106,12 +167,27 @@ class ClusterState {
   /// Latest end among retired VMs per server (0 = none): the sentinel busy
   /// endpoint seeded into rebuilt timelines.
   std::vector<Time> retired_hi_;
+  std::vector<ServerHealth> health_;
   Time frontier_ = 1;
   Time horizon_ = 0;
   /// Earliest end among all active VMs (0 = none): advance_to's fast path.
   Time next_retire_ = 0;
   std::size_t resident_units_ = 0;
+  std::size_t active_count_ = 0;
+  bool eager_rebuild_ = false;
 };
+
+/// Why a request was not placed (PlacementDecision::reject). Policies leave
+/// this kNone; the engine classifies the outcome.
+enum class PlacementReject {
+  kNone,         ///< placed
+  kNoCapacity,   ///< no feasible server (terminal when retries are off)
+  kLateArrival,  ///< start behind the frontier on the tolerant path
+  kDeferred,     ///< admitted to the retry queue; may still be placed
+  kQueueFull,    ///< retry queue at capacity — terminal
+};
+
+std::string to_string(PlacementReject reject);
 
 /// One placement decision. `delta` carries the Eq. 17 incremental energy
 /// when the policy priced the winner anyway (min-incremental, traced runs);
@@ -120,6 +196,7 @@ struct PlacementDecision {
   ServerId server = kNoServer;
   bool has_delta = false;
   Energy delta = 0.0;
+  PlacementReject reject = PlacementReject::kNone;
 };
 
 /// The incremental interface every streamable allocator implements. A policy
@@ -146,6 +223,26 @@ class PlacementPolicy {
   virtual void finish(std::size_t requests, std::size_t unallocated);
 };
 
+/// Bounded deferred-retry configuration: infeasible and displaced requests
+/// wait in a capacity-limited queue and are re-attempted at advance_to
+/// boundaries under exponential backoff. Defaults disable retries, keeping
+/// the engine bit-identical to the historical one.
+struct RetryPolicy {
+  /// Total placement attempts per request, the initial one included;
+  /// <= 1 disables the retry queue entirely.
+  int max_attempts = 1;
+  /// Queue capacity; admissions beyond it are rejected with kQueueFull.
+  std::size_t queue_capacity = 64;
+  /// Attempt k+1 fires base_delay × backoff^(k-1) time units after attempt
+  /// k fails (k >= 1), rounded, floored at one unit.
+  Time base_delay = 8;
+  double backoff = 2.0;
+
+  bool enabled() const { return max_attempts > 1 && queue_capacity > 0; }
+  /// Delay before the attempt following `attempts` failed ones.
+  Time delay_for(int attempts) const;
+};
+
 struct EngineOptions {
   /// Fixed horizon to pre-build timelines for; 0 grows on demand.
   Time initial_horizon = 0;
@@ -160,10 +257,49 @@ struct EngineOptions {
   bool account_energy = false;
   /// Cost options used when account_energy prices a placement itself.
   CostOptions cost;
+  /// Tolerate requests that start behind the frontier: return a structured
+  /// kLateArrival rejection instead of throwing. Off by default — on the
+  /// batch driver a late submit is a programmer error and keeps the throw.
+  bool tolerate_late_arrivals = false;
+  /// Deterministic fail/recover/drain schedule applied at advance_to
+  /// boundaries; null = no faults. Must outlive the engine; validated
+  /// against the fleet size at construction.
+  const FaultPlan* faults = nullptr;
+  /// Deferred-retry configuration (disabled by default).
+  RetryPolicy retry;
+  /// Live-migration energy per GiB of displaced VM memory, charged when an
+  /// evacuated VM is re-placed (ext/migration's first-order model, via
+  /// migration_energy()). Only used with account_energy.
+  Energy migration_cost_per_gib = 25.0;
   /// Engine-level observability: the "engine.submit_ms" timer and
-  /// "engine.requests" counter (docs/OBSERVABILITY.md). Policies carry
-  /// their own ObsContext for tracing and allocator.* metrics.
+  /// "engine.requests" counter, plus the engine.* fault counters
+  /// (docs/OBSERVABILITY.md). Policies carry their own ObsContext for
+  /// tracing and allocator.* metrics.
   ObsContext obs;
+};
+
+/// Graceful-degradation counters of one engine run (mirrored into the obs
+/// registry as engine.* when a MetricsRegistry is bound).
+struct FaultStats {
+  std::int64_t fault_events = 0;   ///< fail/drain/recover events applied
+  std::int64_t late_arrivals = 0;  ///< structured kLateArrival rejections
+  std::int64_t displaced = 0;      ///< VMs knocked off failed servers
+  std::int64_t evacuated = 0;      ///< displaced VMs successfully re-placed
+  std::int64_t deferred = 0;       ///< admissions into the retry queue
+  std::int64_t retries = 0;        ///< retry attempts drained from the queue
+  std::int64_t retried_placed = 0; ///< requests placed by a retry attempt
+  std::int64_t rejected_final = 0; ///< terminal rejections (all causes)
+  std::int64_t queue_full = 0;     ///< admissions bounced off a full queue
+  std::int64_t downtime_units = 0; ///< Σ time units displaced VMs sat unserved
+};
+
+/// A late resolution of a request's hosting: evacuation re-placements,
+/// retry placements, and displacements that never found a new home
+/// (server == kNoServer). Applied in order over a submit-time assignment,
+/// they yield the final hosting (sim/replay.cpp does exactly this).
+struct Resolution {
+  VmId vm = 0;
+  ServerId server = kNoServer;
 };
 
 /// Stateful streaming allocator: submit requests in non-decreasing
@@ -175,35 +311,93 @@ class PlacementEngine {
   PlacementEngine(std::vector<ServerSpec> servers, PlacementPolicy& policy,
                   Rng& rng, EngineOptions options = {});
 
-  /// Places one request. Throws std::invalid_argument if vm.start is
-  /// already behind the frontier (its window may have been collected).
+  /// Places one request. If vm.start is already behind the frontier (its
+  /// window may have been collected), throws std::invalid_argument — or,
+  /// with EngineOptions::tolerate_late_arrivals, returns a kLateArrival
+  /// rejection instead.
   PlacementDecision submit(const VmSpec& vm);
 
-  /// Forwards to ClusterState::advance_to.
+  /// Advances the frontier to `t`: fault events scheduled at or before `t`
+  /// fire in order (each after the cluster is advanced to its instant, with
+  /// earlier-due retries drained first), and the retry queue is drained up
+  /// to `t`.
   void advance_to(Time t);
 
+  /// End-of-stream drain: applies every remaining fault event and gives
+  /// every queued retry its (bounded) remaining attempts, so no request is
+  /// left in limbo. Idempotent.
+  void finish_stream();
+
   const ClusterState& cluster() const { return cluster_; }
+  /// Test/debug passthrough to ClusterState::set_eager_rebuild.
+  void set_eager_rebuild(bool eager) { cluster_.set_eager_rebuild(eager); }
 
   std::int64_t requests() const { return requests_; }
+  /// Requests hosted at submit time or via a later retry.
   std::int64_t placed() const { return placed_; }
-  /// Telescoped incremental energy of all placements; 0 unless
-  /// EngineOptions::account_energy.
+  /// Telescoped incremental energy of all placements (plus migration energy
+  /// of evacuations); 0 unless EngineOptions::account_energy.
   Energy total_energy() const { return energy_; }
   /// High-water mark of ClusterState::resident_time_units().
   std::size_t peak_resident_time_units() const { return peak_resident_; }
 
+  const FaultStats& fault_stats() const { return faults_; }
+  /// Post-submit hosting changes, in application order.
+  const std::vector<Resolution>& resolutions() const { return resolutions_; }
+
  private:
+  struct PendingRequest {
+    VmSpec vm;
+    Time not_before = 0;      ///< earliest next attempt
+    int attempts = 0;         ///< placement attempts so far
+    bool displaced = false;   ///< evacuation (vs. fresh infeasible request)
+    Time waiting_since = 0;   ///< displacement instant (downtime accounting)
+    std::uint64_t seq = 0;    ///< admission order — the FIFO tiebreak
+  };
+
+  /// Advances the cluster to `t`, interleaving fault events and retry
+  /// drains in deterministic time order.
+  void step_to(Time t);
+  void apply_event(const FaultEvent& event);
+  void evacuate(VmSpec vm, Time now);
+  /// Commits a policy decision (energy accounting + cluster placement).
+  void commit(const PlacementDecision& decision, const VmSpec& vm,
+              bool charge_migration);
+  /// Queues the request for retry, or terminally rejects it. Returns the
+  /// classification for the caller's decision.
+  PlacementReject defer_or_reject(VmSpec vm, Time now, bool displaced,
+                                  int attempts);
+  void final_reject(const PendingRequest& pending);
+  void drain_retries(Time now);
+  void enqueue(PendingRequest pending);
+
   ClusterState cluster_;
   PlacementPolicy& policy_;
   Rng& rng_;
   EngineOptions options_;
   Timer* submit_timer_ = nullptr;
   Counter* request_counter_ = nullptr;
+  Counter* late_counter_ = nullptr;
+  Counter* evacuated_counter_ = nullptr;
+  Counter* retry_counter_ = nullptr;
+  Counter* rejected_final_counter_ = nullptr;
+  Counter* downtime_counter_ = nullptr;
   std::int64_t requests_ = 0;
   std::int64_t placed_ = 0;
   Energy energy_ = 0.0;
   std::size_t peak_resident_ = 0;
+  std::size_t fault_cursor_ = 0;
+  std::uint64_t retry_seq_ = 0;
+  /// Sorted by (not_before, seq); drained from the front.
+  std::vector<PendingRequest> retry_queue_;
+  FaultStats faults_;
+  std::vector<Resolution> resolutions_;
 };
+
+/// Truncates a request to begin no earlier than `t` (profile prefix dropped,
+/// peak demand recomputed). Returns `vm` unchanged when vm.start >= t.
+/// Requires vm.end >= t.
+VmSpec clip_to(VmSpec vm, Time t);
 
 /// The historical batch contract as a stream driver: presents problem.vms in
 /// `order` to a PlacementEngine over a fixed problem.horizon window and

@@ -59,7 +59,7 @@ MigrationResult optimize_with_migration(const ProblemInstance& problem,
     for (std::size_t j = 0; j < problem.num_vms(); ++j) {
       const VmSpec& vm = problem.vms[j];
       const ServerId source = result.allocation.assignment[j];
-      const Energy penalty = config.cost_per_gib * vm.demand.mem;
+      const Energy penalty = migration_energy(vm, config.cost_per_gib);
 
       // Energy released at the source by evicting this VM (0 if currently
       // unallocated — then this is a late placement, not a migration, but

@@ -10,7 +10,9 @@
 // Cost model for a relocation: moving VM j charges
 //     migration_cost = cost_per_gib × R^MEM_j
 // (live-migration traffic and service degradation scale with the memory
-// footprint; this is the standard first-order model). The optimizer is
+// footprint; this is the standard first-order model, shared with the
+// streaming engine's failure evacuation via core/cost_model.h's
+// migration_energy()). The optimizer is
 // strictly conservative: it only applies a move if
 //     ΔEnergy(move) + migration_cost < -epsilon,
 // so the reported net total (energy + migration overhead) never increases.

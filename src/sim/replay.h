@@ -2,8 +2,10 @@
 // ArrivalStream (workload/arrival_stream.h), advancing the rolling horizon
 // to each arrival's start time, and reports what a serving system would
 // report — per-request placement latency (p50/p99), requests/sec, telescoped
-// energy, and the peak resident timeline footprint the garbage collection
-// bounds. Backs the `esva stream` CLI command and the streaming section of
+// energy, the peak resident timeline footprint the garbage collection
+// bounds, and — when a FaultPlan or retry policy is configured — the fault
+// and retry outcomes (evacuations, downtime, deferred placements). Backs the
+// `esva stream` CLI command and the streaming section of
 // bench/perf_allocators.
 
 #pragma once
@@ -23,8 +25,17 @@ struct ReplayOptions {
   bool rolling_gc = true;
   /// Prices each placement (Eq. 17) for the energy report.
   CostOptions cost;
-  /// Engine metrics (engine.submit_ms / engine.requests) land here; the
-  /// policy carries its own ObsContext for tracing and allocator.* metrics.
+  /// Optional deterministic fail/drain/recover schedule, applied by the
+  /// engine at frontier advances; null = fault-free. Must outlive the call.
+  const FaultPlan* faults = nullptr;
+  /// Deferred-retry configuration (disabled by default — then the replay is
+  /// bit-identical to the fault-free one when `faults` is also null).
+  RetryPolicy retry;
+  /// Live-migration energy charged per GiB when an evacuated VM is re-placed.
+  Energy migration_cost_per_gib = 25.0;
+  /// Engine metrics (engine.submit_ms / engine.requests / engine.* fault
+  /// counters) land here; the policy carries its own ObsContext for tracing
+  /// and allocator.* metrics.
   ObsContext obs;
 };
 
@@ -39,26 +50,34 @@ struct LatencySummary {
 struct ReplayReport {
   std::size_t requests = 0;
   std::size_t placed = 0;
-  std::size_t rejected = 0;  ///< requests with no feasible server
+  std::size_t rejected = 0;  ///< terminal rejections (no server, ever)
+  std::size_t deferred = 0;  ///< submit-time deferrals into the retry queue
   /// Wall time spent inside submit() and the resulting throughput.
   double submit_total_ms = 0.0;
   double requests_per_sec = 0.0;
   LatencySummary latency;
   /// Raw per-request latencies, in submission order (the percentile source).
   std::vector<double> submit_ms;
-  /// Telescoped Eq. 17 incremental energy of all placements.
+  /// Telescoped Eq. 17 incremental energy of all placements, including the
+  /// migration energy of evacuations.
   Energy total_energy = 0.0;
   std::size_t peak_resident_time_units = 0;
   std::size_t final_resident_time_units = 0;
   std::size_t peak_active_vms = 0;
   Time final_frontier = 1;
+  /// Fault/retry outcome counters, copied from PlacementEngine::fault_stats()
+  /// after the end-of-stream drain. All zero on a fault-free replay.
+  FaultStats faults;
   /// Assignment indexed by VmId (the generators and the trace loader produce
-  /// dense ids).
+  /// dense ids); reflects the *final* hosting after evacuations and retry
+  /// placements (engine resolutions applied over submit-time decisions).
   std::vector<ServerId> assignment;
 };
 
 /// Replays every arrival through `policy`. The stream must present requests
-/// in non-decreasing start-time order (the ArrivalStream contract).
+/// in non-decreasing start-time order (the ArrivalStream contract). Late
+/// stragglers (start behind the frontier) are tolerated: they are rejected
+/// with a structured kLateArrival and counted, never thrown.
 ReplayReport replay_stream(ArrivalStream& arrivals,
                            const std::vector<ServerSpec>& servers,
                            PlacementPolicy& policy, Rng& rng,

@@ -48,16 +48,36 @@ void Accumulator::merge(const Accumulator& other) {
   max_ = std::max(max_, other.max_);
 }
 
-double quantile(std::span<const double> xs, double p) {
-  if (xs.empty()) return 0.0;
+namespace {
+
+/// Interpolated p-quantile of an already-sorted non-empty sample.
+double sorted_quantile(const std::vector<double>& sorted, double p) {
   p = std::clamp(p, 0.0, 1.0);
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
   const double h = p * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(h);
   if (lo + 1 >= sorted.size()) return sorted.back();
   const double frac = h - static_cast<double>(lo);
   return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+}  // namespace
+
+double quantile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_quantile(sorted, p);
+}
+
+std::vector<double> quantiles(std::span<const double> xs,
+                              std::span<const double> ps) {
+  std::vector<double> out(ps.size(), 0.0);
+  if (xs.empty()) return out;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    out[i] = sorted_quantile(sorted, ps[i]);
+  return out;
 }
 
 Summary summarize(std::span<const double> xs) {

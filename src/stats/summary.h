@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <span>
+#include <vector>
 
 namespace esva {
 
@@ -58,5 +59,11 @@ Summary summarize(std::span<const double> xs);
 /// statistics; 0 for an empty sample. Sorts a copy — intended for
 /// end-of-run reporting (latency percentiles), not hot paths.
 double quantile(std::span<const double> xs, double p);
+
+/// Several quantiles of one sample, sorting the copy once (vs. one sort per
+/// quantile() call). Result i corresponds to ps[i]; each entry agrees
+/// exactly with quantile(xs, ps[i]). All zeros for an empty sample.
+std::vector<double> quantiles(std::span<const double> xs,
+                              std::span<const double> ps);
 
 }  // namespace esva

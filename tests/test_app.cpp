@@ -222,6 +222,48 @@ TEST_F(AppTest, StreamGeneratesLazilyAndRejectsAmbiguousSource) {
             1);
 }
 
+TEST_F(AppTest, StreamAppliesFaultPlanWithRetries) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "80", "--servers", "6", "--seed", "7", "--out-vms",
+                 path("sf_vms.csv"), "--out-servers", path("sf_srv.csv")}),
+            0);
+  {
+    std::ofstream plan(path("sf_faults.csv"));
+    plan << "time,event,server\n20,fail,0\n40,recover,0\n30,drain,1\n";
+  }
+  ASSERT_EQ(run("stream",
+                {"--vms", path("sf_vms.csv"), "--servers", path("sf_srv.csv"),
+                 "--faults", path("sf_faults.csv"), "--retry-max", "3",
+                 "--retry-delay", "4", "--latency-json",
+                 path("sf_latency.json"), "--stats", path("sf_stats.json")}),
+            0)
+      << err();
+  EXPECT_NE(out().find("fault events"), std::string::npos);
+  EXPECT_NE(out().find("downtime (units)"), std::string::npos);
+
+  std::ifstream latency(path("sf_latency.json"));
+  std::stringstream latency_body;
+  latency_body << latency.rdbuf();
+  EXPECT_NE(latency_body.str().find("\"fault_events\": 3"), std::string::npos);
+  EXPECT_NE(latency_body.str().find("\"downtime_units\""), std::string::npos);
+
+  std::ifstream stats(path("sf_stats.json"));
+  std::stringstream stats_body;
+  stats_body << stats.rdbuf();
+  EXPECT_NE(stats_body.str().find("engine.rejected_final"), std::string::npos);
+
+  // A plan referencing a server outside the fleet is rejected up front.
+  {
+    std::ofstream plan(path("sf_bad.csv"));
+    plan << "time,event,server\n20,fail,99\n";
+  }
+  EXPECT_EQ(run("stream",
+                {"--vms", path("sf_vms.csv"), "--servers", path("sf_srv.csv"),
+                 "--faults", path("sf_bad.csv")}),
+            1);
+  EXPECT_NE(err().find("outside the fleet"), std::string::npos);
+}
+
 TEST_F(AppTest, StreamRejectsBatchOnlyAllocators) {
   ASSERT_EQ(run("generate",
                 {"--vms", "10", "--servers", "8", "--out-vms",

@@ -240,6 +240,76 @@ TEST(StreamingProperty, RollingGcBoundsResidentTimelineMemory) {
   EXPECT_GT(with_gc.report.final_frontier, 1);
 }
 
+// --- advance_to edge cases -------------------------------------------------
+
+TEST(StreamingProperty, AdvanceBackwardsIsANoOp) {
+  ClusterState cluster({testing::basic_server(0)}, /*initial_horizon=*/64);
+  cluster.place(0, testing::vm(0, 1, 10));
+  cluster.advance_to(20);
+  EXPECT_EQ(cluster.frontier(), 20);
+  EXPECT_EQ(cluster.active_vms(), 0u);
+  const std::size_t resident = cluster.resident_time_units();
+  cluster.advance_to(5);   // backwards: must change nothing
+  cluster.advance_to(20);  // equal: must change nothing
+  EXPECT_EQ(cluster.frontier(), 20);
+  EXPECT_EQ(cluster.resident_time_units(), resident);
+  EXPECT_EQ(cluster.active_vms(), cluster.active_vms_scan());
+}
+
+TEST(StreamingProperty, EqualEndVmsRetireTogether) {
+  ClusterState cluster({testing::basic_server(0), testing::basic_server(1)},
+                       /*initial_horizon=*/64);
+  cluster.place(0, testing::vm(0, 1, 10));
+  cluster.place(0, testing::vm(1, 3, 10));
+  cluster.place(1, testing::vm(2, 2, 10));
+  // A VM is busy through its end unit: at t == end nothing retires yet.
+  cluster.advance_to(10);
+  EXPECT_EQ(cluster.active_vms(), 3u);
+  // One tick later, all equal-end VMs go in the same sweep.
+  cluster.advance_to(11);
+  EXPECT_EQ(cluster.active_vms(), 0u);
+  EXPECT_EQ(cluster.active_vms(), cluster.active_vms_scan());
+}
+
+TEST(StreamingProperty, EagerRebuildTinyWindowsPreserveDecisions) {
+  // Force a rebuild (and thus the retired-busy sentinel path) on *every*
+  // advance_to tick, with single-tick advances: the harshest GC schedule
+  // must still leave every decision and the telescoped energy bit-identical
+  // to the no-GC run.
+  const ProblemInstance problem = stable_instance(17);
+  const auto run = [&](bool eager) {
+    AllocatorPtr allocator = make_allocator("min-incremental");
+    std::unique_ptr<PlacementPolicy> policy = allocator->make_policy();
+    EXPECT_NE(policy, nullptr);
+    Rng rng(7);
+    EngineOptions options;
+    options.account_energy = true;
+    PlacementEngine engine(problem.servers, *policy, rng, options);
+    struct Result {
+      std::vector<ServerId> decisions;
+      Energy energy = 0.0;
+    } result;
+    engine.set_eager_rebuild(eager);
+    for (const std::size_t j :
+         ordered_indices(problem, VmOrder::ByStartTime)) {
+      const VmSpec& vm = problem.vms[j];
+      if (eager) {
+        // Single-tick advances: every step retires at most a sliver and
+        // forces a full rebuild with the sentinel.
+        for (Time t = engine.cluster().frontier(); t <= vm.start; ++t)
+          engine.advance_to(t);
+      }
+      result.decisions.push_back(engine.submit(vm).server);
+    }
+    result.energy = engine.total_energy();
+    return result;
+  };
+  const auto baseline = run(false);
+  const auto stressed = run(true);
+  ASSERT_EQ(baseline.decisions, stressed.decisions);
+  EXPECT_EQ(baseline.energy, stressed.energy);
+}
+
 // --- engine contract -------------------------------------------------------
 
 TEST(StreamingEngine, SubmitBehindFrontierThrows) {

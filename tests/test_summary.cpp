@@ -106,5 +106,36 @@ TEST(Summarize, FullStatistics) {
   EXPECT_NEAR(s.ci95_halfwidth, 1.96 * s.stderr_mean, 1e-12);
 }
 
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Quantiles, AgreesExactlyWithPerQuantileCalls) {
+  Rng rng(99);
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) xs.push_back(rng.exponential(3.0));
+  const std::vector<double> ps{0.0, 0.25, 0.5, 0.9, 0.99, 1.0};
+  const std::vector<double> qs = quantiles(xs, ps);
+  ASSERT_EQ(qs.size(), ps.size());
+  // One shared sort must not change any value vs. the sort-per-call path.
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    EXPECT_EQ(qs[i], quantile(xs, ps[i])) << "p=" << ps[i];
+}
+
+TEST(Quantiles, EmptyInputsYieldZeros) {
+  const std::vector<double> ps{0.5, 0.99};
+  const std::vector<double> qs = quantiles({}, ps);
+  ASSERT_EQ(qs.size(), 2u);
+  EXPECT_EQ(qs[0], 0.0);
+  EXPECT_EQ(qs[1], 0.0);
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_TRUE(quantiles(xs, {}).empty());
+}
+
 }  // namespace
 }  // namespace esva
