@@ -11,10 +11,20 @@
 //                        *null* TraceSink is more than --overhead-budget
 //                        (default 5%) slower than the uninstrumented
 //                        reference loop, if any parallel or cached run
-//                        diverges from the serial assignment, or if the
-//                        4-thread speedup misses --speedup-budget (default
-//                        2x; only enforced on machines with >= 4 hardware
-//                        threads and outside --quick).
+//                        diverges from the serial assignment, if the
+//                        single-thread min-incremental run is less than
+//                        --single-thread-budget (default 2x) faster than the
+//                        committed pre-flat-tree baseline medians (enforced
+//                        outside --quick whenever a baseline exists for the
+//                        scenario size), if the cached fig2 run is slower
+//                        than the uncached one beyond a 10% tolerance (the
+//                        auto-disable policy's contract), or if the 4-thread
+//                        speedup misses --speedup-budget (default 2x; only
+//                        enforced on machines with >= 4 hardware threads and
+//                        outside --quick — never gated on smaller hosts,
+//                        but always labeled in the artifact). Medians from
+//                        the previous BENCH_perf.json at the same path are
+//                        echoed into an informational "regression" section.
 //   * --gbench         — additionally runs the google-benchmark
 //                        microbenchmarks (hot primitives: feasibility probe,
 //                        incremental cost delta), forwarding --benchmark_*
@@ -30,6 +40,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -198,7 +209,7 @@ struct OverheadReport {
   std::vector<double> uninstrumented_ms;
   std::vector<double> null_sink_ms;
   std::vector<double> traced_ms;
-  double overhead = 0.0;  ///< median(null_sink)/median(uninstrumented) - 1
+  double overhead = 0.0;  ///< min over reps of null_sink[i]/uninstrumented[i], minus 1
   bool assignments_match = false;
   std::size_t trace_records = 0;
 };
@@ -207,6 +218,12 @@ OverheadReport measure_overhead(int num_vms, int reps) {
   OverheadReport report;
   report.num_vms = num_vms;
   const ProblemInstance problem = instance_for(num_vms, 42);
+
+  // The guard compares a ~2-5% effect, so it needs more samples than the
+  // throughput sections: the best-rep estimator is only as good as the
+  // chance that both variants caught a quiet scheduling window. Extra reps
+  // are nearly free now that the feasibility kernel shrank each run ~7x.
+  reps = std::max(reps, 11);
 
   Allocation reference;
   Allocation instrumented;
@@ -243,8 +260,22 @@ OverheadReport measure_overhead(int num_vms, int reps) {
   }
   report.trace_records = sink.size();
 
-  report.overhead =
-      median(report.null_sink_ms) / median(report.uninstrumented_ms) - 1.0;
+  // Gate on the best *paired* ratio, not min-vs-min across the whole run:
+  // timing noise on a shared container is one-sided (interrupts, frequency
+  // dips) and drifts on the scale of seconds, so the two variants of the
+  // same rep — measured back to back — share a scheduling window while reps
+  // minutes of load apart do not. min-vs-min breaks exactly there: if the
+  // uninstrumented variant catches one quiet window the null-sink run never
+  // matches, the ratio reports load drift as overhead. The per-rep ratio
+  // cancels the drift; taking the min over reps then discards the pairs a
+  // blip landed in. This matters more now that the feasibility kernel shrank
+  // these runs ~7x — a single descheduling blip is a double-digit percentage
+  // of the run. Medians and full rep arrays still go in the JSON.
+  double best_ratio = kInf;
+  for (std::size_t i = 0; i < report.uninstrumented_ms.size(); ++i)
+    best_ratio = std::min(
+        best_ratio, report.null_sink_ms[i] / report.uninstrumented_ms[i]);
+  report.overhead = best_ratio - 1.0;
   return report;
 }
 
@@ -254,6 +285,96 @@ struct AllocatorPoint {
   double median_ms = 0.0;
   double vms_per_sec = 0.0;
 };
+
+// ---------------------------------------------------------------------------
+// Single-thread speedup gate vs the committed pre-optimization baselines
+// ---------------------------------------------------------------------------
+
+/// min-incremental fig2 medians (ms) from the BENCH_perf.json committed
+/// before the flat-segment-tree / spare-capacity-pruning kernel landed —
+/// the denominators of the single-thread speedup gate. Measured on the CI
+/// container class; the gate demands a margin (2x) far above machine noise.
+struct BaselinePoint {
+  int num_vms;
+  double median_ms;
+};
+constexpr BaselinePoint kMinIncrementalBaseline[] = {
+    {100, 1.03396}, {500, 61.1332}, {1000, 266.366}};
+
+double baseline_for(int num_vms) {
+  for (const BaselinePoint& b : kMinIncrementalBaseline)
+    if (b.num_vms == num_vms) return b.median_ms;
+  return 0.0;
+}
+
+struct SingleThreadGate {
+  int num_vms = 0;
+  double baseline_ms = 0.0;  ///< 0 when no baseline exists for num_vms
+  double measured_ms = 0.0;
+  double speedup = 0.0;
+  bool enforced = false;
+  bool pass = true;
+};
+
+SingleThreadGate check_single_thread(const std::vector<AllocatorPoint>& points,
+                                     int num_vms, double budget, bool quick) {
+  SingleThreadGate gate;
+  gate.num_vms = num_vms;
+  gate.baseline_ms = baseline_for(num_vms);
+  for (const AllocatorPoint& p : points)
+    if (p.name == "min-incremental" && p.num_vms == num_vms)
+      gate.measured_ms = p.median_ms;
+  if (gate.baseline_ms > 0 && gate.measured_ms > 0)
+    gate.speedup = gate.baseline_ms / gate.measured_ms;
+  gate.enforced = !quick && gate.baseline_ms > 0 && gate.measured_ms > 0;
+  gate.pass = !gate.enforced || gate.speedup >= budget;
+  std::printf("  single-thread vs committed baseline (n=%d): %.2f ms vs "
+              "%.2f ms -> %.2fx (budget %.1fx, %s) %s\n",
+              gate.num_vms, gate.measured_ms, gate.baseline_ms, gate.speedup,
+              budget,
+              gate.enforced ? "enforced" : "not enforced (no baseline or --quick)",
+              gate.pass ? "OK" : "FAIL");
+  return gate;
+}
+
+// ---------------------------------------------------------------------------
+// Previous-run medians (regression section)
+// ---------------------------------------------------------------------------
+
+/// One allocator data point recovered from the previous BENCH_perf.json.
+/// Parsed with a dumb line scanner — the artifact writes each point as a
+/// single `{"name": ..., "num_vms": ..., "median_ms": ...}` line and this
+/// tool has no JSON reader; anything that doesn't match is skipped.
+struct PreviousPoint {
+  std::string name;
+  int num_vms = 0;
+  double median_ms = 0.0;
+};
+
+std::vector<PreviousPoint> read_previous_points(const std::string& path) {
+  std::vector<PreviousPoint> points;
+  std::ifstream in(path);
+  if (!in) return points;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string name_key = "{\"name\": \"";
+    const auto name_pos = line.find(name_key);
+    if (name_pos == std::string::npos) continue;
+    const auto name_begin = name_pos + name_key.size();
+    const auto name_end = line.find('"', name_begin);
+    const auto vms_pos = line.find("\"num_vms\": ");
+    const auto ms_pos = line.find("\"median_ms\": ");
+    if (name_end == std::string::npos || vms_pos == std::string::npos ||
+        ms_pos == std::string::npos)
+      continue;
+    PreviousPoint p;
+    p.name = line.substr(name_begin, name_end - name_begin);
+    p.num_vms = std::atoi(line.c_str() + vms_pos + 11);
+    p.median_ms = std::atof(line.c_str() + ms_pos + 13);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
 
 AllocatorPoint measure_allocator(const std::string& name, int num_vms,
                                  int reps) {
@@ -295,9 +416,12 @@ ProblemInstance batch_instance_for(int num_vms, std::uint64_t seed) {
 
 struct TimedRun {
   double median_ms = 0.0;
+  double min_ms = 0.0;  ///< best rep — the noise-robust gate estimator
   Allocation alloc;
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
+  std::int64_t cache_quick = 0;
+  bool cache_auto_disabled = false;
 };
 
 TimedRun run_scan_config(const ProblemInstance& problem, int threads,
@@ -323,8 +447,15 @@ TimedRun run_scan_config(const ProblemInstance& problem, int threads,
         registry.counter("allocator.min-incremental.cache_hits").value();
     result.cache_misses =
         registry.counter("allocator.min-incremental.cache_misses").value();
+    result.cache_quick =
+        registry.counter("allocator.min-incremental.cache_quick_decided")
+            .value();
+    result.cache_auto_disabled =
+        registry.counter("allocator.min-incremental.cache_auto_disabled")
+            .value() > 0;
   }
   result.median_ms = median(times);
+  result.min_ms = *std::min_element(times.begin(), times.end());
   return result;
 }
 
@@ -336,10 +467,14 @@ struct ParallelScanReport {
   bool assignments_match = true;
   double fig2_hit_rate = 0.0;
   double fig2_cached_ms = 0.0;
+  bool fig2_cache_auto_disabled = false;
   double batch_hit_rate = 0.0;
   double batch_uncached_ms = 0.0;
   double batch_cached_ms = 0.0;
+  bool cache_overhead_enforced = false;
+  bool cache_overhead_ok = true;  ///< cached fig2 within 10% of uncached
   bool speedup_enforced = false;
+  std::string speedup_unenforced_reason;  ///< empty when enforced
   bool pass = true;
 };
 
@@ -382,6 +517,7 @@ ParallelScanReport measure_parallel_scan(int num_vms, int reps,
   const TimedRun fig2_cached = run_scan_config(problem, 1, true, reps);
   report.fig2_hit_rate = hit_rate(fig2_cached);
   report.fig2_cached_ms = fig2_cached.median_ms;
+  report.fig2_cache_auto_disabled = fig2_cached.cache_auto_disabled;
   report.assignments_match =
       report.assignments_match &&
       fig2_cached.alloc.assignment == serial.alloc.assignment;
@@ -396,25 +532,52 @@ ParallelScanReport measure_parallel_scan(int num_vms, int reps,
       report.assignments_match &&
       batch_cached.alloc.assignment == batch_uncached.alloc.assignment;
   std::printf("  cache, fig2:    %8.2f ms, hit rate %5.1f%% (Poisson shapes "
-              "rarely repeat)\n",
-              report.fig2_cached_ms, 100.0 * report.fig2_hit_rate);
+              "rarely repeat), auto-disabled %s\n",
+              report.fig2_cached_ms, 100.0 * report.fig2_hit_rate,
+              report.fig2_cache_auto_disabled ? "yes" : "no");
   std::printf("  cache, batch:   %8.2f ms vs %.2f ms uncached, hit rate "
               "%5.1f%%\n",
               report.batch_cached_ms, report.batch_uncached_ms,
               100.0 * report.batch_hit_rate);
 
+  // The auto-disable contract: turning the cache on can cost at most the
+  // warmup window, after which a useless cache switches itself off. The
+  // warmup's memo bookkeeping is a bounded constant (~1 ms for the default
+  // 1024 answered probes), not proportional to the run, so the gate is
+  // relative tolerance + constant allowance, on best reps (the noise-robust
+  // estimator — see measure_overhead).
+  constexpr double kWarmupAllowanceMs = 2.0;
+  report.cache_overhead_enforced = !quick;
+  report.cache_overhead_ok =
+      fig2_cached.min_ms <= serial.min_ms * 1.10 + kWarmupAllowanceMs;
+  std::printf("  cached fig2 vs uncached: %.2f ms vs %.2f ms best-rep (%s) "
+              "%s\n",
+              fig2_cached.min_ms, serial.min_ms,
+              report.cache_overhead_enforced
+                  ? "enforced, 10% + 2 ms warmup allowance"
+                  : "not enforced in --quick",
+              report.cache_overhead_ok ? "OK" : "FAIL");
+
   // The speedup budget only means something with real cores to scale onto;
-  // on smaller machines (and in --quick smoke runs) report honestly but
-  // don't fail the build.
+  // on hosts with fewer than 4 hardware threads (and in --quick smoke runs)
+  // the number is reported and labeled but never gates the build.
   report.speedup_enforced = !quick && report.hardware_threads >= 4;
+  if (!report.speedup_enforced) {
+    report.speedup_unenforced_reason =
+        quick ? "quick mode"
+              : "host has fewer than 4 hardware threads";
+  }
   report.pass = report.assignments_match &&
                 (!report.speedup_enforced ||
-                 report.speedup_at_4 >= speedup_budget);
-  std::printf("  speedup at 4 threads: %.2fx (budget %.1fx, %s) %s\n",
+                 report.speedup_at_4 >= speedup_budget) &&
+                (!report.cache_overhead_enforced || report.cache_overhead_ok);
+  std::printf("  speedup at 4 threads: %.2fx (budget %.1fx, %s%s%s) %s\n",
               report.speedup_at_4, speedup_budget,
-              report.speedup_enforced ? "enforced"
-                                      : "not enforced on this machine",
-              report.pass ? "OK" : "FAIL");
+              report.speedup_enforced ? "enforced" : "not enforced: ",
+              report.speedup_enforced
+                  ? ""
+                  : report.speedup_unenforced_reason.c_str(),
+              "", report.pass ? "OK" : "FAIL");
   return report;
 }
 
@@ -589,7 +752,9 @@ ChaosReport measure_chaos(int num_vms, int reps) {
 
 int run_perf_report(const std::string& out_path, int num_vms, int reps,
                     double overhead_budget, double speedup_budget,
-                    bool quick) {
+                    double single_thread_budget, bool quick) {
+  // Harvest the previous artifact's medians before this run overwrites it.
+  const std::vector<PreviousPoint> previous = read_previous_points(out_path);
   std::printf("measuring null-sink observability overhead (%d VMs, %d reps "
               "per variant)...\n",
               num_vms, reps);
@@ -599,7 +764,7 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
   std::printf("  uninstrumented: %8.2f ms (median)\n",
               median(overhead.uninstrumented_ms));
   std::printf("  null sink:      %8.2f ms (median)  -> overhead %+.2f%% "
-              "(budget %.0f%%) %s\n",
+              "(best paired ratio, budget %.0f%%) %s\n",
               median(overhead.null_sink_ms), 100.0 * overhead.overhead,
               100.0 * overhead_budget, pass ? "OK" : "FAIL");
   std::printf("  live trace:     %8.2f ms (median), %zu decision records\n",
@@ -618,6 +783,9 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
                   p.num_vms, p.median_ms, p.vms_per_sec);
     }
   }
+
+  const SingleThreadGate single_thread =
+      check_single_thread(points, num_vms, single_thread_budget, quick);
 
   const ParallelScanReport scan =
       measure_parallel_scan(num_vms, reps, speedup_budget, quick);
@@ -659,6 +827,41 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
         << (i + 1 < points.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
+  out << "  \"single_thread\": {\n"
+      << "    \"allocator\": \"min-incremental\",\n"
+      << "    \"num_vms\": " << single_thread.num_vms << ",\n"
+      << "    \"baseline_ms\": " << single_thread.baseline_ms << ",\n"
+      << "    \"measured_ms\": " << single_thread.measured_ms << ",\n"
+      << "    \"speedup_vs_baseline\": " << single_thread.speedup << ",\n"
+      << "    \"budget\": " << single_thread_budget << ",\n"
+      << "    \"enforced\": " << (single_thread.enforced ? "true" : "false")
+      << ",\n"
+      << "    \"pass\": " << (single_thread.pass ? "true" : "false")
+      << "\n  },\n";
+  out << "  \"regression\": {\n"
+      << "    \"note\": \"previous-run medians from the prior artifact at "
+         "this path; informational, the gates live in single_thread and "
+         "parallel_scan\",\n"
+      << "    \"points\": [\n";
+  {
+    bool first_point = true;
+    for (const AllocatorPoint& p : points) {
+      for (const PreviousPoint& prev : previous) {
+        if (prev.name != p.name || prev.num_vms != p.num_vms) continue;
+        if (!first_point) out << ",\n";
+        first_point = false;
+        const double ratio =
+            prev.median_ms > 0 ? p.median_ms / prev.median_ms : 0.0;
+        out << "      {\"name\": \"" << p.name
+            << "\", \"num_vms\": " << p.num_vms
+            << ", \"previous_ms\": " << prev.median_ms
+            << ", \"median_ms\": " << p.median_ms
+            << ", \"ratio\": " << ratio << "}";
+        break;
+      }
+    }
+    out << "\n    ]\n  },\n";
+  }
   out << "  \"parallel_scan\": {\n"
       << "    \"hardware_threads\": " << scan.hardware_threads << ",\n"
       << "    \"serial_ms\": " << scan.serial_ms << ",\n";
@@ -668,14 +871,22 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
       << "    \"speedup_budget\": " << speedup_budget << ",\n"
       << "    \"speedup_enforced\": "
       << (scan.speedup_enforced ? "true" : "false") << ",\n"
+      << "    \"speedup_unenforced_reason\": \""
+      << scan.speedup_unenforced_reason << "\",\n"
       << "    \"assignments_match\": "
       << (scan.assignments_match ? "true" : "false") << ",\n"
       << "    \"cache\": {\n"
       << "      \"fig2_hit_rate\": " << scan.fig2_hit_rate << ",\n"
       << "      \"fig2_cached_ms\": " << scan.fig2_cached_ms << ",\n"
+      << "      \"fig2_auto_disabled\": "
+      << (scan.fig2_cache_auto_disabled ? "true" : "false") << ",\n"
       << "      \"batch_hit_rate\": " << scan.batch_hit_rate << ",\n"
       << "      \"batch_uncached_ms\": " << scan.batch_uncached_ms << ",\n"
-      << "      \"batch_cached_ms\": " << scan.batch_cached_ms << "\n"
+      << "      \"batch_cached_ms\": " << scan.batch_cached_ms << ",\n"
+      << "      \"overhead_enforced\": "
+      << (scan.cache_overhead_enforced ? "true" : "false") << ",\n"
+      << "      \"overhead_ok\": "
+      << (scan.cache_overhead_ok ? "true" : "false") << "\n"
       << "    },\n"
       << "    \"pass\": " << (scan.pass ? "true" : "false") << "\n  },\n";
   out << "  \"streaming\": {\n"
@@ -729,10 +940,25 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
                  100.0 * overhead.overhead, 100.0 * overhead_budget);
     return 1;
   }
+  if (!single_thread.pass) {
+    std::fprintf(stderr,
+                 "FAIL: single-thread speedup %.2fx vs committed baseline "
+                 "below budget %.1fx (n=%d)\n",
+                 single_thread.speedup, single_thread_budget,
+                 single_thread.num_vms);
+    return 1;
+  }
   if (!scan.assignments_match) {
     std::fprintf(stderr,
                  "FAIL: parallel or cached scan diverged from the serial "
                  "assignment\n");
+    return 1;
+  }
+  if (scan.cache_overhead_enforced && !scan.cache_overhead_ok) {
+    std::fprintf(stderr,
+                 "FAIL: cached fig2 run %.2f ms slower than uncached %.2f ms "
+                 "beyond 10%% tolerance (auto-disable broken?)\n",
+                 scan.fig2_cached_ms, scan.serial_ms);
     return 1;
   }
   if (!scan.pass) {
@@ -802,6 +1028,10 @@ int main(int argc, char** argv) {
   parser.add_double("speedup-budget", 2.0,
                     "min required 4-thread scan speedup (enforced only on "
                     ">=4-thread machines, full mode)");
+  parser.add_double("single-thread-budget", 2.0,
+                    "min required single-thread min-incremental speedup vs "
+                    "the committed baseline medians (enforced in full mode "
+                    "when a baseline exists for --vms)");
   parser.add_bool("quick", "300-VM scenario, 3 reps (smoke test)");
   if (!parser.parse(static_cast<int>(own_argv.size()), own_argv.data()))
     return parser.parse_error() ? 1 : 0;
@@ -810,13 +1040,14 @@ int main(int argc, char** argv) {
   int reps = static_cast<int>(parser.get_int("reps"));
   if (parser.get_bool("quick")) {
     num_vms = 300;
-    reps = 3;
+    reps = 5;
   }
 
   const int status =
       run_perf_report(parser.get_string("out"), num_vms, reps,
                       parser.get_double("overhead-budget"),
                       parser.get_double("speedup-budget"),
+                      parser.get_double("single-thread-budget"),
                       parser.get_bool("quick"));
   if (run_gbench) {
     int gbench_argc = static_cast<int>(gbench_argv.size());

@@ -169,6 +169,12 @@ int cmd_allocate(const std::vector<std::string>& args, std::ostream& out,
   parser.add_bool("cache",
                   "enable the shape-keyed scan cache (identical results; "
                   "faster when VM shapes repeat — see docs/PERFORMANCE.md)");
+  parser.add_int("cache-warmup", 1024,
+                 "memo probes answered before the hit rate is judged once "
+                 "against --cache-min-hit-rate (with --cache)");
+  parser.add_double("cache-min-hit-rate", 0.05,
+                    "hit-rate floor below which the cache auto-disables after "
+                    "warmup; decisions are unchanged (with --cache)");
   parser.add_string("out-assignment", "", "assignment CSV output (optional)");
   parser.add_string("trace", "",
                     "JSONL decision trace output: one record per VM with "
@@ -195,6 +201,8 @@ int cmd_allocate(const std::vector<std::string>& args, std::ostream& out,
     ScanConfig scan;
     scan.threads = static_cast<int>(parser.get_int("threads"));
     scan.cache = parser.get_bool("cache");
+    scan.cache_warmup_probes = static_cast<int>(parser.get_int("cache-warmup"));
+    scan.cache_min_hit_rate = parser.get_double("cache-min-hit-rate");
     allocator->set_scan_config(scan);
     ObsContext obs;
     obs.trace = trace_sink.get();
@@ -263,6 +271,12 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
                  "candidate-scan threads: 1 = serial (default), 0 = hardware "
                  "concurrency, N = exactly N; identical results at any count");
   parser.add_bool("cache", "enable the shape-keyed scan cache");
+  parser.add_int("cache-warmup", 1024,
+                 "memo probes answered before the hit rate is judged once "
+                 "against --cache-min-hit-rate (with --cache)");
+  parser.add_double("cache-min-hit-rate", 0.05,
+                    "hit-rate floor below which the cache auto-disables after "
+                    "warmup; decisions are unchanged (with --cache)");
   parser.add_bool("no-gc",
                   "keep full history instead of garbage-collecting behind the "
                   "frontier (identical decisions; more memory)");
@@ -308,6 +322,8 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
     ScanConfig scan;
     scan.threads = static_cast<int>(parser.get_int("threads"));
     scan.cache = parser.get_bool("cache");
+    scan.cache_warmup_probes = static_cast<int>(parser.get_int("cache-warmup"));
+    scan.cache_min_hit_rate = parser.get_double("cache-min-hit-rate");
     allocator->set_scan_config(scan);
     ObsContext obs;
     obs.trace = trace_sink.get();

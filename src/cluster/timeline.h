@@ -9,6 +9,12 @@
 //   * structure — "what are the busy segments?" (Fig. 1), via a merged
 //     IntervalSet, which the cost model turns into energy (Eq. 17).
 //
+// Most feasibility probes never reach the trees: the trees' O(1) window-wide
+// usage envelope (max_all / min_all) lets quick_fit() accept a candidate
+// whose demand fits under the window peak, or reject one whose demand
+// exceeds the spare capacity of even the emptiest unit, before any O(log T)
+// descent (docs/PERFORMANCE.md, "Batched feasibility kernel").
+//
 // Placements can be undone in LIFO order, which is what the exact
 // branch-and-bound solver uses for backtracking.
 
@@ -43,6 +49,13 @@ struct FitCheck {
   bool ok = false;
   FitReject reject = FitReject::None;
   Time at = 0;
+};
+
+/// O(1) feasibility triage verdict from the window-wide usage envelope.
+enum class QuickFit : std::uint8_t {
+  kFits,       ///< peak + demand fits: can_fit(vm) is certainly true
+  kCannotFit,  ///< demand exceeds spare everywhere (or window): certainly false
+  kUnknown,    ///< undecided; a tree query is required
 };
 
 class ServerTimeline {
@@ -90,9 +103,17 @@ class ServerTimeline {
   /// window do not fit.
   bool can_fit(const VmSpec& vm) const;
 
+  /// O(1) triage: decides can_fit(vm) from the window-wide usage envelope
+  /// when possible, without touching the trees. kFits / kCannotFit agree
+  /// with can_fit exactly (same floating-point comparisons); kUnknown means
+  /// the caller must fall back to can_fit. The scan cache skips its
+  /// bookkeeping entirely for probes decided here.
+  QuickFit quick_fit(const VmSpec& vm) const;
+
   /// can_fit with a diagnosis: which dimension failed first, and where.
-  /// Agrees with can_fit on `ok` for every VM (tested); slower (O(duration)
-  /// on rejection), so allocators call it only when tracing is enabled.
+  /// Agrees with can_fit on `ok` for every VM (tested); rejection is
+  /// localized by tree descent (RangeAddMaxTree::first_above) in O(log^2 T)
+  /// rather than a per-unit scan.
   FitCheck check_fit(const VmSpec& vm) const;
 
   /// Everything needed to undo a placement.
@@ -123,6 +144,13 @@ class ServerTimeline {
   /// Usage at a single time unit.
   double cpu_usage_at(Time t) const { return max_cpu_usage(t, t); }
   double mem_usage_at(Time t) const { return max_mem_usage(t, t); }
+
+  /// Window-wide usage envelope, O(1): the peak and floor of usage across
+  /// the whole base..horizon window (0 for an empty window).
+  double peak_cpu_usage() const { return cpu_.max_all(); }
+  double peak_mem_usage() const { return mem_.max_all(); }
+  double floor_cpu_usage() const { return cpu_.min_all(); }
+  double floor_mem_usage() const { return mem_.min_all(); }
 
   /// Total busy time units.
   Time busy_time() const { return busy_.total_length(); }

@@ -51,6 +51,15 @@ struct ScanConfig {
   /// by the timeline epoch. Off by default: it pays off only on workloads
   /// where (CPU, MEM, interval) shapes repeat (docs/PERFORMANCE.md).
   bool cache = false;
+  /// Probes the cache memo must have answered (hits + misses; quick-decided
+  /// probes don't count) before the observed hit rate is judged once against
+  /// `cache_min_hit_rate`. Evaluated between scans, so the verdict is
+  /// deterministic at any thread count.
+  int cache_warmup_probes = 1024;
+  /// Hit-rate floor below which the cache auto-disables after warmup: the
+  /// remaining scans run uncached (decisions unchanged — the cache is
+  /// transparent — only the bookkeeping overhead disappears).
+  double cache_min_hit_rate = 0.05;
 
   /// `threads` with 0 resolved to the hardware concurrency (at least 1).
   int resolved_threads() const;
@@ -111,12 +120,15 @@ void record_allocation_metrics(MetricsRegistry* metrics,
                                std::size_t unallocated);
 
 /// Flushes the scan-cache counters ("allocator.<name>.cache_hits",
-/// ".cache_misses"). Call only when the cache ran (ScanConfig::cache), so
-/// cache-less runs don't emit zero-valued counters; no-op when `metrics` is
-/// null.
+/// ".cache_misses", ".cache_quick_decided", and ".cache_auto_disabled",
+/// the latter 1 when the warmup hit-rate check switched the cache off).
+/// Call only when the cache ran (ScanConfig::cache), so cache-less runs
+/// don't emit zero-valued counters; no-op when `metrics` is null.
 void record_scan_cache_metrics(MetricsRegistry* metrics,
                                const std::string& allocator,
                                std::int64_t cache_hits,
-                               std::int64_t cache_misses);
+                               std::int64_t cache_misses,
+                               std::int64_t cache_quick_decided,
+                               bool cache_auto_disabled);
 
 }  // namespace esva

@@ -19,6 +19,12 @@
 //     double the uncached probe would recompute, valid until the probed
 //     timeline actually mutates. Each scan probes each server exactly once,
 //     so per-server cache state evolves identically at any thread count.
+//     Probes that ServerTimeline::quick_fit decides in O(1) skip the memo
+//     entirely (no hash, no lookup, no insert); the shape hash is computed
+//     once per VM, not once per server; and after a warmup window the cache
+//     auto-disables when its observed hit rate cannot repay the bookkeeping
+//     (ScanConfig::cache_warmup_probes / cache_min_hit_rate) — decisions are
+//     unchanged in every case, the cache is transparent by construction.
 //     Profiled VMs (time-varying demand) bypass the cache — their demand is
 //     not captured by the shape key.
 //
@@ -34,6 +40,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -140,16 +147,22 @@ struct VmShape {
   }
 };
 
+/// One multiplicative round per 64-bit word (splitmix64-style finalization),
+/// reading the doubles' bit patterns directly — cheaper than chaining four
+/// std::hash calls, and exact-equality keys make bit hashing sound.
 struct VmShapeHash {
   std::size_t operator()(const VmShape& shape) const {
-    const auto mix = [](std::size_t seed, std::size_t v) {
-      return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+    const auto mix = [](std::uint64_t h, std::uint64_t v) {
+      h ^= v * 0x9e3779b97f4a7c15ULL;
+      return (h ^ (h >> 29)) * 0xbf58476d1ce4e5b9ULL;
     };
-    std::size_t h = std::hash<double>{}(shape.cpu);
-    h = mix(h, std::hash<double>{}(shape.mem));
-    h = mix(h, std::hash<Time>{}(shape.start));
-    h = mix(h, std::hash<Time>{}(shape.end));
-    return h;
+    std::uint64_t h = std::bit_cast<std::uint64_t>(shape.cpu);
+    h = mix(h, std::bit_cast<std::uint64_t>(shape.mem));
+    h = mix(h, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                    shape.start))
+                << 32) |
+                   static_cast<std::uint32_t>(shape.end));
+    return static_cast<std::size_t>(h ^ (h >> 32));
   }
 };
 
@@ -159,28 +172,60 @@ struct VmShapeHash {
 /// time.
 class ScanCache {
  public:
+  /// A VM's shape with its hash precomputed — once per scanned VM, not once
+  /// per probed server (the map's hasher just reads it back).
+  struct Key {
+    VmShape shape;
+    std::size_t hash = 0;
+  };
+
+  static Key key_of(const VmSpec& vm) {
+    const VmShape shape{vm.demand.cpu, vm.demand.mem, vm.start, vm.end};
+    return Key{shape, VmShapeHash{}(shape)};
+  }
+
   void resize(std::size_t num_servers) { servers_.resize(num_servers); }
   bool enabled() const { return !servers_.empty(); }
 
+  /// Drops every slot and stops answering probes (enabled() turns false);
+  /// the counters survive into hits()/misses()/quick_decided(). Called by
+  /// the policy layer when the post-warmup hit rate cannot repay the
+  /// bookkeeping (auto-disable) — subsequent scans run uncached, which is
+  /// behaviorally identical because the cache is transparent.
+  void disable() {
+    base_hits_ += sum(&Slot::hits);
+    base_misses_ += sum(&Slot::misses);
+    base_quick_ += sum(&Slot::quick);
+    servers_.clear();
+  }
+
   /// Cached equivalent of "can_fit(vm) ? score(timeline, vm) : nullopt" for
-  /// server `i`. A stored entry is reused iff the timeline's epoch is
-  /// unchanged since it was stored; the first probe after a mutation drops
-  /// the server's entries. Profiled VMs bypass the cache entirely.
+  /// server `i`. Probes the O(1) envelope triage decides never touch the
+  /// memo (no lookup, no insert — recomputing a quick-accepted score is
+  /// cheaper than memoizing it). Otherwise a stored entry is reused iff the
+  /// timeline's epoch is unchanged since it was stored; the first such probe
+  /// after a mutation drops the server's entries. The caller routes profiled
+  /// VMs around the cache entirely (their demand is not captured by `key`).
   template <typename ScoreFn>
   std::optional<double> probe(std::size_t i, const ServerTimeline& timeline,
-                              const VmSpec& vm, const ScoreFn& score) {
-    if (vm.has_profile()) {
-      if (!timeline.can_fit(vm)) return std::nullopt;
-      return score(timeline, vm);
-    }
+                              const VmSpec& vm, const Key& key,
+                              const ScoreFn& score) {
     Slot& slot = servers_[i];
+    switch (timeline.quick_fit(vm)) {
+      case QuickFit::kFits:
+        ++slot.quick;
+        return score(timeline, vm);
+      case QuickFit::kCannotFit:
+        ++slot.quick;
+        return std::nullopt;
+      case QuickFit::kUnknown: break;
+    }
     if (slot.epoch != timeline.epoch() || !slot.valid) {
       slot.entries.clear();
       slot.epoch = timeline.epoch();
       slot.valid = true;
     }
-    const VmShape shape{vm.demand.cpu, vm.demand.mem, vm.start, vm.end};
-    if (const auto it = slot.entries.find(shape); it != slot.entries.end()) {
+    if (const auto it = slot.entries.find(key); it != slot.entries.end()) {
       ++slot.hits;
       if (!it->second.feasible) return std::nullopt;
       return it->second.score;
@@ -189,25 +234,37 @@ class ScanCache {
     Entry entry;
     entry.feasible = timeline.can_fit(vm);
     if (entry.feasible) entry.score = score(timeline, vm);
-    slot.entries.emplace(shape, entry);
+    slot.entries.emplace(key, entry);
     if (!entry.feasible) return std::nullopt;
     return entry.score;
   }
 
-  std::int64_t hits() const { return sum(&Slot::hits); }
-  std::int64_t misses() const { return sum(&Slot::misses); }
+  std::int64_t hits() const { return base_hits_ + sum(&Slot::hits); }
+  std::int64_t misses() const { return base_misses_ + sum(&Slot::misses); }
+
+  /// Probes answered by the O(1) quick_fit triage without touching the memo.
+  std::int64_t quick_decided() const { return base_quick_ + sum(&Slot::quick); }
 
  private:
   struct Entry {
     bool feasible = false;
     double score = 0.0;
   };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const { return key.hash; }
+  };
+  struct KeyEq {
+    bool operator()(const Key& a, const Key& b) const {
+      return a.shape == b.shape;
+    }
+  };
   struct Slot {
     std::uint64_t epoch = 0;
     bool valid = false;  ///< false until the first probe adopts an epoch
-    std::unordered_map<VmShape, Entry, VmShapeHash> entries;
+    std::unordered_map<Key, Entry, KeyHash, KeyEq> entries;
     std::int64_t hits = 0;
     std::int64_t misses = 0;
+    std::int64_t quick = 0;
   };
 
   std::int64_t sum(std::int64_t Slot::* field) const {
@@ -217,6 +274,9 @@ class ScanCache {
   }
 
   std::vector<Slot> servers_;
+  std::int64_t base_hits_ = 0;
+  std::int64_t base_misses_ = 0;
+  std::int64_t base_quick_ = 0;
 };
 
 /// Probe accounting for one allocate() run.
@@ -225,6 +285,8 @@ struct ScanTotals {
   std::int64_t rejected = 0;
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
+  std::int64_t cache_quick_decided = 0;
+  bool cache_auto_disabled = false;
 };
 
 /// The per-request decision loop shared by every scan-based allocator, as a
@@ -300,12 +362,18 @@ class ScanPolicy final : public PlacementPolicy {
       return result;
     }
 
+    // Hoisted VM-loop invariant: the shape key (and its hash) is computed
+    // once here, not inside the per-server loop. Profiled VMs take the
+    // uncached scan — their time-varying demand is not captured by the key.
+    const bool use_cache = cache_.enabled() && !vm.has_profile();
+    const ScanCache::Key key = use_cache ? ScanCache::key_of(vm)
+                                         : ScanCache::Key{};
     const ScanOutcome out =
-        cache_.enabled()
+        use_cache
             ? scan_candidates(
                   n,
                   [&](std::size_t i) -> std::optional<double> {
-                    return cache_.probe(i, timelines[i], vm, score_);
+                    return cache_.probe(i, timelines[i], vm, key, score_);
                   },
                   pool_.get())
             : scan_candidates(
@@ -317,6 +385,21 @@ class ScanPolicy final : public PlacementPolicy {
                   pool_.get());
     totals_.feasible += out.feasible;
     totals_.rejected += out.rejected;
+    // Auto-disable check, once, at a serial point between scans: per-slot
+    // counters evolve identically at any thread count, so the verdict (and
+    // everything downstream) is deterministic.
+    if (cache_.enabled() && !cache_warmup_judged_) {
+      const std::int64_t answered = cache_.hits() + cache_.misses();
+      if (answered >= config_.cache_warmup_probes) {
+        cache_warmup_judged_ = true;
+        const double hit_rate =
+            static_cast<double>(cache_.hits()) / static_cast<double>(answered);
+        if (hit_rate < config_.cache_min_hit_rate) {
+          cache_.disable();
+          totals_.cache_auto_disabled = true;
+        }
+      }
+    }
     if (out.best == kNoCandidate) return result;  // reported as unallocated
     result.server = static_cast<ServerId>(out.best);
     if (score_is_energy_delta_) {
@@ -329,11 +412,14 @@ class ScanPolicy final : public PlacementPolicy {
   void finish(std::size_t requests, std::size_t unallocated) override {
     totals_.cache_hits = cache_.hits();
     totals_.cache_misses = cache_.misses();
+    totals_.cache_quick_decided = cache_.quick_decided();
     record_allocation_metrics(obs_.metrics, name_, requests, totals_.feasible,
                               totals_.rejected, unallocated);
     if (config_.cache)
       record_scan_cache_metrics(obs_.metrics, name_, totals_.cache_hits,
-                                totals_.cache_misses);
+                                totals_.cache_misses,
+                                totals_.cache_quick_decided,
+                                totals_.cache_auto_disabled);
   }
 
  private:
@@ -345,6 +431,7 @@ class ScanPolicy final : public PlacementPolicy {
   std::unique_ptr<ThreadPool> pool_;
   ScanCache cache_;
   ScanTotals totals_;
+  bool cache_warmup_judged_ = false;
 };
 
 /// Deduces the ScoreFn type; the scan-based allocators' make_policy() and

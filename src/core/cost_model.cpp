@@ -64,7 +64,9 @@ Energy structure_cost_delta(const IntervalSet& busy, Time lo, Time hi,
                             const ServerSpec& server,
                             const CostOptions& opts) {
   assert(lo <= hi);
-  const IntervalSet::Preview preview = busy.preview_insert(lo, hi);
+  // The view variant: `absorbed` aliases busy's storage (no per-call heap
+  // allocation on the scan hot path) and is consumed before returning.
+  const IntervalSet::PreviewView preview = busy.preview_insert_view(lo, hi);
   std::optional<Time> prev_hi;
   if (preview.has_left) prev_hi = preview.left.hi;
   std::optional<Time> next_lo;

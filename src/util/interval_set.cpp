@@ -61,6 +61,36 @@ IntervalSet::Preview IntervalSet::preview_insert(Time lo, Time hi) const {
   return preview;
 }
 
+IntervalSet::PreviewView IntervalSet::preview_insert_view(Time lo,
+                                                          Time hi) const {
+  assert(lo <= hi);
+  PreviewView preview;
+  Time merged_lo = lo;
+  Time merged_hi = hi;
+
+  auto first = std::lower_bound(
+      ivs_.begin(), ivs_.end(), lo,
+      [](const Interval& iv, Time value) { return iv.hi < value - 1; });
+  auto last = first;
+  while (last != ivs_.end() && last->lo <= hi + 1) ++last;
+
+  if (first != last) {
+    merged_lo = std::min(merged_lo, first->lo);
+    merged_hi = std::max(merged_hi, std::prev(last)->hi);
+  }
+  preview.absorbed = std::span<const Interval>(first, last);
+  preview.merged = Interval{merged_lo, merged_hi};
+  if (first != ivs_.begin()) {
+    preview.has_left = true;
+    preview.left = *std::prev(first);
+  }
+  if (last != ivs_.end()) {
+    preview.has_right = true;
+    preview.right = *last;
+  }
+  return preview;
+}
+
 void IntervalSet::erase_covered(Time lo, Time hi) {
   assert(lo <= hi);
   auto it = std::lower_bound(

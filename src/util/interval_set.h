@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "util/types.h"
@@ -53,6 +54,23 @@ class IntervalSet {
 
   /// Computes the effect insert(lo, hi) would have, without mutating.
   Preview preview_insert(Time lo, Time hi) const;
+
+  /// Allocation-free Preview: the absorbed intervals are always a contiguous
+  /// run of this set's own storage, so `absorbed` is a span into it instead
+  /// of a copy. Valid only until the next mutation of this set — fine for
+  /// the incremental cost evaluator, which consumes it immediately (the
+  /// candidate-scan hot path calls this once per feasible probe).
+  struct PreviewView {
+    Interval merged;
+    std::span<const Interval> absorbed;
+    bool has_left = false;
+    bool has_right = false;
+    Interval left;   // valid iff has_left
+    Interval right;  // valid iff has_right
+  };
+
+  /// preview_insert without the absorbed-interval copy (see PreviewView).
+  PreviewView preview_insert_view(Time lo, Time hi) const;
 
   /// Removes [lo, hi] exactly as previously contributed; only supports
   /// removing a range that is fully covered (used by what-if rollback).

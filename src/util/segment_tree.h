@@ -1,9 +1,33 @@
-// Lazy segment tree supporting range-add and range-max over doubles.
+// Lazy segment tree supporting range-add and range-max/min over doubles.
 //
 // Each server keeps one tree per resource dimension over the horizon [1, T];
 // the allocator's feasibility test "does VM j fit on server i throughout
 // [t^s, t^e]?" becomes a single O(log T) range-max query:
 //     max_usage(interval) + demand <= capacity.
+//
+// Layout: iterative, flat-array ("bottom-up") tree sized 2n, not the classic
+// recursive 4n allocation. Leaves for positions 0..n-1 live at array slots
+// n..2n-1; internal node x has children 2x and 2x+1. Three arrays:
+//   mx_[x] — max over x's subtree, including x's own pending delta d_[x]
+//            but excluding ancestors' pending deltas;
+//   mn_[x] — same, for the minimum (feeds the O(1) spare-capacity summary
+//            min_all() used by ServerTimeline's quick-reject);
+//   d_[x]  — pending range-add delta covering x's whole subtree (internal
+//            nodes only).
+// add() applies deltas to the O(log n) canonical border nodes bottom-up and
+// then recomputes the two border leaf-to-root chains; max() folds the same
+// canonical nodes, accumulating ancestor deltas as it climbs. No recursion,
+// no per-node [nl, nr] bookkeeping, and 5n doubles instead of 8n.
+//
+// first_above() descends into the earliest canonical node whose (delta
+// corrected) subtree max satisfies a monotone predicate, locating the first
+// violating position in O(log^2 n) — the localization primitive behind
+// ServerTimeline::check_fit. Its top-level node selection reproduces max()'s
+// floating-point arithmetic exactly (per-node left-fold of the same ancestor
+// deltas; IEEE max commutes with monotone rounding), so
+//     first_above(lo, hi, pred) == npos  <=>  !pred(max(lo, hi))
+// holds bit-for-bit, which is what keeps check_fit and can_fit in exact
+// agreement.
 
 #pragma once
 
@@ -16,11 +40,15 @@ namespace esva {
 
 class RangeAddMaxTree {
  public:
+  /// Returned by first_above when no position satisfies the predicate.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   /// Tree over positions 0..n-1, all initially 0. n may be 0 (empty tree).
   explicit RangeAddMaxTree(std::size_t n) : n_(n) {
     if (n_ > 0) {
-      max_.assign(4 * n_, 0.0);
-      add_.assign(4 * n_, 0.0);
+      mx_.assign(2 * n_, 0.0);
+      mn_.assign(2 * n_, 0.0);
+      d_.assign(n_, 0.0);
     }
   }
 
@@ -30,49 +58,158 @@ class RangeAddMaxTree {
   /// lo <= hi < size().
   void add(std::size_t lo, std::size_t hi, double delta) {
     assert(lo <= hi && hi < n_);
-    add_impl(1, 0, n_ - 1, lo, hi, delta);
+    const std::size_t ll = lo + n_;
+    const std::size_t rr = hi + n_;
+    std::size_t l = ll;
+    std::size_t r = rr + 1;
+    while (l < r) {
+      if (l & 1) apply(l++, delta);
+      if (r & 1) apply(--r, delta);
+      l >>= 1;
+      r >>= 1;
+    }
+    pull(ll);
+    pull(rr);
   }
 
   /// Maximum value over [lo, hi] (inclusive). Requires lo <= hi < size().
   double max(std::size_t lo, std::size_t hi) const {
     assert(lo <= hi && hi < n_);
-    return max_impl(1, 0, n_ - 1, lo, hi);
+    double resl = kNone;
+    double resr = kNone;
+    std::size_t l = lo + n_;
+    std::size_t r = hi + n_ + 1;
+    while (l < r) {
+      if (l & 1) resl = std::max(resl, mx_[l++]);
+      if (r & 1) resr = std::max(resr, mx_[--r]);
+      l >>= 1;
+      r >>= 1;
+      // After each climb, (l - 1) and r are ancestors of every node consumed
+      // so far on their side; fold in their pending deltas. Guarded to the
+      // internal region (leaves carry no delta; d_[0] is unused and 0).
+      if (l - 1 < n_) resl += d_[l - 1];
+      if (r < n_) resr += d_[r];
+    }
+    for (std::size_t x = l - 1; x > 1;) {
+      x >>= 1;
+      resl += d_[x];
+    }
+    for (std::size_t x = r; x > 1;) {
+      x >>= 1;
+      resr += d_[x];
+    }
+    return std::max(resl, resr);
   }
 
-  /// Maximum over the whole range; 0 for an empty tree.
-  double max_all() const { return n_ == 0 ? 0.0 : max_[1]; }
+  /// Maximum over the whole range; 0 for an empty tree. O(1).
+  double max_all() const { return n_ == 0 ? 0.0 : mx_[1]; }
+
+  /// Minimum over the whole range; 0 for an empty tree. O(1). Together with
+  /// max_all this brackets the usage envelope: max_all is the window-wide
+  /// peak (quick-accept when peak + demand fits) and min_all the window-wide
+  /// floor (quick-reject when even the emptiest unit lacks spare capacity).
+  double min_all() const { return n_ == 0 ? 0.0 : mn_[1]; }
+
+  /// First position in [lo, hi] whose value v satisfies pred(v), or npos.
+  /// `pred` must be monotone in v (true stays true as v grows), e.g.
+  /// v + demand > capacity + eps. Requires lo <= hi < size().
+  template <typename Pred>
+  std::size_t first_above(std::size_t lo, std::size_t hi, Pred pred) const {
+    assert(lo <= hi && hi < n_);
+    // Canonical border nodes with running delta-corrected subtree maxima.
+    // The running values v are folded exactly like max()'s resl/resr, so the
+    // "does any node fire" verdict matches max() bit-for-bit; ctx tracks the
+    // ancestor-delta sum separately for the descent.
+    struct Node {
+      std::size_t x;
+      double v;    // mx_[x] plus ancestor deltas folded in climb order
+      double ctx;  // ancestor-delta sum alone (for descend)
+    };
+    Node ln[kMaxDepth];
+    Node rn[kMaxDepth];
+    int lc = 0;
+    int rc = 0;
+    std::size_t l = lo + n_;
+    std::size_t r = hi + n_ + 1;
+    while (l < r) {
+      if (l & 1) ln[lc++] = Node{l, mx_[l], 0.0}, ++l;
+      if (r & 1) --r, rn[rc++] = Node{r, mx_[r], 0.0};
+      l >>= 1;
+      r >>= 1;
+      if (l - 1 < n_) {
+        for (int i = 0; i < lc; ++i) {
+          ln[i].v += d_[l - 1];
+          ln[i].ctx += d_[l - 1];
+        }
+      }
+      if (r < n_) {
+        for (int i = 0; i < rc; ++i) {
+          rn[i].v += d_[r];
+          rn[i].ctx += d_[r];
+        }
+      }
+    }
+    for (std::size_t x = l - 1; x > 1;) {
+      x >>= 1;
+      for (int i = 0; i < lc; ++i) {
+        ln[i].v += d_[x];
+        ln[i].ctx += d_[x];
+      }
+    }
+    for (std::size_t x = r; x > 1;) {
+      x >>= 1;
+      for (int i = 0; i < rc; ++i) {
+        rn[i].v += d_[x];
+        rn[i].ctx += d_[x];
+      }
+    }
+    // Left-border nodes are consumed in ascending position order and always
+    // precede the right-border nodes (consumed descending); scan in position
+    // order and descend into the first node that fires.
+    for (int i = 0; i < lc; ++i) {
+      if (pred(ln[i].v)) return descend(ln[i].x, ln[i].ctx, pred);
+    }
+    for (int i = rc - 1; i >= 0; --i) {
+      if (pred(rn[i].v)) return descend(rn[i].x, rn[i].ctx, pred);
+    }
+    return npos;
+  }
 
  private:
-  void add_impl(std::size_t node, std::size_t nl, std::size_t nr,
-                std::size_t lo, std::size_t hi, double delta) {
-    if (lo <= nl && nr <= hi) {
-      add_[node] += delta;
-      max_[node] += delta;
-      return;
-    }
-    const std::size_t mid = nl + (nr - nl) / 2;
-    if (lo <= mid) add_impl(2 * node, nl, mid, lo, std::min(hi, mid), delta);
-    if (hi > mid)
-      add_impl(2 * node + 1, mid + 1, nr, std::max(lo, mid + 1), hi, delta);
-    max_[node] = add_[node] + std::max(max_[2 * node], max_[2 * node + 1]);
+  // 64-bit positions: a border chain can never exceed 64 consumed nodes.
+  static constexpr int kMaxDepth = 64;
+  static constexpr double kNone = -1e300;
+
+  void apply(std::size_t x, double delta) {
+    mx_[x] += delta;
+    mn_[x] += delta;
+    if (x < n_) d_[x] += delta;
   }
 
-  double max_impl(std::size_t node, std::size_t nl, std::size_t nr,
-                  std::size_t lo, std::size_t hi) const {
-    if (lo <= nl && nr <= hi) return max_[node];
-    const std::size_t mid = nl + (nr - nl) / 2;
-    double best = -1e300;
-    if (lo <= mid)
-      best = std::max(best, max_impl(2 * node, nl, mid, lo, std::min(hi, mid)));
-    if (hi > mid)
-      best = std::max(best, max_impl(2 * node + 1, mid + 1, nr,
-                                     std::max(lo, mid + 1), hi));
-    return add_[node] + best;
+  void pull(std::size_t x) {
+    while (x > 1) {
+      x >>= 1;
+      mx_[x] = std::max(mx_[2 * x], mx_[2 * x + 1]) + d_[x];
+      mn_[x] = std::min(mn_[2 * x], mn_[2 * x + 1]) + d_[x];
+    }
+  }
+
+  /// Walks down from node x (whose subtree max satisfies pred) to the
+  /// earliest leaf that fires. `ctx` is the ancestor-delta sum above x.
+  template <typename Pred>
+  std::size_t descend(std::size_t x, double ctx, Pred pred) const {
+    while (x < n_) {
+      ctx += d_[x];
+      x = 2 * x;
+      if (!pred(mx_[x] + ctx)) ++x;
+    }
+    return x - n_;
   }
 
   std::size_t n_;
-  std::vector<double> max_;
-  std::vector<double> add_;
+  std::vector<double> mx_;
+  std::vector<double> mn_;
+  std::vector<double> d_;
 };
 
 }  // namespace esva

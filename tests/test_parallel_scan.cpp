@@ -179,14 +179,57 @@ TEST(ParallelScan, QuantizedShapesProduceCacheHits) {
       metrics.counter("allocator.min-incremental.cache_hits").value();
   const std::int64_t misses =
       metrics.counter("allocator.min-incremental.cache_misses").value();
+  const std::int64_t quick =
+      metrics.counter("allocator.min-incremental.cache_quick_decided").value();
   EXPECT_GT(hits, 0) << "quantized workload should repeat shapes";
   EXPECT_GT(misses, 0);
-  // Every probe is either a hit, a miss, or a profiled-VM bypass (none here).
+  // Every probe is answered by the window-envelope triage (quick), the memo
+  // (hit), or a full recompute (miss); profiled-VM bypasses don't occur here.
   const std::int64_t probes =
       metrics.counter("allocator.min-incremental.feasible_candidates")
           .value() +
       metrics.counter("allocator.min-incremental.rejections").value();
-  EXPECT_EQ(hits + misses, probes);
+  EXPECT_EQ(hits + misses + quick, probes);
+  // Quantized shapes hit well above the default 5% floor, so the warmup
+  // judgment (if reached) must keep the cache on.
+  EXPECT_EQ(
+      metrics.counter("allocator.min-incremental.cache_auto_disabled").value(),
+      0);
+}
+
+// The auto-disable policy: on a workload whose shapes essentially never
+// repeat, the cache notices its own uselessness after the warmup window,
+// turns itself off, and — because probe answers are always recomputed
+// transparently — the final assignment is byte-identical to a cache-off run.
+TEST(ParallelScan, CacheAutoDisablesWhenHitRateStarved) {
+  // Few servers + many VMs: contended windows defeat the quick-accept path,
+  // so probes actually reach the memo, and generator-drawn intervals make
+  // shape repeats vanishingly rare — the hit-rate-starved regime.
+  Rng rng(77);
+  const ProblemInstance problem =
+      make_problem(generate_workload(workload_config(), rng), make_fleet(8));
+
+  ScanConfig cached = config(1, true);
+  cached.cache_warmup_probes = 64;
+  MetricsRegistry metrics;
+  const Allocation with_cache =
+      run("min-incremental", problem, cached, &metrics);
+  EXPECT_EQ(
+      metrics.counter("allocator.min-incremental.cache_auto_disabled").value(),
+      1)
+      << "hit rate should fall below cache_min_hit_rate after warmup";
+
+  const Allocation uncached = run("min-incremental", problem, config(1, false));
+  EXPECT_EQ(with_cache.assignment, uncached.assignment);
+  EXPECT_EQ(evaluate_cost(problem, with_cache).total(),
+            evaluate_cost(problem, uncached).total());
+
+  // The warmup judgment happens at a serial point, so the decision — and the
+  // assignment — is thread-count invariant too.
+  ScanConfig threaded = cached;
+  threaded.threads = 4;
+  const Allocation parallel = run("min-incremental", problem, threaded);
+  EXPECT_EQ(with_cache.assignment, parallel.assignment);
 }
 
 TEST(ParallelScan, ProfiledVmsBypassTheCache) {
@@ -283,7 +326,9 @@ TEST(ScanConfigTest, ResolvedThreadsZeroMeansHardwareConcurrency) {
   // "at least 1", and where the runtime does report a count, exactly that.
   EXPECT_GE(resolved, 1);
   const unsigned reported = std::thread::hardware_concurrency();
-  if (reported > 0) EXPECT_EQ(resolved, static_cast<int>(reported));
+  if (reported > 0) {
+    EXPECT_EQ(resolved, static_cast<int>(reported));
+  }
 }
 
 TEST(ScanCandidates, EvalExceptionPropagatesFromWorkerChunk) {

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "testsupport/reference_segment_tree.h"
 #include "util/rng.h"
 
 namespace esva {
@@ -14,6 +15,7 @@ TEST(RangeAddMaxTree, EmptyTree) {
   RangeAddMaxTree tree(0);
   EXPECT_EQ(tree.size(), 0u);
   EXPECT_EQ(tree.max_all(), 0.0);
+  EXPECT_EQ(tree.min_all(), 0.0);
 }
 
 TEST(RangeAddMaxTree, SingleElement) {
@@ -75,6 +77,42 @@ TEST(RangeAddMaxTree, NonPowerOfTwoSize) {
   EXPECT_EQ(tree.max_all(), 7.0);
 }
 
+TEST(RangeAddMaxTree, MinAllTracksTheFloor) {
+  RangeAddMaxTree tree(10);
+  EXPECT_EQ(tree.min_all(), 0.0);
+  tree.add(0, 9, 2.0);
+  EXPECT_EQ(tree.min_all(), 2.0);
+  tree.add(3, 5, 4.0);
+  EXPECT_EQ(tree.min_all(), 2.0);  // the untouched units are the floor
+  tree.add(0, 2, -1.5);
+  EXPECT_EQ(tree.min_all(), 0.5);
+  EXPECT_EQ(tree.max_all(), 6.0);
+}
+
+TEST(RangeAddMaxTree, FirstAboveLocatesTheEarliestViolation) {
+  RangeAddMaxTree tree(12);
+  const auto above = [](double threshold) {
+    return [threshold](double v) { return v > threshold; };
+  };
+  EXPECT_EQ(tree.first_above(0, 11, above(0.5)), RangeAddMaxTree::npos);
+  tree.add(4, 7, 3.0);
+  tree.add(9, 10, 5.0);
+  EXPECT_EQ(tree.first_above(0, 11, above(0.5)), 4u);
+  EXPECT_EQ(tree.first_above(0, 11, above(4.0)), 9u);
+  EXPECT_EQ(tree.first_above(5, 11, above(0.5)), 5u);
+  EXPECT_EQ(tree.first_above(8, 8, above(0.5)), RangeAddMaxTree::npos);
+  EXPECT_EQ(tree.first_above(0, 3, above(0.5)), RangeAddMaxTree::npos);
+  EXPECT_EQ(tree.first_above(0, 11, above(10.0)), RangeAddMaxTree::npos);
+}
+
+TEST(RangeAddMaxTree, FirstAboveOnSingleUnitTree) {
+  RangeAddMaxTree tree(1);
+  const auto positive = [](double v) { return v > 0.0; };
+  EXPECT_EQ(tree.first_above(0, 0, positive), RangeAddMaxTree::npos);
+  tree.add(0, 0, 1.0);
+  EXPECT_EQ(tree.first_above(0, 0, positive), 0u);
+}
+
 // Property: behaves identically to a plain array under random operations.
 TEST(RangeAddMaxTreeProperty, MatchesNaiveArray) {
   Rng rng(7);
@@ -99,6 +137,86 @@ TEST(RangeAddMaxTreeProperty, MatchesNaiveArray) {
     }
     ASSERT_NEAR(tree.max_all(), *std::max_element(naive.begin(), naive.end()),
                 1e-9);
+  }
+}
+
+// Differential fuzz: the flat iterative tree against the original recursive
+// implementation it replaced (testsupport/reference_segment_tree.h), under
+// random add/max interleavings across sizes from a single unit up — the
+// equivalence proof demanded by the replacement. The two layouts associate
+// their floating-point sums differently, so values are compared to 1e-9
+// (far below the library's feasibility granularity), not bit-for-bit.
+TEST(RangeAddMaxTreeProperty, MatchesRecursiveReferenceTree) {
+  Rng rng(20260807);
+  for (int trial = 0; trial < 120; ++trial) {
+    // Bias towards small and awkward sizes (1, 2, 3, powers of two ± 1).
+    const std::size_t n = static_cast<std::size_t>(
+        trial < 40 ? rng.uniform_int(1, 9) : rng.uniform_int(1, 300));
+    RangeAddMaxTree flat(n);
+    ReferenceRangeAddMaxTree reference(n);
+    ASSERT_EQ(flat.size(), reference.size());
+    for (int op = 0; op < 150; ++op) {
+      const auto lo = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      const auto hi = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(lo), static_cast<std::int64_t>(n) - 1));
+      if (rng.bernoulli(0.55)) {
+        const double delta = rng.uniform_double(-6.0, 10.0);
+        flat.add(lo, hi, delta);
+        reference.add(lo, hi, delta);
+      } else {
+        ASSERT_NEAR(flat.max(lo, hi), reference.max(lo, hi), 1e-9)
+            << "trial " << trial << " op " << op << " n " << n << " ["
+            << lo << ", " << hi << "]";
+      }
+      if (op % 25 == 0) {
+        ASSERT_NEAR(flat.max_all(), reference.max_all(), 1e-9);
+      }
+    }
+  }
+}
+
+// Differential fuzz for the descent: first_above against a naive scan over a
+// mirrored plain array, plus min_all against std::min_element. Thresholds are
+// drawn continuously, so ties with stored values have measure zero and exact
+// predicate comparisons are stable.
+TEST(RangeAddMaxTreeProperty, FirstAboveAndMinAllMatchNaive) {
+  Rng rng(555);
+  for (int trial = 0; trial < 80; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(
+        trial < 30 ? rng.uniform_int(1, 10) : rng.uniform_int(1, 260));
+    RangeAddMaxTree tree(n);
+    std::vector<double> naive(n, 0.0);
+    for (int op = 0; op < 120; ++op) {
+      const auto lo = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      const auto hi = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(lo), static_cast<std::int64_t>(n) - 1));
+      if (rng.bernoulli(0.5)) {
+        const double delta = rng.uniform_double(-6.0, 10.0);
+        tree.add(lo, hi, delta);
+        for (std::size_t k = lo; k <= hi; ++k) naive[k] += delta;
+      } else {
+        const double threshold = rng.uniform_double(-10.0, 20.0);
+        const auto pred = [threshold](double v) { return v > threshold; };
+        std::size_t expected = RangeAddMaxTree::npos;
+        for (std::size_t k = lo; k <= hi; ++k) {
+          if (naive[k] > threshold) {
+            expected = k;
+            break;
+          }
+        }
+        ASSERT_EQ(tree.first_above(lo, hi, pred), expected)
+            << "trial " << trial << " op " << op << " n " << n << " ["
+            << lo << ", " << hi << "] threshold " << threshold;
+      }
+      if (op % 20 == 0) {
+        ASSERT_NEAR(tree.min_all(), *std::min_element(naive.begin(), naive.end()),
+                    1e-9);
+        ASSERT_NEAR(tree.max_all(), *std::max_element(naive.begin(), naive.end()),
+                    1e-9);
+      }
+    }
   }
 }
 

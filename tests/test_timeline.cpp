@@ -163,11 +163,12 @@ TEST(ServerTimeline, ReadsDoNotAdvanceEpoch) {
   EXPECT_EQ(timeline.epoch(), before);
 }
 
-// Property: a ScanCache entry is reused iff the timeline's epoch is unchanged
-// since that shape was last probed — and whether reused or recomputed, the
-// probe returns exactly what a direct can_fit/incremental_cost evaluation
-// returns.
-TEST(ScanCacheProperty, EntryReusedIffEpochUnchangedAndValuesExact) {
+// Property: a probe the O(1) envelope triage decides (quick_fit != kUnknown)
+// never touches the memo — no hit, no miss, no entry, no epoch adoption; an
+// undecided probe's entry is reused iff the timeline's epoch is unchanged
+// since that shape was last probed — and whichever path answers, the probe
+// returns exactly what a direct can_fit/incremental_cost evaluation returns.
+TEST(ScanCacheProperty, QuickProbesSkipMemoAndEntriesReusedIffEpochUnchanged) {
   Rng rng(123);
   const CostOptions cost_options;
   const auto score = [&](const ServerTimeline& t,
@@ -175,54 +176,82 @@ TEST(ScanCacheProperty, EntryReusedIffEpochUnchangedAndValuesExact) {
 
   for (int trial = 0; trial < 20; ++trial) {
     ServerTimeline timeline(basic_server(), 200);
+    // A heavy resident keeps the window peak at 8 CPU, so probes needing
+    // more than 2 CPU are envelope-undecided (memo path) while light probes
+    // quick-accept; a >10 CPU shape quick-rejects against the 0-usage floor.
+    timeline.place(vm(999, 1, 100, 8.0, 1.0));
+
     ScanCache cache;
     cache.resize(1);
 
     // Reference model of the slot: the epoch its entries were stored under,
-    // and the set of shapes stored. Mirrors the documented invalidation rule.
+    // and the set of shapes stored. Mirrors the documented invalidation
+    // rule, which only undecided probes engage.
     std::optional<std::uint64_t> model_epoch;
     std::unordered_map<VmShape, bool, VmShapeHash> model_shapes;
 
-    // A small pool of repeating shapes so hits actually occur, plus LIFO
-    // place/undo mutations interleaved with probes.
+    // A small pool of repeating shapes so hits actually occur (CPU 1..6
+    // spans quick-accepted and undecided; 10.5 always quick-rejects), plus
+    // LIFO place/undo mutations interleaved with probes.
     std::vector<VmSpec> shapes;
     for (int s = 0; s < 5; ++s) {
       const Time start = static_cast<Time>(rng.uniform_int(1, 150));
       const Time end =
           static_cast<Time>(rng.uniform_int(start, start + 40));
-      shapes.push_back(vm(100 + s, start, end, 1.0 + s * 0.5, 1.0 + s));
+      shapes.push_back(vm(100 + s, start, end, 1.0 + s * 1.25, 1.0 + s));
     }
+    shapes.push_back(vm(106, 10, 40, 10.5, 1.0));  // beyond capacity
     std::vector<std::pair<ServerTimeline::PlaceRecord, VmSpec>> stack;
     int next_id = 0;
 
     for (int step = 0; step < 300; ++step) {
       const int action = static_cast<int>(rng.uniform_int(0, 9));
       if (action < 6) {  // probe a random repeating shape
-        const VmSpec& probe_vm =
-            shapes[static_cast<std::size_t>(rng.uniform_int(0, 4))];
-        if (model_epoch != timeline.epoch()) {
-          model_epoch = timeline.epoch();
-          model_shapes.clear();
+        const VmSpec& probe_vm = shapes[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(shapes.size()) - 1))];
+        const QuickFit quick = timeline.quick_fit(probe_vm);
+        bool expect_hit = false;
+        if (quick == QuickFit::kUnknown) {
+          if (model_epoch != timeline.epoch()) {
+            model_epoch = timeline.epoch();
+            model_shapes.clear();
+          }
+          const VmShape key{probe_vm.demand.cpu, probe_vm.demand.mem,
+                            probe_vm.start, probe_vm.end};
+          expect_hit = model_shapes.count(key) > 0;
+          model_shapes.emplace(key, true);
         }
-        const VmShape key{probe_vm.demand.cpu, probe_vm.demand.mem,
-                          probe_vm.start, probe_vm.end};
-        const bool expect_hit = model_shapes.count(key) > 0;
-        model_shapes.emplace(key, true);
 
         const std::int64_t hits_before = cache.hits();
-        const std::optional<double> cached =
-            cache.probe(0, timeline, probe_vm, score);
-        ASSERT_EQ(cache.hits() - hits_before, expect_hit ? 1 : 0)
-            << "trial " << trial << " step " << step;
+        const std::int64_t misses_before = cache.misses();
+        const std::int64_t quick_before = cache.quick_decided();
+        const std::optional<double> cached = cache.probe(
+            0, timeline, probe_vm, ScanCache::key_of(probe_vm), score);
+        if (quick == QuickFit::kUnknown) {
+          ASSERT_EQ(cache.hits() - hits_before, expect_hit ? 1 : 0)
+              << "trial " << trial << " step " << step;
+          ASSERT_EQ(cache.misses() - misses_before, expect_hit ? 0 : 1);
+          ASSERT_EQ(cache.quick_decided(), quick_before);
+        } else {
+          // Envelope-decided: counted as quick, memo untouched.
+          ASSERT_EQ(cache.quick_decided() - quick_before, 1)
+              << "trial " << trial << " step " << step;
+          ASSERT_EQ(cache.hits(), hits_before);
+          ASSERT_EQ(cache.misses(), misses_before);
+          // The triage verdict itself must agree with can_fit.
+          ASSERT_EQ(quick == QuickFit::kFits, timeline.can_fit(probe_vm));
+        }
 
-        // Whether it hit or missed, the value must be the direct
+        // Whichever path answered, the value must be the direct
         // recomputation bit-for-bit.
         const std::optional<double> direct =
             timeline.can_fit(probe_vm)
                 ? std::optional<double>(score(timeline, probe_vm))
                 : std::nullopt;
         ASSERT_EQ(cached.has_value(), direct.has_value());
-        if (cached) ASSERT_EQ(*cached, *direct);  // exact, not approximate
+        if (cached) {
+          ASSERT_EQ(*cached, *direct);  // exact, not approximate
+        }
       } else if (action < 8 || stack.empty()) {  // place
         const Time start = static_cast<Time>(rng.uniform_int(1, 150));
         const Time end = static_cast<Time>(rng.uniform_int(start, start + 30));
@@ -234,8 +263,111 @@ TEST(ScanCacheProperty, EntryReusedIffEpochUnchangedAndValuesExact) {
         stack.pop_back();
       }
     }
-    // The repeating shapes must have produced genuine reuse.
+    // All three probe paths must have been exercised.
     EXPECT_GT(cache.hits(), 0) << "trial " << trial;
+    EXPECT_GT(cache.misses(), 0) << "trial " << trial;
+    EXPECT_GT(cache.quick_decided(), 0) << "trial " << trial;
+  }
+}
+
+// --- quick_fit: the O(1) envelope triage in front of the trees -------------
+
+TEST(QuickFitTriage, DecidesFromWindowEnvelope) {
+  ServerTimeline timeline(basic_server(), 100);
+  timeline.place(vm(0, 1, 50, 6.0, 2.0));  // peak 6 CPU / 2 MEM, floor 0
+  // Peak + demand fits: certain accept without a tree query.
+  EXPECT_EQ(timeline.quick_fit(vm(1, 25, 75, 4.0, 1.0)), QuickFit::kFits);
+  // Even the emptiest unit lacks spare CPU: certain reject.
+  EXPECT_EQ(timeline.quick_fit(vm(2, 60, 90, 10.5, 1.0)),
+            QuickFit::kCannotFit);
+  // Peak + demand over, floor + demand under: undecided.
+  EXPECT_EQ(timeline.quick_fit(vm(3, 60, 90, 5.0, 1.0)), QuickFit::kUnknown);
+  // Out of window: certain reject.
+  EXPECT_EQ(timeline.quick_fit(vm(4, 90, 101, 1.0, 1.0)),
+            QuickFit::kCannotFit);
+}
+
+TEST(QuickFitTriage, AgreesWithCanFitOnRandomPlacements) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    ServerTimeline timeline(basic_server(), 120);
+    const int residents = static_cast<int>(rng.uniform_int(0, 6));
+    for (int k = 0; k < residents; ++k) {
+      const Time start = static_cast<Time>(rng.uniform_int(1, 100));
+      const Time end = static_cast<Time>(rng.uniform_int(start, start + 30));
+      const VmSpec resident = vm(k, start, end, 1.0 + (k % 3), 1.0 + (k % 4));
+      if (timeline.can_fit(resident)) timeline.place(resident);
+    }
+    for (int probe = 0; probe < 40; ++probe) {
+      const Time start = static_cast<Time>(rng.uniform_int(1, 110));
+      const Time end = static_cast<Time>(rng.uniform_int(start, start + 40));
+      const VmSpec candidate =
+          vm(100 + probe, start, end, rng.uniform_double(0.1, 12.0),
+             rng.uniform_double(0.1, 12.0));
+      const QuickFit quick = timeline.quick_fit(candidate);
+      if (quick != QuickFit::kUnknown) {
+        ASSERT_EQ(quick == QuickFit::kFits, timeline.can_fit(candidate))
+            << "trial " << trial << " probe " << probe;
+      }
+    }
+  }
+}
+
+// --- profiled VMs: equal-demand runs are applied/checked as range ops ------
+
+VmSpec profiled_vm(VmId id, Time start, std::vector<Resources> levels) {
+  VmSpec spec;
+  spec.id = id;
+  spec.type_name = "profiled";
+  spec.start = start;
+  spec.end = start + static_cast<Time>(levels.size()) - 1;
+  spec.set_profile(std::move(levels));
+  return spec;
+}
+
+TEST(ProfiledTimeline, CoalescedRunsMatchPerUnitSemantics) {
+  ServerTimeline timeline(basic_server(), 100);
+  // Three runs: [10,12] at (2,1), [13,15] at (6,3), [16,17] at (1,8); the
+  // middle run also has a zero-CPU tail to cover the skip-zero-delta path.
+  const VmSpec workload = profiled_vm(
+      0, 10,
+      {{2, 1}, {2, 1}, {2, 1}, {6, 3}, {6, 3}, {6, 3}, {1, 8}, {1, 8},
+       {0, 2}, {0, 2}});
+  ASSERT_TRUE(timeline.can_fit(workload));
+  const auto record = timeline.place(workload);
+
+  // Usage at every unit equals the profile level of that unit's run.
+  for (Time t = 10; t <= 19; ++t) {
+    const Resources r = workload.demand_at(t);
+    EXPECT_DOUBLE_EQ(timeline.cpu_usage_at(t), r.cpu) << "t=" << t;
+    EXPECT_DOUBLE_EQ(timeline.mem_usage_at(t), r.mem) << "t=" << t;
+  }
+  EXPECT_DOUBLE_EQ(timeline.cpu_usage_at(9), 0.0);
+  EXPECT_DOUBLE_EQ(timeline.cpu_usage_at(20), 0.0);
+
+  // A stable VM fits against the valleys but not across the (6,3) burst.
+  EXPECT_TRUE(timeline.can_fit(vm(1, 16, 30, 5.0, 1.0)));
+  EXPECT_FALSE(timeline.can_fit(vm(2, 10, 15, 5.0, 1.0)));
+
+  // A second profiled VM whose burst interleaves with the valleys fits.
+  const VmSpec complement = profiled_vm(
+      3, 10,
+      {{7, 8}, {7, 8}, {7, 8}, {2, 2}, {2, 2}, {2, 2}, {8, 1}, {8, 1},
+       {9, 7}, {9, 7}});
+  EXPECT_TRUE(timeline.can_fit(complement));
+  // check_fit agrees and localizes a violation inside the right run.
+  const VmSpec clash = profiled_vm(4, 12, {{1, 1}, {5, 1}, {5, 1}});
+  ASSERT_FALSE(timeline.can_fit(clash));
+  const FitCheck fit = timeline.check_fit(clash);
+  EXPECT_FALSE(fit.ok);
+  EXPECT_EQ(fit.reject, FitReject::Cpu);
+  EXPECT_EQ(fit.at, 13);  // first unit where 6 (resident) + 5 > 10
+
+  // Undo restores the exact pre-placement state.
+  timeline.undo(record, workload);
+  for (Time t = 9; t <= 20; ++t) {
+    EXPECT_DOUBLE_EQ(timeline.cpu_usage_at(t), 0.0) << "t=" << t;
+    EXPECT_DOUBLE_EQ(timeline.mem_usage_at(t), 0.0) << "t=" << t;
   }
 }
 

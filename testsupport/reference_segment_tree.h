@@ -1,0 +1,76 @@
+// The original recursive 4n lazy segment tree, retained verbatim (renamed)
+// as the differential-fuzz reference for the flat iterative RangeAddMaxTree
+// that replaced it in src/util/segment_tree.h. Test-only: never link this
+// into the library.
+
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace esva {
+
+class ReferenceRangeAddMaxTree {
+ public:
+  /// Tree over positions 0..n-1, all initially 0. n may be 0 (empty tree).
+  explicit ReferenceRangeAddMaxTree(std::size_t n) : n_(n) {
+    if (n_ > 0) {
+      max_.assign(4 * n_, 0.0);
+      add_.assign(4 * n_, 0.0);
+    }
+  }
+
+  std::size_t size() const { return n_; }
+
+  /// Adds `delta` to every position in [lo, hi] (inclusive). Requires
+  /// lo <= hi < size().
+  void add(std::size_t lo, std::size_t hi, double delta) {
+    assert(lo <= hi && hi < n_);
+    add_impl(1, 0, n_ - 1, lo, hi, delta);
+  }
+
+  /// Maximum value over [lo, hi] (inclusive). Requires lo <= hi < size().
+  double max(std::size_t lo, std::size_t hi) const {
+    assert(lo <= hi && hi < n_);
+    return max_impl(1, 0, n_ - 1, lo, hi);
+  }
+
+  /// Maximum over the whole range; 0 for an empty tree.
+  double max_all() const { return n_ == 0 ? 0.0 : max_[1]; }
+
+ private:
+  void add_impl(std::size_t node, std::size_t nl, std::size_t nr,
+                std::size_t lo, std::size_t hi, double delta) {
+    if (lo <= nl && nr <= hi) {
+      add_[node] += delta;
+      max_[node] += delta;
+      return;
+    }
+    const std::size_t mid = nl + (nr - nl) / 2;
+    if (lo <= mid) add_impl(2 * node, nl, mid, lo, std::min(hi, mid), delta);
+    if (hi > mid)
+      add_impl(2 * node + 1, mid + 1, nr, std::max(lo, mid + 1), hi, delta);
+    max_[node] = add_[node] + std::max(max_[2 * node], max_[2 * node + 1]);
+  }
+
+  double max_impl(std::size_t node, std::size_t nl, std::size_t nr,
+                  std::size_t lo, std::size_t hi) const {
+    if (lo <= nl && nr <= hi) return max_[node];
+    const std::size_t mid = nl + (nr - nl) / 2;
+    double best = -1e300;
+    if (lo <= mid)
+      best = std::max(best, max_impl(2 * node, nl, mid, lo, std::min(hi, mid)));
+    if (hi > mid)
+      best = std::max(best, max_impl(2 * node + 1, mid + 1, nr,
+                                     std::max(lo, mid + 1), hi));
+    return add_[node] + best;
+  }
+
+  std::size_t n_;
+  std::vector<double> max_;
+  std::vector<double> add_;
+};
+
+}  // namespace esva
