@@ -53,7 +53,9 @@
 #include "core/cost_model.h"
 #include "core/fault_plan.h"
 #include "core/min_incremental.h"
+#include "obs/energy_ledger.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/metrics.h"
 #include "sim/replay.h"
@@ -671,6 +673,112 @@ StreamingReport measure_streaming(int num_vms, int reps) {
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry gate: full collector stack vs the bare replay
+// ---------------------------------------------------------------------------
+
+struct TelemetryReport {
+  int num_vms = 0;
+  std::vector<double> plain_ms;
+  std::vector<double> telemetry_ms;
+  double overhead = 0.0;  ///< best paired ratio minus 1 (see measure_overhead)
+  bool assignments_match = false;  ///< always enforced
+  bool conserves = false;          ///< always enforced, 1e-6 relative
+  double ledger_total = 0.0;
+  double engine_total = 0.0;
+  std::size_t samples = 0;
+  std::size_t ledger_entries = 0;
+  bool overhead_enforced = false;
+  bool pass = true;
+};
+
+/// fig2@num_vms replay, bare vs with the full telemetry stack bound: metrics
+/// registry (histogram-backed submit timer), per-tick time-series sampler,
+/// energy ledger. Gates: assignments byte-identical and ledger conservation
+/// always; the overhead budget outside --quick. Same paired-best-ratio
+/// estimator as the null-sink guard — the two variants of one rep share a
+/// scheduling window, reps minutes apart do not.
+TelemetryReport measure_telemetry(int num_vms, int reps, double budget,
+                                  bool quick) {
+  TelemetryReport report;
+  report.num_vms = num_vms;
+  const ProblemInstance problem = instance_for(num_vms, 42);
+  reps = std::max(reps, 7);
+
+  const auto run = [&](bool telemetry, ReplayReport& out_report,
+                       EnergyLedger* ledger, std::size_t* samples) {
+    AllocatorPtr allocator = make_allocator("min-incremental");
+    std::unique_ptr<PlacementPolicy> policy = allocator->make_policy();
+    Rng rng(7);
+    VectorArrivalStream arrivals(problem.vms);
+    MetricsRegistry metrics;
+    TimeSeriesOptions ts_options;
+    ts_options.every = 1;
+    ts_options.capacity = 0;
+    TimeSeriesSampler sampler(ts_options);
+    ReplayOptions options;
+    if (telemetry) {
+      options.obs.metrics = &metrics;
+      options.timeseries = &sampler;
+      options.ledger = ledger;
+    }
+    out_report = replay_stream(arrivals, problem.servers, *policy, rng,
+                               options);
+    if (samples) *samples = sampler.size();
+    benchmark::DoNotOptimize(out_report.assignment.data());
+  };
+
+  ReplayReport plain;
+  ReplayReport full;
+  EnergyLedger ledger;
+  // Warm-up, then alternate so drift hits both variants equally.
+  run(false, plain, nullptr, nullptr);
+  for (int rep = 0; rep < reps; ++rep) {
+    report.plain_ms.push_back(
+        time_ms([&] { run(false, plain, nullptr, nullptr); }));
+    ledger.clear();
+    report.telemetry_ms.push_back(time_ms(
+        [&] { run(true, full, &ledger, &report.samples); }));
+  }
+  report.ledger_entries = ledger.size();
+  report.assignments_match = plain.assignment == full.assignment &&
+                             plain.total_energy == full.total_energy;
+  report.ledger_total = ledger.total();
+  report.engine_total = full.total_energy;
+  report.conserves = ledger.conserves(full.total_energy);
+
+  double best_ratio = kInf;
+  for (std::size_t i = 0; i < report.plain_ms.size(); ++i)
+    best_ratio =
+        std::min(best_ratio, report.telemetry_ms[i] / report.plain_ms[i]);
+  report.overhead = best_ratio - 1.0;
+  report.overhead_enforced = !quick;
+  report.pass = report.assignments_match && report.conserves &&
+                (!report.overhead_enforced || report.overhead <= budget);
+
+  std::printf("measuring telemetry stack (%d VMs, sampler every tick + "
+              "histogram + ledger)...\n",
+              num_vms);
+  std::printf("  bare replay:    %8.2f ms (median)\n",
+              median(report.plain_ms));
+  std::printf("  full telemetry: %8.2f ms (median)  -> overhead %+.2f%% "
+              "(best paired ratio, budget %.0f%%, %s) %s\n",
+              median(report.telemetry_ms), 100.0 * report.overhead,
+              100.0 * budget,
+              report.overhead_enforced ? "enforced" : "not enforced (--quick)",
+              !report.overhead_enforced || report.overhead <= budget
+                  ? "OK"
+                  : "FAIL");
+  std::printf("  %zu samples, %zu ledger entries\n", report.samples,
+              report.ledger_entries);
+  std::printf("  assignments identical: %s   ledger conserves energy: %s "
+              "(%.6f vs %.6f W*min)\n",
+              report.assignments_match ? "yes" : "NO (BUG)",
+              report.conserves ? "yes" : "NO (BUG)", report.ledger_total,
+              report.engine_total);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
 // Chaos: streaming under a seeded fault plan with the retry queue enabled
 // ---------------------------------------------------------------------------
 
@@ -793,6 +901,11 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
   const StreamingReport streaming =
       measure_streaming(num_vms, std::max(3, reps / 2));
 
+  // The telemetry gate runs at the fig2@500 acceptance point in full mode
+  // (quick keeps the smoke-test scenario size).
+  const TelemetryReport telemetry = measure_telemetry(
+      quick ? num_vms : 500, reps, overhead_budget, quick);
+
   const ChaosReport chaos = measure_chaos(num_vms, std::max(2, reps / 2));
 
   std::ofstream out(out_path);
@@ -907,6 +1020,28 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
   emit_variant("rolling_gc", streaming.gc, false);
   emit_variant("no_gc", streaming.no_gc, false);
   out << "    \"pass\": " << (streaming.pass ? "true" : "false") << "\n  },\n";
+  out << "  \"telemetry\": {\n"
+      << "    \"allocator\": \"min-incremental\",\n"
+      << "    \"num_vms\": " << telemetry.num_vms << ",\n"
+      << "    \"plain_ms\": " << json_array(telemetry.plain_ms) << ",\n"
+      << "    \"telemetry_ms\": " << json_array(telemetry.telemetry_ms)
+      << ",\n"
+      << "    \"median_plain_ms\": " << median(telemetry.plain_ms) << ",\n"
+      << "    \"median_telemetry_ms\": " << median(telemetry.telemetry_ms)
+      << ",\n"
+      << "    \"overhead\": " << telemetry.overhead << ",\n"
+      << "    \"overhead_budget\": " << overhead_budget << ",\n"
+      << "    \"overhead_enforced\": "
+      << (telemetry.overhead_enforced ? "true" : "false") << ",\n"
+      << "    \"samples\": " << telemetry.samples << ",\n"
+      << "    \"ledger_entries\": " << telemetry.ledger_entries << ",\n"
+      << "    \"ledger_total\": " << telemetry.ledger_total << ",\n"
+      << "    \"engine_total\": " << telemetry.engine_total << ",\n"
+      << "    \"conserves\": " << (telemetry.conserves ? "true" : "false")
+      << ",\n"
+      << "    \"assignments_match\": "
+      << (telemetry.assignments_match ? "true" : "false") << ",\n"
+      << "    \"pass\": " << (telemetry.pass ? "true" : "false") << "\n  },\n";
   out << "  \"chaos\": {\n"
       << "    \"allocator\": \"min-incremental\",\n"
       << "    \"num_vms\": " << chaos.num_vms << ",\n"
@@ -971,6 +1106,25 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
     std::fprintf(stderr,
                  "FAIL: streaming replay diverged from the batch "
                  "assignment\n");
+    return 1;
+  }
+  if (!telemetry.assignments_match) {
+    std::fprintf(stderr,
+                 "FAIL: binding the telemetry stack changed the replay "
+                 "(assignments or total energy diverged)\n");
+    return 1;
+  }
+  if (!telemetry.conserves) {
+    std::fprintf(stderr,
+                 "FAIL: energy ledger does not conserve: %.9f vs engine "
+                 "%.9f W*min (1e-6 relative)\n",
+                 telemetry.ledger_total, telemetry.engine_total);
+    return 1;
+  }
+  if (!telemetry.pass) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry overhead %.2f%% exceeds budget %.0f%%\n",
+                 100.0 * telemetry.overhead, 100.0 * overhead_budget);
     return 1;
   }
   if (!chaos.pass) {

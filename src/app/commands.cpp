@@ -1,5 +1,6 @@
 #include "app/commands.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <fstream>
 #include <memory>
@@ -16,7 +17,9 @@
 #include "ilp/model.h"
 #include "ilp/solution_io.h"
 #include "ilp/validate.h"
+#include "obs/energy_ledger.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/metrics.h"
@@ -78,6 +81,38 @@ void write_stats(const std::string& path, const MetricsRegistry& metrics) {
   std::ofstream file(path);
   if (!file) throw std::runtime_error("cannot open stats file '" + path + "'");
   file << metrics.to_json();
+}
+
+/// True when an output path asks for JSON Lines rather than CSV.
+bool wants_jsonl(const std::string& path) {
+  return path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+}
+
+/// The request source shared by `stream` and `top`: a lazy generator
+/// (--generate, optionally --diurnal) or a trace replay (--vms). The caller's
+/// trace_vms vector backs the trace stream and must outlive it.
+std::unique_ptr<ArrivalStream> make_arrival_stream(
+    const CliParser& parser, Rng& workload_rng,
+    std::vector<VmSpec>& trace_vms) {
+  if (parser.get_int("generate") > 0) {
+    if (parser.get_bool("diurnal")) {
+      DiurnalConfig config;
+      config.num_vms = static_cast<int>(parser.get_int("generate"));
+      config.base_rate = 1.0 / parser.get_double("interarrival");
+      config.amplitude = parser.get_double("amplitude");
+      config.mean_duration = parser.get_double("duration");
+      config.vm_types = vm_types_by_name(parser.get_string("vm-types"));
+      return std::make_unique<DiurnalArrivalStream>(config, workload_rng);
+    }
+    WorkloadConfig config;
+    config.num_vms = static_cast<int>(parser.get_int("generate"));
+    config.mean_interarrival = parser.get_double("interarrival");
+    config.mean_duration = parser.get_double("duration");
+    config.vm_types = vm_types_by_name(parser.get_string("vm-types"));
+    return std::make_unique<PoissonArrivalStream>(config, workload_rng);
+  }
+  trace_vms = load_vm_trace(parser.get_string("vms"));
+  return std::make_unique<VectorArrivalStream>(trace_vms);
 }
 
 void print_metrics(std::ostream& out, const ProblemInstance& problem,
@@ -301,6 +336,16 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
   parser.add_string("stats", "",
                     "metrics JSON output: engine.submit_ms, engine.requests "
                     "and allocator.* (optional)");
+  parser.add_string("prom-out", "",
+                    "metrics in Prometheus text exposition format (optional)");
+  parser.add_string("timeseries-out", "",
+                    "fleet time-series output — CSV, or JSONL when the path "
+                    "ends in .jsonl (optional)");
+  parser.add_int("timeseries-every", 1,
+                 "time units between fleet samples (with --timeseries-out)");
+  parser.add_string("ledger-out", "",
+                    "energy-attribution ledger output — CSV, or JSONL when "
+                    "the path ends in .jsonl (optional)");
   if (!parse_args(parser, args)) return parser_exit_code(parser);
 
   try {
@@ -339,28 +384,8 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
     Rng workload_rng(static_cast<std::uint64_t>(parser.get_int("seed")));
     Rng policy_rng(static_cast<std::uint64_t>(parser.get_int("seed")));
     std::vector<VmSpec> trace_vms;
-    std::unique_ptr<ArrivalStream> arrivals;
-    if (generate) {
-      if (parser.get_bool("diurnal")) {
-        DiurnalConfig config;
-        config.num_vms = static_cast<int>(parser.get_int("generate"));
-        config.base_rate = 1.0 / parser.get_double("interarrival");
-        config.amplitude = parser.get_double("amplitude");
-        config.mean_duration = parser.get_double("duration");
-        config.vm_types = vm_types_by_name(parser.get_string("vm-types"));
-        arrivals = std::make_unique<DiurnalArrivalStream>(config, workload_rng);
-      } else {
-        WorkloadConfig config;
-        config.num_vms = static_cast<int>(parser.get_int("generate"));
-        config.mean_interarrival = parser.get_double("interarrival");
-        config.mean_duration = parser.get_double("duration");
-        config.vm_types = vm_types_by_name(parser.get_string("vm-types"));
-        arrivals = std::make_unique<PoissonArrivalStream>(config, workload_rng);
-      }
-    } else {
-      trace_vms = load_vm_trace(parser.get_string("vms"));
-      arrivals = std::make_unique<VectorArrivalStream>(trace_vms);
-    }
+    std::unique_ptr<ArrivalStream> arrivals =
+        make_arrival_stream(parser, workload_rng, trace_vms);
 
     FaultPlan fault_plan;
     ReplayOptions options;
@@ -377,6 +402,17 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
     options.retry.queue_capacity =
         static_cast<std::size_t>(parser.get_int("retry-queue"));
     options.obs.metrics = &metrics;
+    // Telemetry sinks are bound only when their output was requested; none
+    // of them changes a single decision (docs/OBSERVABILITY.md).
+    TimeSeriesOptions ts_options;
+    ts_options.every = static_cast<Time>(
+        std::max<std::int64_t>(1, parser.get_int("timeseries-every")));
+    ts_options.capacity = 0;  // file export wants the complete series
+    TimeSeriesSampler sampler(ts_options);
+    EnergyLedger ledger;
+    if (!parser.get_string("timeseries-out").empty())
+      options.timeseries = &sampler;
+    if (!parser.get_string("ledger-out").empty()) options.ledger = &ledger;
     const ReplayReport report =
         replay_stream(*arrivals, servers, *policy, policy_rng, options);
     log_info() << allocator->name() << " streamed " << report.placed << "/"
@@ -397,8 +433,27 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
         {"submit latency p99 (ms)", fmt_double(report.latency.p99_ms, 4)});
     table.add_row(
         {"submit latency max (ms)", fmt_double(report.latency.max_ms, 4)});
+    table.add_row({"submit latency p50 hist (ms)",
+                   fmt_double(report.latency.hist_p50_ms, 4)});
+    table.add_row({"submit latency p99 hist (ms)",
+                   fmt_double(report.latency.hist_p99_ms, 4)});
     table.add_row(
         {"total energy (W*min)", fmt_double(report.total_energy, 1)});
+    if (options.ledger) {
+      table.add_row({"ledger run (W*min)",
+                     fmt_double(ledger.total_for(EnergyCause::kRun), 1)});
+      table.add_row({"ledger idle (W*min)",
+                     fmt_double(ledger.total_for(EnergyCause::kIdle), 1)});
+      table.add_row(
+          {"ledger transition (W*min)",
+           fmt_double(ledger.total_for(EnergyCause::kTransition), 1)});
+      table.add_row(
+          {"ledger migration (W*min)",
+           fmt_double(ledger.total_for(EnergyCause::kMigration), 1)});
+      table.add_row({"ledger total (W*min)", fmt_double(ledger.total(), 1)});
+      table.add_row({"ledger conserves energy",
+                     ledger.conserves(report.total_energy) ? "yes" : "NO"});
+    }
     table.add_row({"peak resident time units",
                    std::to_string(report.peak_resident_time_units)});
     table.add_row({"final resident time units",
@@ -457,7 +512,10 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
            << "    \"mean\": " << report.latency.mean_ms << ",\n"
            << "    \"p50\": " << report.latency.p50_ms << ",\n"
            << "    \"p99\": " << report.latency.p99_ms << ",\n"
-           << "    \"max\": " << report.latency.max_ms << "\n"
+           << "    \"max\": " << report.latency.max_ms << ",\n"
+           << "    \"p50_hist\": " << report.latency.hist_p50_ms << ",\n"
+           << "    \"p90_hist\": " << report.latency.hist_p90_ms << ",\n"
+           << "    \"p99_hist\": " << report.latency.hist_p99_ms << "\n"
            << "  },\n"
            << "  \"total_energy\": " << report.total_energy << ",\n"
            << "  \"peak_resident_time_units\": "
@@ -494,9 +552,174 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
       write_stats(parser.get_string("stats"), metrics);
       out << "stats written to " << parser.get_string("stats") << '\n';
     }
+    if (!parser.get_string("prom-out").empty()) {
+      const std::string path = parser.get_string("prom-out");
+      std::ofstream file(path);
+      if (!file)
+        throw std::runtime_error("cannot open prometheus file '" + path +
+                                 "'");
+      file << metrics.to_prometheus();
+      out << "prometheus metrics written to " << path << '\n';
+    }
+    if (!parser.get_string("timeseries-out").empty()) {
+      const std::string path = parser.get_string("timeseries-out");
+      std::ofstream file(path);
+      if (!file)
+        throw std::runtime_error("cannot open time-series file '" + path +
+                                 "'");
+      if (wants_jsonl(path))
+        sampler.write_jsonl(file);
+      else
+        sampler.write_csv(file);
+      out << "time series (" << sampler.size() << " samples) written to "
+          << path << '\n';
+    }
+    if (!parser.get_string("ledger-out").empty()) {
+      const std::string path = parser.get_string("ledger-out");
+      std::ofstream file(path);
+      if (!file)
+        throw std::runtime_error("cannot open ledger file '" + path + "'");
+      if (wants_jsonl(path))
+        ledger.write_jsonl(file);
+      else
+        ledger.write_csv(file);
+      out << "energy ledger (" << ledger.size() << " entries) written to "
+          << path << '\n';
+    }
     return 0;
   } catch (const std::exception& e) {
     err << "stream: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int cmd_top(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  CliParser parser(
+      "esva top — replay a workload and render a fleet telemetry dashboard");
+  parser.add_string("vms", "",
+                    "VM trace to replay in start-time order (exclusive with "
+                    "--generate)");
+  parser.add_int("generate", 0,
+                 "synthesize N requests lazily instead of reading --vms");
+  parser.add_double("interarrival", 2.0,
+                    "mean inter-arrival time (min, with --generate)");
+  parser.add_double("duration", 50.0,
+                    "mean VM duration (min, with --generate)");
+  parser.add_string("vm-types", "all",
+                    "all|standard|memory-intensive|cpu-intensive "
+                    "(with --generate)");
+  parser.add_bool("diurnal", "day/night arrival process (with --generate)");
+  parser.add_double("amplitude", 0.8, "diurnal swing in [0,1)");
+  parser.add_string("servers", "servers.csv", "server trace");
+  parser.add_string("allocator", "min-incremental", "policy name");
+  parser.add_int("seed", 42, "seed");
+  parser.add_int("every", 1, "time units between fleet samples");
+  parser.add_int("width", 60, "sparkline width, characters");
+  if (!parse_args(parser, args)) return parser_exit_code(parser);
+
+  try {
+    register_extension_allocators();
+    const bool generate = parser.get_int("generate") > 0;
+    if (generate == !parser.get_string("vms").empty())
+      throw std::invalid_argument(
+          "pass exactly one of --vms <trace> or --generate <n>");
+
+    MetricsRegistry metrics;
+    const std::vector<ServerSpec> servers =
+        load_server_trace(parser.get_string("servers"));
+    AllocatorPtr allocator = make_allocator(parser.get_string("allocator"));
+    ObsContext obs;
+    obs.metrics = &metrics;
+    allocator->set_observability(obs);
+    std::unique_ptr<PlacementPolicy> policy = allocator->make_policy();
+    if (!policy)
+      throw std::invalid_argument("allocator '" + allocator->name() +
+                                  "' is batch-only (no streaming policy)");
+
+    Rng workload_rng(static_cast<std::uint64_t>(parser.get_int("seed")));
+    Rng policy_rng(static_cast<std::uint64_t>(parser.get_int("seed")));
+    std::vector<VmSpec> trace_vms;
+    std::unique_ptr<ArrivalStream> arrivals =
+        make_arrival_stream(parser, workload_rng, trace_vms);
+
+    TimeSeriesOptions ts_options;
+    ts_options.every = static_cast<Time>(
+        std::max<std::int64_t>(1, parser.get_int("every")));
+    ts_options.capacity = 0;
+    TimeSeriesSampler sampler(ts_options);
+    EnergyLedger ledger;
+    ReplayOptions options;
+    options.obs.metrics = &metrics;
+    options.timeseries = &sampler;
+    options.ledger = &ledger;
+    const ReplayReport report =
+        replay_stream(*arrivals, servers, *policy, policy_rng, options);
+
+    const std::vector<FleetSample> samples = sampler.samples();
+    const int width =
+        std::max(8, static_cast<int>(parser.get_int("width")));
+    out << "allocator: " << allocator->name() << "   requests: "
+        << report.requests << "   placed: " << report.placed
+        << "   frontier: " << report.final_frontier << "   samples: "
+        << samples.size() << '\n';
+
+    TextTable table;
+    table.set_header({"series", "trend", "min", "last", "max"});
+    const auto add_series = [&](const std::string& label, auto getter,
+                                int precision) {
+      std::vector<double> values;
+      values.reserve(samples.size());
+      for (const FleetSample& s : samples)
+        values.push_back(static_cast<double>(getter(s)));
+      if (values.empty()) return;
+      const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+      table.add_row({label, sparkline(values, width),
+                     fmt_double(*lo, precision),
+                     fmt_double(values.back(), precision),
+                     fmt_double(*hi, precision)});
+    };
+    add_series("active VMs", [](const FleetSample& s) { return s.active_vms; },
+               0);
+    add_series("busy servers",
+               [](const FleetSample& s) { return s.busy_servers; }, 0);
+    add_series("power (W)",
+               [](const FleetSample& s) { return s.total_power_w; }, 1);
+    add_series("spare CPU", [](const FleetSample& s) { return s.spare_cpu; },
+               1);
+    add_series("spare MEM", [](const FleetSample& s) { return s.spare_mem; },
+               1);
+    add_series("retry depth",
+               [](const FleetSample& s) { return s.retry_queue_depth; }, 0);
+    add_series("energy (W*min)",
+               [](const FleetSample& s) { return s.total_energy; }, 1);
+    out << table.render();
+
+    out << "submit latency (ms): p50 "
+        << fmt_double(report.latency.hist_p50_ms, 4) << "  p90 "
+        << fmt_double(report.latency.hist_p90_ms, 4) << "  p99 "
+        << fmt_double(report.latency.hist_p99_ms, 4) << "  max "
+        << fmt_double(report.latency.max_ms, 4) << '\n';
+
+    TextTable attribution;
+    attribution.set_header({"energy cause", "W*min", "share"});
+    const Energy total = ledger.total();
+    for (const EnergyCause cause :
+         {EnergyCause::kRun, EnergyCause::kIdle, EnergyCause::kTransition,
+          EnergyCause::kMigration}) {
+      const Energy part = ledger.total_for(cause);
+      attribution.add_row(
+          {to_string(cause), fmt_double(part, 1),
+           total != 0.0 ? fmt_percent(part / total) : "-"});
+    }
+    attribution.add_row({"total", fmt_double(total, 1),
+                         ledger.conserves(report.total_energy)
+                             ? "conserved"
+                             : "NOT CONSERVED"});
+    out << attribution.render();
+    return 0;
+  } catch (const std::exception& e) {
+    err << "top: " << e.what() << '\n';
     return 1;
   }
 }
@@ -689,6 +912,8 @@ std::string usage() {
       "  allocate         run an allocation policy over traces\n"
       "  stream           feed requests one at a time through the streaming\n"
       "                   engine; per-request latency + rolling-horizon GC\n"
+      "  top              replay a workload and render a terminal fleet\n"
+      "                   dashboard (sparklines, latency, energy ledger)\n"
       "  evaluate         price an existing assignment (Eq. 17)\n"
       "  simulate         event-driven replay; per-minute power samples\n"
       "  export-lp        write the boolean ILP in CPLEX-LP format\n"
@@ -747,6 +972,7 @@ int esva_main(int argc, const char* const* argv, std::ostream& out,
   if (command == "generate") return cmd_generate(args, out, err);
   if (command == "allocate") return cmd_allocate(args, out, err);
   if (command == "stream") return cmd_stream(args, out, err);
+  if (command == "top") return cmd_top(args, out, err);
   if (command == "evaluate") return cmd_evaluate(args, out, err);
   if (command == "simulate") return cmd_simulate(args, out, err);
   if (command == "export-lp") return cmd_export_lp(args, out, err);

@@ -38,6 +38,8 @@ int cmd_allocate(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err);
 int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
                std::ostream& err);
+int cmd_top(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
 int cmd_evaluate(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err);
 int cmd_simulate(const std::vector<std::string>& args, std::ostream& out,

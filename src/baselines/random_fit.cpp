@@ -77,7 +77,7 @@ Allocation RandomFitAllocator::allocate(const ProblemInstance& problem,
                                         Rng& rng) {
   ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
   const std::unique_ptr<PlacementPolicy> policy = make_policy();
-  return run_batch(problem, *policy, order_, rng);
+  return run_batch(problem, *policy, order_, rng, obs_);
 }
 
 }  // namespace esva

@@ -58,6 +58,31 @@ Energy local_structure_cost(const ServerSpec& server,
   return cost;
 }
 
+/// Breakdown twin of local_structure_cost: same neighborhood walk, but each
+/// gap's min(P_idle·gap, alpha) is classified as idle vs transition energy.
+/// Kept separate so local_structure_cost's summation order (which allocator
+/// decisions depend on bitwise) stays untouched.
+CostBreakdown local_structure_breakdown(const ServerSpec& server,
+                                        std::optional<Time> prev_hi,
+                                        std::span<const Interval> run,
+                                        std::optional<Time> next_lo) {
+  CostBreakdown cost;
+  const auto add_gap = [&](Time gap_length) {
+    if (stays_active_through_gap(server, gap_length))
+      cost.idle += server.p_idle * static_cast<double>(gap_length);
+    else
+      cost.transition += server.transition_cost();
+  };
+  std::optional<Time> last_hi = prev_hi;
+  for (const Interval& iv : run) {
+    if (last_hi) add_gap(iv.lo - *last_hi - 1);
+    cost.idle += server.p_idle * static_cast<double>(iv.length());
+    last_hi = iv.hi;
+  }
+  if (next_lo && last_hi) add_gap(*next_lo - *last_hi - 1);
+  return cost;
+}
+
 }  // namespace
 
 Energy structure_cost_delta(const IntervalSet& busy, Time lo, Time hi,
@@ -83,6 +108,29 @@ Energy structure_cost_delta(const IntervalSet& busy, Time lo, Time hi,
   return delta;
 }
 
+CostBreakdown structure_breakdown_delta(const IntervalSet& busy, Time lo,
+                                        Time hi, const ServerSpec& server,
+                                        const CostOptions& opts) {
+  assert(lo <= hi);
+  const IntervalSet::PreviewView preview = busy.preview_insert_view(lo, hi);
+  std::optional<Time> prev_hi;
+  if (preview.has_left) prev_hi = preview.left.hi;
+  std::optional<Time> next_lo;
+  if (preview.has_right) next_lo = preview.right.lo;
+
+  const CostBreakdown before =
+      local_structure_breakdown(server, prev_hi, preview.absorbed, next_lo);
+  const CostBreakdown after = local_structure_breakdown(
+      server, prev_hi, std::span<const Interval>(&preview.merged, 1), next_lo);
+
+  CostBreakdown delta;
+  delta.idle = after.idle - before.idle;
+  delta.transition = after.transition - before.transition;
+  if (busy.empty() && opts.charge_initial_transition)
+    delta.transition += server.transition_cost();
+  return delta;
+}
+
 Energy server_cost(const ServerSpec& server, const std::vector<VmSpec>& vms,
                    const CostOptions& opts) {
   Energy cost = structure_cost(busy_union(vms), server, opts);
@@ -95,6 +143,15 @@ Energy incremental_cost(const ServerTimeline& timeline, const VmSpec& vm,
   return run_cost(timeline.spec(), vm) +
          structure_cost_delta(timeline.busy(), vm.start, vm.end,
                               timeline.spec(), opts);
+}
+
+CostBreakdown incremental_breakdown(const ServerTimeline& timeline,
+                                    const VmSpec& vm,
+                                    const CostOptions& opts) {
+  CostBreakdown delta = structure_breakdown_delta(
+      timeline.busy(), vm.start, vm.end, timeline.spec(), opts);
+  delta.run = run_cost(timeline.spec(), vm);
+  return delta;
 }
 
 Energy migration_energy(const VmSpec& vm, Energy cost_per_gib) {

@@ -66,6 +66,15 @@ Energy structure_cost_delta(const IntervalSet& busy, Time lo, Time hi,
                             const ServerSpec& server,
                             const CostOptions& opts = {});
 
+/// structure_cost_delta split into idle vs transition energy. Computed by a
+/// parallel walk — deliberately NOT by refactoring structure_cost_delta,
+/// whose exact floating-point summation order allocator decisions depend on;
+/// idle + transition here equals structure_cost_delta up to rounding only.
+/// Feeds the energy ledger (obs/energy_ledger.h).
+CostBreakdown structure_breakdown_delta(const IntervalSet& busy, Time lo,
+                                        Time hi, const ServerSpec& server,
+                                        const CostOptions& opts = {});
+
 /// Full Eq. 17 cost of one server hosting exactly `vms`.
 Energy server_cost(const ServerSpec& server, const std::vector<VmSpec>& vms,
                    const CostOptions& opts = {});
@@ -75,6 +84,13 @@ Energy server_cost(const ServerSpec& server, const std::vector<VmSpec>& vms,
 /// run_cost + structure_cost_delta.
 Energy incremental_cost(const ServerTimeline& timeline, const VmSpec& vm,
                         const CostOptions& opts = {});
+
+/// incremental_cost split into run / idle / transition components — the
+/// energy ledger's attribution source. total() equals incremental_cost up to
+/// rounding (see structure_breakdown_delta).
+CostBreakdown incremental_breakdown(const ServerTimeline& timeline,
+                                    const VmSpec& vm,
+                                    const CostOptions& opts = {});
 
 /// First-order live-migration energy of relocating `vm`:
 /// cost_per_gib × R^MEM_j — traffic and service degradation scale with the

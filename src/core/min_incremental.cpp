@@ -34,7 +34,7 @@ Allocation MinIncrementalAllocator::allocate(const ProblemInstance& problem,
                                              Rng& rng) {
   ScopedTimer total_timer(allocate_timer(obs_.metrics, name()));
   const std::unique_ptr<PlacementPolicy> policy = make_policy();
-  return run_batch(problem, *policy, options_.order, rng);
+  return run_batch(problem, *policy, options_.order, rng, obs_);
 }
 
 }  // namespace esva

@@ -7,7 +7,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/power_model.h"
+#include "obs/energy_ledger.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace esva {
 
@@ -163,6 +166,43 @@ std::size_t ClusterState::active_vms_scan() const {
   return total;
 }
 
+FleetSample ClusterState::sample(Time t) const {
+  FleetSample s;
+  s.t = t;
+  s.active_vms = static_cast<std::uint32_t>(active_count_);
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (health_[i] == ServerHealth::kFailed) {
+      ++s.failed_servers;
+      continue;
+    }
+    // Instantaneous usage from the active VM lists — drained servers' VMs
+    // keep running on timeline stubs, so the timelines can't be trusted
+    // here, but active_ can.
+    double cpu = 0.0;
+    double mem = 0.0;
+    for (const VmSpec& vm : active_[i]) {
+      if (vm.start <= t && t <= vm.end) {
+        const Resources demand = vm.demand_at(t);
+        cpu += demand.cpu;
+        mem += demand.mem;
+      }
+    }
+    const bool hosting = cpu > 0.0 || mem > 0.0;
+    if (hosting) s.total_power_w += power_at_usage(servers_[i], cpu);
+    if (health_[i] == ServerHealth::kDrained) {
+      ++s.drained_servers;
+      continue;  // not placeable: no spare capacity contribution
+    }
+    if (hosting)
+      ++s.busy_servers;
+    else
+      ++s.idle_servers;
+    s.spare_cpu += servers_[i].capacity.cpu - cpu;
+    s.spare_mem += servers_[i].capacity.mem - mem;
+  }
+  return s;
+}
+
 std::vector<VmSpec> ClusterState::fail_server(std::size_t i) {
   assert(i < timelines_.size());
   if (health_[i] == ServerHealth::kFailed) return {};
@@ -232,7 +272,9 @@ PlacementEngine::PlacementEngine(std::vector<ServerSpec> servers,
       options_(options) {
   if (options_.faults) options_.faults->validate(cluster_.num_servers());
   if (options_.obs.metrics) {
-    submit_timer_ = &options_.obs.metrics->timer("engine.submit_ms");
+    // Histogram-backed: esva stream --latency-json and the Prometheus
+    // summary read p50/p90/p99 off this timer.
+    submit_timer_ = &options_.obs.metrics->histogram_timer("engine.submit_ms");
     request_counter_ = &options_.obs.metrics->counter("engine.requests");
     late_counter_ = &options_.obs.metrics->counter("engine.late_arrivals");
     evacuated_counter_ = &options_.obs.metrics->counter("engine.evacuated");
@@ -289,10 +331,14 @@ void PlacementEngine::step_to(Time t) {
       // affects placements made at t).
       drain_retries(event.at - 1);
       apply_event(event);
+      // Post-event snapshot, so a failure's displaced load and power drop
+      // are visible at the event instant rather than the next cadence tick.
+      maybe_sample();
     }
   }
   cluster_.advance_to(t);
   drain_retries(t);
+  maybe_sample();
 }
 
 void PlacementEngine::finish_stream() {
@@ -359,7 +405,48 @@ void PlacementEngine::commit(const PlacementDecision& decision,
     if (charge_migration)
       energy_ += migration_energy(vm, options_.migration_cost_per_gib);
   }
+  if (options_.ledger) {
+    // Attribution is recomputed through the breakdown path against the
+    // pre-place timeline — the energy_ accumulation above is deliberately
+    // untouched, so binding a ledger cannot perturb decisions or totals
+    // (the two agree to rounding; EnergyLedger::conserves checks it).
+    const Time at = cluster_.frontier();
+    const CostBreakdown split =
+        incremental_breakdown(cluster_.timelines()[i], vm, options_.cost);
+    options_.ledger->post(at, vm.id, decision.server, EnergyCause::kRun,
+                          split.run);
+    if (split.idle != 0.0)
+      options_.ledger->post(at, vm.id, decision.server, EnergyCause::kIdle,
+                            split.idle);
+    if (split.transition != 0.0)
+      options_.ledger->post(at, vm.id, decision.server,
+                            EnergyCause::kTransition, split.transition);
+    if (charge_migration)
+      options_.ledger->post(
+          at, vm.id, decision.server, EnergyCause::kMigration,
+          migration_energy(vm, options_.migration_cost_per_gib));
+  }
   cluster_.place(i, vm);
+}
+
+void PlacementEngine::maybe_sample() {
+  if (options_.timeseries && options_.timeseries->due(cluster_.frontier()))
+    take_sample(cluster_.frontier());
+}
+
+void PlacementEngine::sample_now() {
+  if (options_.timeseries) take_sample(cluster_.frontier());
+}
+
+void PlacementEngine::take_sample(Time t) {
+  FleetSample s = cluster_.sample(t);
+  s.retry_queue_depth = static_cast<std::uint32_t>(retry_queue_.size());
+  s.requests = requests_;
+  s.evacuated = faults_.evacuated;
+  s.displaced = faults_.displaced;
+  s.rejected_final = faults_.rejected_final;
+  s.total_energy = energy_;
+  options_.timeseries->record(s);
 }
 
 PlacementReject PlacementEngine::defer_or_reject(VmSpec vm, Time now,
@@ -466,9 +553,10 @@ void PlacementEngine::drain_retries(Time now) {
 }
 
 Allocation run_batch(const ProblemInstance& problem, PlacementPolicy& policy,
-                     VmOrder order, Rng& rng) {
+                     VmOrder order, Rng& rng, const ObsContext& obs) {
   EngineOptions options;
   options.initial_horizon = problem.horizon;
+  options.obs = obs;
   PlacementEngine engine(problem.servers, policy, rng, options);
   Allocation alloc;
   alloc.assignment.assign(problem.num_vms(), kNoServer);

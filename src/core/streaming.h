@@ -67,7 +67,10 @@
 
 namespace esva {
 
-class Counter;  // obs/metrics.h
+class Counter;          // obs/metrics.h
+struct FleetSample;     // obs/timeseries.h
+class TimeSeriesSampler;  // obs/timeseries.h
+class EnergyLedger;     // obs/energy_ledger.h
 
 /// Availability of one server in a ClusterState.
 enum class ServerHealth {
@@ -116,6 +119,13 @@ class ClusterState {
   /// The O(num_servers) verification twin of active_vms(): recounts from
   /// the per-server lists. Tests and debug asserts only.
   std::size_t active_vms_scan() const;
+
+  /// Fleet-wide snapshot at instant `t` for the time-series sampler: usage
+  /// is recomputed from the active VM lists (not the timelines, whose stubs
+  /// hide drained servers' load), power via the Eq. 1 model for servers
+  /// hosting load. Engine-level fields (retry depth, counters) are left zero
+  /// for PlacementEngine to fill. O(active VMs + servers).
+  FleetSample sample(Time t) const;
 
   /// Total resident window size, in time units summed over servers — the
   /// resource-tree memory footprint the rolling horizon bounds. O(1).
@@ -271,11 +281,22 @@ struct EngineOptions {
   /// evacuated VM is re-placed (ext/migration's first-order model, via
   /// migration_energy()). Only used with account_energy.
   Energy migration_cost_per_gib = 25.0;
-  /// Engine-level observability: the "engine.submit_ms" timer and
-  /// "engine.requests" counter, plus the engine.* fault counters
-  /// (docs/OBSERVABILITY.md). Policies carry their own ObsContext for
-  /// tracing and allocator.* metrics.
+  /// Engine-level observability: the "engine.submit_ms" timer (histogram-
+  /// backed for percentile extraction) and "engine.requests" counter, plus
+  /// the engine.* fault counters (docs/OBSERVABILITY.md). Policies carry
+  /// their own ObsContext for tracing and allocator.* metrics.
   ObsContext obs;
+  /// Fleet time-series sampler, fed at advance_to boundaries whenever the
+  /// frontier has progressed past the sampler's cadence (obs/timeseries.h);
+  /// null = no sampling. Must outlive the engine. Like the metrics sink,
+  /// binding a sampler never changes any decision.
+  TimeSeriesSampler* timeseries = nullptr;
+  /// Energy-attribution ledger: every commit posts its cause-tagged deltas
+  /// (obs/energy_ledger.h); null = no ledger. Must outlive the engine. The
+  /// ledger recomputes attribution through the cost model's breakdown path —
+  /// the engine's own energy accumulation is untouched, so assignments and
+  /// total_energy() stay byte-identical with or without a ledger bound.
+  EnergyLedger* ledger = nullptr;
 };
 
 /// Graceful-degradation counters of one engine run (mirrored into the obs
@@ -345,6 +366,10 @@ class PlacementEngine {
   /// Post-submit hosting changes, in application order.
   const std::vector<Resolution>& resolutions() const { return resolutions_; }
 
+  /// Forces a time-series sample at the current frontier, ignoring the
+  /// sampler's cadence (end-of-stream final state). No-op without a sampler.
+  void sample_now();
+
  private:
   struct PendingRequest {
     VmSpec vm;
@@ -370,6 +395,10 @@ class PlacementEngine {
   void final_reject(const PendingRequest& pending);
   void drain_retries(Time now);
   void enqueue(PendingRequest pending);
+  /// Samples at the frontier if the sampler's cadence is due.
+  void maybe_sample();
+  /// Unconditional sample at `t` (cluster state + engine counters).
+  void take_sample(Time t);
 
   ClusterState cluster_;
   PlacementPolicy& policy_;
@@ -404,7 +433,10 @@ VmSpec clip_to(VmSpec vm, Time t);
 /// collects the assignment. With the policy an allocator's make_policy()
 /// returns, this *is* that allocator's allocate() — bit-identical to the
 /// pre-streaming batch loops (tests/test_streaming.cpp).
+/// `obs` flows into EngineOptions::obs so the engine's submit timer and
+/// request counters record under the caller's registry (the Allocator
+/// subclasses pass their own ObsContext; default = null sinks).
 Allocation run_batch(const ProblemInstance& problem, PlacementPolicy& policy,
-                     VmOrder order, Rng& rng);
+                     VmOrder order, Rng& rng, const ObsContext& obs = {});
 
 }  // namespace esva

@@ -1,0 +1,66 @@
+#include "obs/energy_ledger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/csv.h"
+
+namespace esva {
+
+const char* to_string(EnergyCause cause) {
+  switch (cause) {
+    case EnergyCause::kRun:
+      return "run";
+    case EnergyCause::kIdle:
+      return "idle";
+    case EnergyCause::kTransition:
+      return "transition";
+    case EnergyCause::kMigration:
+      return "migration";
+  }
+  return "unknown";
+}
+
+void EnergyLedger::post(Time at, VmId vm, ServerId server, EnergyCause cause,
+                        Energy delta) {
+  entries_.push_back({at, vm, server, cause, delta});
+  total_ += delta;
+}
+
+Energy EnergyLedger::total_for(EnergyCause cause) const {
+  Energy sum = 0.0;
+  for (const EnergyEntry& e : entries_) {
+    if (e.cause == cause) sum += e.delta;
+  }
+  return sum;
+}
+
+bool EnergyLedger::conserves(Energy expected, double rel_tol) const {
+  const double tol = rel_tol * std::max(1.0, std::abs(expected));
+  return std::abs(total_ - expected) <= tol;
+}
+
+void EnergyLedger::clear() {
+  entries_.clear();
+  total_ = 0.0;
+}
+
+void EnergyLedger::write_csv(std::ostream& out) const {
+  out << "at,vm,server,cause,delta\n";
+  CsvWriter writer(out);
+  for (const EnergyEntry& e : entries_) {
+    writer.typed_row(static_cast<int>(e.at), static_cast<int>(e.vm),
+                     static_cast<int>(e.server), to_string(e.cause), e.delta);
+  }
+}
+
+void EnergyLedger::write_jsonl(std::ostream& out) const {
+  for (const EnergyEntry& e : entries_) {
+    out << "{\"at\":" << e.at << ",\"vm\":" << e.vm
+        << ",\"server\":" << e.server << ",\"cause\":\"" << to_string(e.cause)
+        << "\",\"delta\":" << CsvWriter::field_to_string(e.delta) << "}\n";
+  }
+}
+
+}  // namespace esva

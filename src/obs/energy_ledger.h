@@ -1,0 +1,75 @@
+// Energy-attribution ledger: every accepted placement posts the pieces of
+// its incremental energy (Eq. 7 telescoping) as signed, cause-tagged entries,
+// so a run can answer "where did every joule go?" and prove it — the sum of
+// all deltas must equal the engine's total energy (conservation, checked by
+// conserves() in tests and in the bench gate).
+//
+// Cause taxonomy:
+//   run        — the VM's own run energy (Σ unit_run_power · demand over its
+//                lifetime); always non-negative.
+//   idle       — change in idle-floor energy on the chosen server (gaps that
+//                appear, shrink, or are newly bridged); signed.
+//   transition — change in off→on transition energy (alpha) on the chosen
+//                server; signed (merging two busy spans removes one).
+//   migration  — migration energy charged for re-placing an evacuated VM.
+//
+// The ledger recomputes its attribution through the cost model's breakdown
+// path, independent of the engine's energy accumulator — binding a ledger
+// must never perturb the engine's floating-point stream (assignments and
+// total energy stay byte-identical). The two totals therefore agree only to
+// rounding, hence the relative tolerance on conserves().
+//
+// Not thread-safe: posted from the single-threaded engine submit path.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "util/types.h"
+
+namespace esva {
+
+enum class EnergyCause { kRun, kIdle, kTransition, kMigration };
+
+const char* to_string(EnergyCause cause);
+
+struct EnergyEntry {
+  Time at = 0;  ///< engine frontier when the decision was accepted
+  VmId vm = -1;
+  ServerId server = kNoServer;
+  EnergyCause cause = EnergyCause::kRun;
+  Energy delta = 0.0;  ///< signed watt-minutes
+};
+
+class EnergyLedger {
+ public:
+  void post(Time at, VmId vm, ServerId server, EnergyCause cause,
+            Energy delta);
+
+  const std::vector<EnergyEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Sum of every posted delta.
+  Energy total() const { return total_; }
+  /// Sum of deltas posted with the given cause.
+  Energy total_for(EnergyCause cause) const;
+
+  /// True when |total() − expected| ≤ rel_tol · max(1, |expected|) — the
+  /// conservation invariant against the cost-model total.
+  bool conserves(Energy expected, double rel_tol = 1e-6) const;
+
+  void clear();
+
+  /// CSV: header + one row per entry.
+  void write_csv(std::ostream& out) const;
+  /// JSON Lines: one object per entry.
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  std::vector<EnergyEntry> entries_;
+  Energy total_ = 0.0;
+};
+
+}  // namespace esva

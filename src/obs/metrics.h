@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace esva {
 
 /// Monotonically increasing event count (thread-safe, lock-free).
@@ -45,7 +47,8 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Duration aggregate: count / total / min / max in milliseconds.
+/// Duration aggregate: count / total / min / max in milliseconds, optionally
+/// backed by a LatencyHistogram for percentile extraction.
 class Timer {
  public:
   void record_ms(double ms);
@@ -61,9 +64,18 @@ class Timer {
   };
   Stats stats() const;
 
+  /// Attaches a latency histogram; subsequent record_ms() calls also bucket
+  /// the sample, so stats() gains p50/p90/p99 via histogram_snapshot().
+  /// Idempotent; samples recorded before the call are not back-filled.
+  void enable_histogram();
+  bool has_histogram() const;
+  /// Snapshot of the backing histogram (empty snapshot when none).
+  HistogramSnapshot histogram_snapshot() const;
+
  private:
   mutable std::mutex mutex_;
   Stats stats_;
+  std::unique_ptr<LatencyHistogram> histogram_;
 };
 
 /// RAII wall-clock probe: records the elapsed time into `timer` on
@@ -97,23 +109,38 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Timer& timer(const std::string& name);
+  /// timer(name) with a latency histogram attached (idempotent).
+  Timer& histogram_timer(const std::string& name);
 
   /// One-shot conveniences (lookup + update).
   void inc(const std::string& name, std::int64_t n = 1) { counter(name).inc(n); }
   void set(const std::string& name, double v) { gauge(name).set(v); }
 
   /// Point-in-time copy of every metric, sorted by name within each kind.
+  struct TimerEntry {
+    std::string name;
+    Timer::Stats stats;
+    bool has_histogram = false;
+    HistogramSnapshot histogram;  ///< empty unless has_histogram
+  };
   struct Snapshot {
     std::vector<std::pair<std::string, std::int64_t>> counters;
     std::vector<std::pair<std::string, double>> gauges;
-    std::vector<std::pair<std::string, Timer::Stats>> timers;
+    std::vector<TimerEntry> timers;
   };
   Snapshot snapshot() const;
 
   /// Serializes a snapshot: one JSON object with "counters" / "gauges" /
-  /// "timers" sections, or flat CSV rows `kind,name,field,value`.
+  /// "timers" sections (histogram-backed timers gain p50/p90/p99_ms), or
+  /// flat CSV rows `kind,name,field,value` (RFC 4180 quoting).
   std::string to_json() const;
   void write_csv(std::ostream& out) const;
+
+  /// Prometheus text exposition format, version 0.0.4: names sanitized to
+  /// [a-zA-Z0-9_] and prefixed `esva_`, counters suffixed `_total`, timers
+  /// exposed as summaries (quantile lines when histogram-backed, then _sum
+  /// and _count). Families are sorted by exposed name for stable output.
+  std::string to_prometheus() const;
 
   /// Drops every registered metric (handles become dangling; test-only).
   void reset();

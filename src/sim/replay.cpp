@@ -24,6 +24,8 @@ ReplayReport replay_stream(ArrivalStream& arrivals,
   engine_options.retry = options.retry;
   engine_options.migration_cost_per_gib = options.migration_cost_per_gib;
   engine_options.obs = options.obs;
+  engine_options.timeseries = options.timeseries;
+  engine_options.ledger = options.ledger;
   PlacementEngine engine(servers, policy, rng, engine_options);
 
   ReplayReport report;
@@ -48,6 +50,8 @@ ReplayReport replay_stream(ArrivalStream& arrivals,
   // Give every queued retry its remaining attempts and fire any faults
   // scheduled past the last arrival, so the counters below are final.
   engine.finish_stream();
+  // End-of-stream fleet state, regardless of the sampler's cadence.
+  engine.sample_now();
   policy.finish(report.requests,
                 report.requests - static_cast<std::size_t>(engine.placed()));
 
@@ -69,6 +73,15 @@ ReplayReport replay_stream(ArrivalStream& arrivals,
     report.latency.p50_ms = qs[0];
     report.latency.p99_ms = qs[1];
     report.latency.max_ms = qs[2];
+    // Feed the *same* measured samples into the log-bucket histogram, so the
+    // live-path percentiles are deterministically comparable to the exact
+    // sort-based ones above (no second clock reading involved).
+    LatencyHistogram hist;
+    for (double ms : report.submit_ms) hist.record(ms);
+    report.latency_hist = hist.snapshot();
+    report.latency.hist_p50_ms = report.latency_hist.p50();
+    report.latency.hist_p90_ms = report.latency_hist.p90();
+    report.latency.hist_p99_ms = report.latency_hist.p99();
   }
   if (report.submit_total_ms > 0.0) {
     report.requests_per_sec = static_cast<double>(report.requests) /

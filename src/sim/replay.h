@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/streaming.h"
+#include "obs/histogram.h"
 #include "workload/arrival_stream.h"
 
 namespace esva {
@@ -37,14 +38,26 @@ struct ReplayOptions {
   /// counters) land here; the policy carries its own ObsContext for tracing
   /// and allocator.* metrics.
   ObsContext obs;
+  /// Fleet time-series sampler passed through to the engine; null = no
+  /// sampling. A final sample is forced after the end-of-stream drain.
+  TimeSeriesSampler* timeseries = nullptr;
+  /// Energy-attribution ledger passed through to the engine; null = none.
+  EnergyLedger* ledger = nullptr;
 };
 
-/// Per-request submit latency, milliseconds.
+/// Per-request submit latency, milliseconds. The p50/p99 pair comes from the
+/// exact sort-based stats::quantiles; the hist_* fields are read off the
+/// log-bucket histogram fed the same samples, so live-path percentiles can
+/// be validated against the batch computation (they agree within one bucket
+/// width — tests/test_histogram_obs.cpp).
 struct LatencySummary {
   double mean_ms = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+  double hist_p50_ms = 0.0;
+  double hist_p90_ms = 0.0;
+  double hist_p99_ms = 0.0;
 };
 
 struct ReplayReport {
@@ -58,6 +71,9 @@ struct ReplayReport {
   LatencySummary latency;
   /// Raw per-request latencies, in submission order (the percentile source).
   std::vector<double> submit_ms;
+  /// The same latencies bucketed into the log-bucket histogram (the live
+  /// serving path's representation; source of latency.hist_*).
+  HistogramSnapshot latency_hist;
   /// Telescoped Eq. 17 incremental energy of all placements, including the
   /// migration energy of evacuations.
   Energy total_energy = 0.0;

@@ -10,6 +10,7 @@
 
 #include "ilp/model.h"
 #include "ilp/validate.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "test_util.h"
 #include "util/logging.h"
@@ -446,6 +447,100 @@ TEST_F(AppTest, EvaluateWritesTraceAndStats) {
   std::stringstream stats;
   stats << stats_file.rdbuf();
   EXPECT_NE(stats.str().find("cost.total"), std::string::npos);
+}
+
+TEST_F(AppTest, StreamWritesTelemetryArtifacts) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "60", "--servers", "12", "--seed", "7", "--out-vms",
+                 path("tm_vms.csv"), "--out-servers", path("tm_srv.csv")}),
+            0);
+  ASSERT_EQ(run("stream",
+                {"--vms", path("tm_vms.csv"), "--servers", path("tm_srv.csv"),
+                 "--prom-out", path("tm.prom"), "--timeseries-out",
+                 path("tm_series.csv"), "--timeseries-every", "2",
+                 "--ledger-out", path("tm_ledger.jsonl"), "--latency-json",
+                 path("tm_latency.json")}),
+            0)
+      << err();
+  EXPECT_NE(out().find("prometheus metrics written to"), std::string::npos);
+  EXPECT_NE(out().find("time series ("), std::string::npos);
+  EXPECT_NE(out().find("energy ledger ("), std::string::npos);
+  EXPECT_NE(out().find("ledger conserves energy"), std::string::npos);
+
+  // Prometheus exposition: sanitized names, typed families, histogram-backed
+  // submit latency as summary quantiles.
+  std::stringstream prom;
+  prom << std::ifstream(path("tm.prom")).rdbuf();
+  EXPECT_NE(prom.str().find("# TYPE esva_engine_submit_ms summary"),
+            std::string::npos);
+  EXPECT_NE(prom.str().find("esva_engine_submit_ms{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.str().find("esva_engine_requests_total 60"),
+            std::string::npos);
+
+  // Time series CSV: exact header + at least one sample row.
+  std::ifstream series(path("tm_series.csv"));
+  std::string header;
+  ASSERT_TRUE(std::getline(series, header));
+  EXPECT_EQ(header, TimeSeriesSampler::csv_header());
+  std::string row;
+  EXPECT_TRUE(std::getline(series, row));
+
+  // Ledger JSONL: cause-tagged entries.
+  std::stringstream ledger;
+  ledger << std::ifstream(path("tm_ledger.jsonl")).rdbuf();
+  EXPECT_NE(ledger.str().find("\"cause\":\"run\""), std::string::npos);
+
+  // Latency JSON carries both the exact and the histogram percentiles.
+  std::stringstream latency;
+  latency << std::ifstream(path("tm_latency.json")).rdbuf();
+  EXPECT_NE(latency.str().find("\"p50\""), std::string::npos);
+  EXPECT_NE(latency.str().find("\"p50_hist\""), std::string::npos);
+  EXPECT_NE(latency.str().find("\"p99_hist\""), std::string::npos);
+}
+
+TEST_F(AppTest, AllocateStatsCarriesSubmitHistogramPercentiles) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "30", "--servers", "10", "--out-vms",
+                 path("hp_vms.csv"), "--out-servers", path("hp_srv.csv")}),
+            0);
+  ASSERT_EQ(run("allocate",
+                {"--vms", path("hp_vms.csv"), "--servers", path("hp_srv.csv"),
+                 "--stats", path("hp_stats.json")}),
+            0)
+      << err();
+  // The batch path drives the same engine, so engine.submit_ms is
+  // histogram-backed and the stats JSON carries percentiles for it.
+  std::stringstream stats;
+  stats << std::ifstream(path("hp_stats.json")).rdbuf();
+  EXPECT_NE(stats.str().find("\"engine.submit_ms\""), std::string::npos);
+  EXPECT_NE(stats.str().find("\"p50_ms\""), std::string::npos);
+  EXPECT_NE(stats.str().find("\"p99_ms\""), std::string::npos);
+}
+
+TEST_F(AppTest, TopRendersDashboardWithEnergyAttribution) {
+  ASSERT_EQ(run("generate",
+                {"--vms", "10", "--servers", "12", "--out-vms",
+                 path("tp_vms.csv"), "--out-servers", path("tp_srv.csv")}),
+            0);
+  ASSERT_EQ(run("top", {"--generate", "60", "--servers", path("tp_srv.csv"),
+                        "--seed", "7", "--every", "2"}),
+            0)
+      << err();
+  EXPECT_NE(out().find("trend"), std::string::npos);
+  EXPECT_NE(out().find("active VMs"), std::string::npos);
+  EXPECT_NE(out().find("power (W)"), std::string::npos);
+  EXPECT_NE(out().find("submit latency (ms)"), std::string::npos);
+  EXPECT_NE(out().find("energy cause"), std::string::npos);
+  EXPECT_NE(out().find("conserved"), std::string::npos);
+  EXPECT_EQ(out().find("NOT CONSERVED"), std::string::npos);
+
+  // Exactly one of --vms / --generate, same contract as stream.
+  EXPECT_EQ(run("top", {"--servers", path("tp_srv.csv")}), 1);
+  EXPECT_NE(err().find("exactly one"), std::string::npos);
+  EXPECT_EQ(run("top", {"--vms", path("tp_vms.csv"), "--generate", "5",
+                        "--servers", path("tp_srv.csv")}),
+            1);
 }
 
 TEST_F(AppTest, GlobalLogLevelFlagIsAcceptedAnywhere) {

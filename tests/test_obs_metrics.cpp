@@ -4,8 +4,11 @@
 
 #include <chrono>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "util/csv.h"
 
 namespace esva {
 namespace {
@@ -163,6 +166,102 @@ TEST(MetricsRegistry, ConcurrentIncrementsAreLossless) {
 
 TEST(MetricsRegistry, GlobalRegistryIsASingleton) {
   EXPECT_EQ(&global_metrics(), &global_metrics());
+}
+
+// --- export hygiene: quoting, escaping, exposition format -------------------
+
+TEST(MetricsRegistry, CsvQuotesNamesWithCommasAndQuotes) {
+  MetricsRegistry registry;
+  registry.inc("events,total", 3);
+  registry.set("say \"hi\"", 1.0);
+  std::ostringstream out;
+  registry.write_csv(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  bool saw_counter = false;
+  bool saw_gauge = false;
+  while (std::getline(lines, line)) {
+    // Every row must parse back to exactly four fields despite the embedded
+    // comma/quote (RFC 4180 quoting round-trips through parse_csv_line).
+    const std::vector<std::string> fields = parse_csv_line(line);
+    ASSERT_EQ(fields.size(), 4u) << line;
+    if (fields[1] == "events,total") {
+      saw_counter = true;
+      EXPECT_EQ(fields[0], "counter");
+      EXPECT_EQ(fields[3], "3");
+      EXPECT_NE(line.find("\"events,total\""), std::string::npos);
+    }
+    if (fields[1] == "say \"hi\"") {
+      saw_gauge = true;
+      EXPECT_NE(line.find("\"say \"\"hi\"\"\""), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+}
+
+TEST(MetricsRegistry, JsonEscapesControlCharactersAndQuotes) {
+  MetricsRegistry registry;
+  registry.inc("weird\"name\\with\nnewline\tand\x01" "ctrl");
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nnewline\\tand\\u0001ctrl"),
+            std::string::npos);
+  // No raw control bytes may survive into the output.
+  for (char c : json) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n') << json;
+  }
+}
+
+TEST(MetricsRegistry, PrometheusExpositionIsSortedSanitizedAndTyped) {
+  MetricsRegistry registry;
+  registry.inc("engine.requests", 7);
+  registry.set("cpu load%", 0.5);
+  registry.timer("plain_ms").record_ms(2.0);
+  Timer& backed = registry.histogram_timer("engine.submit_ms");
+  backed.record_ms(1.0);
+  backed.record_ms(3.0);
+  const std::string text = registry.to_prometheus();
+
+  // Dots and spaces sanitize to underscores under the esva_ prefix; counters
+  // get the _total suffix and a TYPE line.
+  EXPECT_NE(text.find("# TYPE esva_engine_requests_total counter\n"
+                      "esva_engine_requests_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE esva_cpu_load_ gauge\nesva_cpu_load_ 0.5\n"),
+            std::string::npos);
+  // Histogram-backed timers expose summary quantiles; plain timers only
+  // _sum/_count.
+  EXPECT_NE(text.find("esva_engine_submit_ms{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("esva_engine_submit_ms_sum 4\n"), std::string::npos);
+  EXPECT_NE(text.find("esva_engine_submit_ms_count 2\n"), std::string::npos);
+  EXPECT_EQ(text.find("esva_plain_ms{quantile"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE esva_plain_ms summary\n"), std::string::npos);
+
+  // Families are globally sorted by exposed name, independent of kind.
+  const std::vector<std::string> order = {
+      "# TYPE esva_cpu_load_ gauge", "# TYPE esva_engine_requests_total",
+      "# TYPE esva_engine_submit_ms summary", "# TYPE esva_plain_ms summary"};
+  std::size_t pos = 0;
+  for (const std::string& marker : order) {
+    const std::size_t at = text.find(marker);
+    ASSERT_NE(at, std::string::npos) << marker;
+    EXPECT_GE(at, pos) << marker;
+    pos = at;
+  }
+  // Exposition ends with a newline (text-format requirement).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(MetricsRegistry, PrometheusOutputIsStableAcrossInsertionOrder) {
+  MetricsRegistry a;
+  a.inc("zz");
+  a.set("aa", 1.0);
+  MetricsRegistry b;
+  b.set("aa", 1.0);
+  b.inc("zz");
+  EXPECT_EQ(a.to_prometheus(), b.to_prometheus());
 }
 
 }  // namespace
