@@ -210,6 +210,9 @@ int cmd_allocate(const std::vector<std::string>& args, std::ostream& out,
   parser.add_double("cache-min-hit-rate", 0.05,
                     "hit-rate floor below which the cache auto-disables after "
                     "warmup; decisions are unchanged (with --cache)");
+  parser.add_bool("no-envelope",
+                  "disable the SoA envelope triage pass (identical results; "
+                  "for A/B timing — see docs/PERFORMANCE.md)");
   parser.add_string("out-assignment", "", "assignment CSV output (optional)");
   parser.add_string("trace", "",
                     "JSONL decision trace output: one record per VM with "
@@ -238,6 +241,7 @@ int cmd_allocate(const std::vector<std::string>& args, std::ostream& out,
     scan.cache = parser.get_bool("cache");
     scan.cache_warmup_probes = static_cast<int>(parser.get_int("cache-warmup"));
     scan.cache_min_hit_rate = parser.get_double("cache-min-hit-rate");
+    scan.envelope = !parser.get_bool("no-envelope");
     allocator->set_scan_config(scan);
     ObsContext obs;
     obs.trace = trace_sink.get();
@@ -312,6 +316,9 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
   parser.add_double("cache-min-hit-rate", 0.05,
                     "hit-rate floor below which the cache auto-disables after "
                     "warmup; decisions are unchanged (with --cache)");
+  parser.add_bool("no-envelope",
+                  "disable the SoA envelope triage pass (identical results; "
+                  "for A/B timing)");
   parser.add_bool("no-gc",
                   "keep full history instead of garbage-collecting behind the "
                   "frontier (identical decisions; more memory)");
@@ -369,6 +376,7 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
     scan.cache = parser.get_bool("cache");
     scan.cache_warmup_probes = static_cast<int>(parser.get_int("cache-warmup"));
     scan.cache_min_hit_rate = parser.get_double("cache-min-hit-rate");
+    scan.envelope = !parser.get_bool("no-envelope");
     allocator->set_scan_config(scan);
     ObsContext obs;
     obs.trace = trace_sink.get();

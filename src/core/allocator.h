@@ -40,9 +40,12 @@ std::vector<std::size_t> ordered_indices(const ProblemInstance& problem,
                                          VmOrder order);
 
 /// Configuration of the candidate-scan engine (core/candidate_scan.h) shared
-/// by the allocators that probe every server per VM. The defaults reproduce
-/// the original serial, uncached loop exactly; any other setting is proven
-/// bit-identical to it (tests/test_parallel_scan.cpp, docs/PERFORMANCE.md).
+/// by the allocators that probe every server per VM. The defaults produce
+/// the original serial, uncached loop's results exactly (the envelope triage
+/// pass, on by default, only reorganizes where the quick_fit comparisons are
+/// evaluated); every setting is proven bit-identical to every other
+/// (tests/test_parallel_scan.cpp, tests/test_envelope_scan.cpp,
+/// docs/PERFORMANCE.md).
 struct ScanConfig {
   /// Worker threads per scan: 1 = serial (default), 0 = hardware
   /// concurrency, N > 1 = exactly N. Results are identical at any count.
@@ -60,6 +63,14 @@ struct ScanConfig {
   /// remaining scans run uncached (decisions unchanged — the cache is
   /// transparent — only the bookkeeping overhead disappears).
   double cache_min_hit_rate = 0.05;
+  /// SoA envelope triage (core/envelope_store.h): classify every server with
+  /// one contiguous sweep over packed envelope rows before the arg-min scan
+  /// touches any timeline. Verdicts are bit-for-bit
+  /// ServerTimeline::quick_fit's, so results are identical on or off at any
+  /// thread count (fuzzed in tests/test_envelope_scan.cpp) — on by default
+  /// as a pure memory-layout optimization; off mainly for A/B timing
+  /// (bench's envelope gate, `--no-envelope`).
+  bool envelope = true;
 
   /// `threads` with 0 resolved to the hardware concurrency (at least 1).
   int resolved_threads() const;

@@ -1,7 +1,17 @@
 // The candidate-scan engine: every exhaustive allocator in the library spends
 // its time in the same loop — for each VM, probe all n server timelines
 // (feasibility + a per-server score) and keep the arg-min. This header owns
-// that loop once, in three layers:
+// that loop once, in four layers:
+//
+//   * the SoA envelope pass (core/envelope_store.h) — before each arg-min,
+//     one contiguous sweep over packed per-server envelope rows classifies
+//     every server quick-accept / quick-reject / needs-tree with
+//     ServerTimeline::quick_fit's exact comparisons (autovectorized; the
+//     fleet's triage no longer chases a timeline pointer per server). Only
+//     needs-tree servers fall through to segment-tree can_fit. Verdicts are
+//     bit-for-bit quick_fit's, so scan results, cache counters, and final
+//     assignments are byte-identical with the pass on or off at any thread
+//     count (tests/test_envelope_scan.cpp differential fuzz).
 //
 //   * scan_candidates() — the arg-min itself, serial or partitioned across a
 //     ThreadPool. Deterministic by construction: each thread takes one
@@ -54,6 +64,7 @@
 #include "cluster/timeline.h"
 #include "core/allocator.h"
 #include "core/cost_model.h"
+#include "core/envelope_store.h"
 #include "core/streaming.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -200,18 +211,22 @@ class ScanCache {
   }
 
   /// Cached equivalent of "can_fit(vm) ? score(timeline, vm) : nullopt" for
-  /// server `i`. Probes the O(1) envelope triage decides never touch the
-  /// memo (no lookup, no insert — recomputing a quick-accepted score is
-  /// cheaper than memoizing it). Otherwise a stored entry is reused iff the
-  /// timeline's epoch is unchanged since it was stored; the first such probe
-  /// after a mutation drops the server's entries. The caller routes profiled
-  /// VMs around the cache entirely (their demand is not captured by `key`).
+  /// server `i`. The caller supplies the O(1) triage verdict `quick` —
+  /// either timeline.quick_fit(vm) or the envelope pass's bit-identical
+  /// precomputed copy (ScanPolicy computes it once per scan either way, so
+  /// cache counters and memo contents evolve identically with the envelope
+  /// pass on or off). Probes the triage decides never touch the memo (no
+  /// lookup, no insert — recomputing a quick-accepted score is cheaper than
+  /// memoizing it). Otherwise a stored entry is reused iff the timeline's
+  /// epoch is unchanged since it was stored; the first such probe after a
+  /// mutation drops the server's entries. The caller routes profiled VMs
+  /// around the cache entirely (their demand is not captured by `key`).
   template <typename ScoreFn>
   std::optional<double> probe(std::size_t i, const ServerTimeline& timeline,
-                              const VmSpec& vm, const Key& key,
+                              const VmSpec& vm, const Key& key, QuickFit quick,
                               const ScoreFn& score) {
     Slot& slot = servers_[i];
-    switch (timeline.quick_fit(vm)) {
+    switch (quick) {
       case QuickFit::kFits:
         ++slot.quick;
         return score(timeline, vm);
@@ -368,21 +383,59 @@ class ScanPolicy final : public PlacementPolicy {
     const bool use_cache = cache_.enabled() && !vm.has_profile();
     const ScanCache::Key key = use_cache ? ScanCache::key_of(vm)
                                          : ScanCache::Key{};
-    const ScanOutcome out =
-        use_cache
-            ? scan_candidates(
-                  n,
-                  [&](std::size_t i) -> std::optional<double> {
-                    return cache_.probe(i, timelines[i], vm, key, score_);
-                  },
-                  pool_.get())
-            : scan_candidates(
-                  n,
-                  [&](std::size_t i) -> std::optional<double> {
-                    if (!timelines[i].can_fit(vm)) return std::nullopt;
-                    return score_(timelines[i], vm);
-                  },
-                  pool_.get());
+    // SoA envelope pass (core/envelope_store.h): one contiguous sweep
+    // classifies the whole fleet with quick_fit's exact comparisons before
+    // the (possibly parallel) arg-min touches any timeline; only servers the
+    // sweep leaves kUnknown fall through to the segment trees. The verdict
+    // buffer is written here, serially, before any worker task is submitted
+    // (scan_candidates' future machinery orders the reads after), and read
+    // by index — contiguous ascending like the scan itself.
+    const bool use_envelope = config_.envelope;
+    if (use_envelope) {
+      verdicts_.resize(n);
+      cluster.envelopes().classify(EnvelopeStore::probe_of(vm),
+                                   verdicts_.data());
+    }
+    const ScanOutcome out = [&] {
+      if (use_cache) {
+        if (use_envelope)
+          return scan_candidates(
+              n,
+              [&](std::size_t i) -> std::optional<double> {
+                return cache_.probe(i, timelines[i], vm, key,
+                                    static_cast<QuickFit>(verdicts_[i]),
+                                    score_);
+              },
+              pool_.get());
+        return scan_candidates(
+            n,
+            [&](std::size_t i) -> std::optional<double> {
+              return cache_.probe(i, timelines[i], vm, key,
+                                  timelines[i].quick_fit(vm), score_);
+            },
+            pool_.get());
+      }
+      if (use_envelope)
+        return scan_candidates(
+            n,
+            [&](std::size_t i) -> std::optional<double> {
+              switch (static_cast<QuickFit>(verdicts_[i])) {
+                case QuickFit::kFits: return score_(timelines[i], vm);
+                case QuickFit::kCannotFit: return std::nullopt;
+                case QuickFit::kUnknown: break;
+              }
+              if (!timelines[i].can_fit(vm)) return std::nullopt;
+              return score_(timelines[i], vm);
+            },
+            pool_.get());
+      return scan_candidates(
+          n,
+          [&](std::size_t i) -> std::optional<double> {
+            if (!timelines[i].can_fit(vm)) return std::nullopt;
+            return score_(timelines[i], vm);
+          },
+          pool_.get());
+    }();
     totals_.feasible += out.feasible;
     totals_.rejected += out.rejected;
     // Auto-disable check, once, at a serial point between scans: per-slot
@@ -431,6 +484,9 @@ class ScanPolicy final : public PlacementPolicy {
   std::unique_ptr<ThreadPool> pool_;
   ScanCache cache_;
   ScanTotals totals_;
+  /// Per-scan QuickFit verdict bytes from the envelope pass, indexed by
+  /// server. Written serially before each scan fans out; workers only read.
+  std::vector<std::uint8_t> verdicts_;
   bool cache_warmup_judged_ = false;
 };
 

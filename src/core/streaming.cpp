@@ -52,6 +52,7 @@ ClusterState::ClusterState(std::vector<ServerSpec> servers,
   timelines_.reserve(servers_.size());
   for (const ServerSpec& spec : servers_)
     timelines_.emplace_back(spec, /*base=*/1, horizon_);
+  envelopes_.reset(timelines_);
   resident_units_ =
       servers_.size() * static_cast<std::size_t>(horizon_);
 }
@@ -91,6 +92,7 @@ void ClusterState::rebuild(std::size_t i, Time base, Time horizon) {
   resident_units_ += static_cast<std::size_t>(fresh.window_units()) -
                      static_cast<std::size_t>(timelines_[i].window_units());
   timelines_[i] = std::move(fresh);
+  envelopes_.refresh(i, timelines_[i]);
 }
 
 void ClusterState::stub_timeline(std::size_t i) {
@@ -101,6 +103,7 @@ void ClusterState::stub_timeline(std::size_t i) {
   stub.inherit_epoch(timelines_[i].epoch() + 1);
   resident_units_ -= static_cast<std::size_t>(timelines_[i].window_units());
   timelines_[i] = std::move(stub);
+  envelopes_.refresh(i, timelines_[i]);
 }
 
 void ClusterState::recompute_next_retire() {
@@ -124,6 +127,7 @@ void ClusterState::place(std::size_t server, const VmSpec& vm) {
   assert(server < timelines_.size());
   assert(placeable(server));
   timelines_[server].place(vm);
+  envelopes_.refresh(server, timelines_[server]);
   next_retire_ = next_retire_ == 0 ? vm.end : std::min(next_retire_, vm.end);
   active_[server].push_back(vm);
   ++active_count_;

@@ -59,6 +59,7 @@
 #include "cluster/timeline.h"
 #include "cluster/vm.h"
 #include "core/allocator.h"
+#include "core/envelope_store.h"
 #include "core/cost_model.h"
 #include "core/fault_plan.h"
 #include "obs/trace.h"
@@ -91,6 +92,14 @@ class ClusterState {
   std::size_t num_servers() const { return timelines_.size(); }
   const std::vector<ServerTimeline>& timelines() const { return timelines_; }
   const ServerSpec& server(std::size_t i) const { return servers_[i]; }
+
+  /// Packed SoA mirror of every timeline's window envelope
+  /// (core/envelope_store.h), refreshed O(1) at each timeline mutation —
+  /// place, GC rebuild, fault stub, recovery — so the candidate scan's
+  /// envelope triage pass always reads coherent rows. Row i carries
+  /// timelines()[i].epoch(); coherence is fuzzed via
+  /// EnvelopeStore::debug_validate in tests/test_envelope_scan.cpp.
+  const EnvelopeStore& envelopes() const { return envelopes_; }
 
   /// Requests must start at or after the frontier; structure strictly before
   /// it is garbage-collectible.
@@ -172,6 +181,8 @@ class ClusterState {
 
   std::vector<ServerSpec> servers_;
   std::vector<ServerTimeline> timelines_;
+  /// SoA envelope rows mirroring timelines_ (see envelopes()).
+  EnvelopeStore envelopes_;
   /// Active VMs per server, in placement order (rebuild replays them).
   std::vector<std::vector<VmSpec>> active_;
   /// Latest end among retired VMs per server (0 = none): the sentinel busy

@@ -1,0 +1,428 @@
+// Differential fuzz harness for the SoA envelope triage pass
+// (core/envelope_store.h): the packed per-server envelope rows must answer
+// every probe with *bit-for-bit* ServerTimeline::quick_fit verdicts, stay
+// coherent with the timelines through every lifecycle transition (place /
+// undo / GC rebuild / fault stub / recovery), and — composed into the
+// candidate scan — leave every scan-based allocator's assignment
+// byte-identical with the envelope pass on or off, at any thread count,
+// cache on or off, under faults or not.
+//
+// Three layers of evidence:
+//   1. timeline-level fuzz: random place/undo interleavings on raw
+//      ServerTimelines, classify() vs quick_fit() per server per probe, and
+//      decided verdicts cross-checked against can_fit();
+//   2. lifecycle property fuzz: EnvelopeStore::debug_validate() after every
+//      ClusterState transition (place, advance_to, ensure_horizon, fail,
+//      drain, recover), eager-rebuild on and off;
+//   3. end-to-end identity: full allocations and chaos replays, envelope on
+//      vs off — assignments, energies, and fault counters must match exactly.
+//
+// ESVA_FUZZ_QUICK=1 (set by ctest in Debug CI; see tests/CMakeLists.txt)
+// shrinks iteration counts so sanitizer jobs fit their time budget. The
+// properties checked are identical in both modes.
+
+#include "core/envelope_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "cluster/catalog.h"
+#include "cluster/timeline.h"
+#include "core/allocation.h"
+#include "core/candidate_scan.h"
+#include "core/fault_plan.h"
+#include "core/streaming.h"
+#include "sim/replay.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "workload/arrival_stream.h"
+#include "workload/generator.h"
+
+namespace esva {
+namespace {
+
+/// True when ESVA_FUZZ_QUICK is set to anything non-empty except "0" — the
+/// Debug-CI and sanitizer budget (tests/CMakeLists.txt wires it through
+/// ctest). The properties checked are identical; only iteration counts and
+/// sweep widths shrink.
+bool fuzz_quick() {
+  const char* env = std::getenv("ESVA_FUZZ_QUICK");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+/// Iteration budget: `full` normally, `quick` under ESVA_FUZZ_QUICK.
+int fuzz_iters(int full, int quick) { return fuzz_quick() ? quick : full; }
+
+constexpr int kNumVms = 220;
+constexpr int kNumServers = 44;
+
+const std::vector<std::string>& scan_allocators() {
+  static const std::vector<std::string> kNames = {
+      "min-incremental", "best-fit-cpu", "lowest-idle-power",
+      "dot-product-fit"};
+  return kNames;
+}
+
+std::vector<ServerSpec> make_fleet(int num_servers) {
+  std::vector<ServerSpec> servers;
+  const auto& types = all_server_types();
+  for (int i = 0; i < num_servers; ++i) {
+    const double transition_time = 0.5 + static_cast<double>(i % 3);
+    const std::size_t type_index =
+        types.size() - 1 - static_cast<std::size_t>(i) % types.size();
+    servers.push_back(make_server(types[type_index], i, transition_time));
+  }
+  return servers;
+}
+
+WorkloadConfig workload_config() {
+  WorkloadConfig config;
+  config.num_vms = kNumVms;
+  config.mean_interarrival = 1.5;
+  config.mean_duration = 30.0;
+  config.vm_types = all_vm_types();
+  return config;
+}
+
+ProblemInstance stable_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  return make_problem(generate_workload(workload_config(), rng),
+                      make_fleet(kNumServers));
+}
+
+ProblemInstance profiled_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  return make_problem(
+      generate_bursty_workload(workload_config(), /*phases=*/4,
+                               /*valley_factor=*/0.45, rng),
+      make_fleet(kNumServers));
+}
+
+/// A random valid probe VM, possibly reaching outside a timeline's window
+/// (below an advanced base or past the horizon — the window comparisons are
+/// part of the verdict) and possibly profiled (profiled probes disable the
+/// floor-based quick-reject; classify must reproduce that exactly).
+VmSpec random_probe(Rng& rng, Time horizon) {
+  const Time start =
+      static_cast<Time>(rng.uniform_int(1, static_cast<std::int64_t>(horizon)));
+  const Time end = start + static_cast<Time>(rng.uniform_int(0, 40));
+  VmSpec vm = testing::vm(/*id=*/9000, start, end,
+                          rng.uniform_double(0.1, 6.0),
+                          rng.uniform_double(0.1, 6.0));
+  if (rng.bernoulli(0.3)) {
+    std::vector<Resources> profile(static_cast<std::size_t>(vm.duration()));
+    for (Resources& r : profile)
+      r = {rng.uniform_double(0.1, 6.0), rng.uniform_double(0.1, 6.0)};
+    vm.set_profile(std::move(profile));
+  }
+  return vm;
+}
+
+// --- layer 1: classify() is quick_fit(), bit for bit ------------------------
+
+// Random place/undo interleavings on raw timelines with a manually refreshed
+// store: every probe's classify() verdict equals quick_fit() per server, and
+// every *decided* verdict is consistent with the exact can_fit() answer
+// (kFits implies can_fit, kCannotFit implies !can_fit) — so the scan's
+// segment-tree fallback only ever runs on genuinely undecided servers.
+TEST(EnvelopeFuzz, ClassifyMatchesQuickFitUnderRandomInterleavings) {
+  const int rounds = fuzz_iters(80, 10);
+  const Time horizon = 160;
+  Rng rng(20260807);
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<ServerTimeline> timelines;
+    const std::vector<ServerSpec> fleet = make_fleet(6);
+    // Stagger window bases so probes exercise the start-below-base reject
+    // (the rolling-GC shape) alongside the end-past-horizon one.
+    Time base = 1;
+    for (const ServerSpec& spec : fleet) {
+      timelines.emplace_back(spec, base, horizon);
+      base = (base == 1) ? 25 : 1;
+    }
+    EnvelopeStore store;
+    store.reset(timelines);
+
+    // LIFO undo stacks, one per server (the timeline contract).
+    struct Placed {
+      ServerTimeline::PlaceRecord record;
+      VmSpec vm;
+    };
+    std::vector<std::vector<Placed>> placed(timelines.size());
+
+    const int ops = fuzz_iters(200, 40);
+    std::vector<std::uint8_t> verdicts(timelines.size());
+    for (int op = 0; op < ops; ++op) {
+      const std::size_t i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(timelines.size()) - 1));
+      if (rng.bernoulli(0.35) && !placed[i].empty()) {
+        timelines[i].undo(placed[i].back().record, placed[i].back().vm);
+        placed[i].pop_back();
+        store.refresh(i, timelines[i]);
+      } else {
+        VmSpec candidate = random_probe(rng, horizon);
+        if (candidate.start >= 1 && candidate.end <= horizon &&
+            timelines[i].can_fit(candidate)) {
+          placed[i].push_back({timelines[i].place(candidate), candidate});
+          store.refresh(i, timelines[i]);
+        }
+      }
+      ASSERT_TRUE(store.debug_validate(timelines)) << "round " << round;
+
+      // Probe the whole fleet with a handful of random VMs.
+      for (int probe = 0; probe < 4; ++probe) {
+        const VmSpec vm = random_probe(rng, horizon);
+        store.classify(EnvelopeStore::probe_of(vm), verdicts.data());
+        for (std::size_t s = 0; s < timelines.size(); ++s) {
+          const QuickFit expected = timelines[s].quick_fit(vm);
+          ASSERT_EQ(static_cast<QuickFit>(verdicts[s]), expected)
+              << "round " << round << " op " << op << " server " << s
+              << " vm [" << vm.start << "," << vm.end << "] cpu "
+              << vm.demand.cpu << " mem " << vm.demand.mem
+              << (vm.has_profile() ? " (profiled)" : "");
+          if (expected == QuickFit::kFits) {
+            ASSERT_TRUE(timelines[s].can_fit(vm)) << "server " << s;
+          }
+          if (expected == QuickFit::kCannotFit) {
+            ASSERT_FALSE(timelines[s].can_fit(vm)) << "server " << s;
+          }
+        }
+      }
+    }
+  }
+}
+
+// probe_of must mirror the quick_fit inputs exactly: peak demand, inclusive
+// window, and the has-profile flag that gates the floor-based reject.
+TEST(EnvelopeStoreTest, ProbeOfCarriesPeakDemandWindowAndProfileFlag) {
+  VmSpec stable = testing::vm(1, 5, 9, 2.5, 1.25);
+  const EnvelopeStore::Probe p = EnvelopeStore::probe_of(stable);
+  EXPECT_EQ(p.cpu, 2.5);
+  EXPECT_EQ(p.mem, 1.25);
+  EXPECT_EQ(p.start, 5);
+  EXPECT_EQ(p.end, 9);
+  EXPECT_FALSE(p.profiled);
+
+  VmSpec profiled = testing::vm(2, 5, 7, 1.0, 1.0);
+  profiled.set_profile({{1.0, 0.5}, {3.0, 1.0}, {2.0, 2.0}});
+  const EnvelopeStore::Probe q = EnvelopeStore::probe_of(profiled);
+  EXPECT_EQ(q.cpu, 3.0);  // set_profile lifts demand to the peak
+  EXPECT_EQ(q.mem, 2.0);
+  EXPECT_TRUE(q.profiled);
+}
+
+// --- layer 2: envelope/timeline coherence across the lifecycle --------------
+
+// debug_validate after *every* ClusterState transition, with the GC
+// amortization both default and eager (eager forces a rebuild — and thus a
+// refresh — on every advance tick, the worst case for staleness bugs).
+TEST(EnvelopeCoherence, DebugValidateSurvivesRandomLifecycle) {
+  const int rounds = fuzz_iters(25, 4);
+  for (const bool eager : {false, true}) {
+    Rng rng(eager ? 404u : 303u);
+    for (int round = 0; round < rounds; ++round) {
+      ClusterState cluster(make_fleet(8), /*initial_horizon=*/0);
+      cluster.set_eager_rebuild(eager);
+      const auto validate = [&](const char* when) {
+        ASSERT_TRUE(cluster.envelopes().debug_validate(cluster.timelines()))
+            << when << " round " << round << (eager ? " (eager)" : "");
+        for (std::size_t i = 0; i < cluster.num_servers(); ++i)
+          ASSERT_EQ(cluster.envelopes().epoch(i),
+                    cluster.timelines()[i].epoch())
+              << when << " server " << i;
+      };
+      validate("ctor");
+
+      Time frontier = 1;
+      const int ops = fuzz_iters(150, 30);
+      for (int op = 0; op < ops; ++op) {
+        const std::size_t i = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(cluster.num_servers()) - 1));
+        switch (rng.uniform_int(0, 5)) {
+          case 0: {  // grow the window
+            cluster.ensure_horizon(frontier +
+                                   static_cast<Time>(rng.uniform_int(1, 300)));
+            validate("ensure_horizon");
+            break;
+          }
+          case 1: {  // place a random feasible VM on server i
+            if (!cluster.placeable(i)) break;
+            VmSpec vm = random_probe(rng, frontier + 60);
+            if (vm.start < frontier || vm.end < vm.start) break;
+            cluster.ensure_horizon(vm.end);
+            validate("ensure_horizon(place)");
+            if (cluster.timelines()[i].can_fit(vm)) {
+              cluster.place(i, vm);
+              validate("place");
+            }
+            break;
+          }
+          case 2: {  // advance the frontier (retire + amortized rebuild)
+            frontier += static_cast<Time>(rng.uniform_int(1, 40));
+            cluster.ensure_horizon(frontier);
+            cluster.advance_to(frontier);
+            validate("advance_to");
+            break;
+          }
+          case 3: {
+            cluster.fail_server(i);  // displaced VMs dropped: store-level test
+            validate("fail_server");
+            break;
+          }
+          case 4: {
+            if (cluster.health(i) == ServerHealth::kUp) cluster.drain_server(i);
+            validate("drain_server");
+            break;
+          }
+          case 5: {
+            cluster.recover_server(i);
+            validate("recover_server");
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+// debug_validate must actually discriminate: a stale row (timeline mutated
+// behind the store's back) is detected.
+TEST(EnvelopeCoherence, DebugValidateDetectsStaleRows) {
+  std::vector<ServerTimeline> timelines;
+  timelines.emplace_back(testing::basic_server(0), /*horizon=*/50);
+  EnvelopeStore store;
+  store.reset(timelines);
+  ASSERT_TRUE(store.debug_validate(timelines));
+  timelines[0].place(testing::vm(1, 5, 10, 2.0, 2.0));  // no refresh
+  EXPECT_FALSE(store.debug_validate(timelines));
+  store.refresh(0, timelines[0]);
+  EXPECT_TRUE(store.debug_validate(timelines));
+  // Fleet-size mismatch is a validation failure, not UB.
+  timelines.emplace_back(testing::basic_server(1), /*horizon=*/50);
+  EXPECT_FALSE(store.debug_validate(timelines));
+}
+
+// --- layer 3: end-to-end byte identity, envelope on vs off ------------------
+
+Allocation run_alloc(const std::string& name, const ProblemInstance& problem,
+                     int threads, bool cache, bool envelope) {
+  AllocatorPtr allocator = make_allocator(name);
+  ScanConfig scan;
+  scan.threads = threads;
+  scan.cache = cache;
+  scan.envelope = envelope;
+  allocator->set_scan_config(scan);
+  Rng rng(7);
+  return allocator->allocate(problem, rng);
+}
+
+TEST(EnvelopeDifferential, OnOffByteIdenticalAcrossThreadsAndCache) {
+  const int seeds = fuzz_iters(2, 1);
+  const std::vector<int> thread_counts =
+      fuzz_quick() ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  for (int s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = 11u + 18u * static_cast<std::uint64_t>(s);
+    for (const bool profiled : {false, true}) {
+      const ProblemInstance problem =
+          profiled ? profiled_instance(seed) : stable_instance(seed);
+      for (const std::string& name : scan_allocators()) {
+        // The reference: envelope off = the historical quick_fit loop.
+        const Allocation reference =
+            run_alloc(name, problem, /*threads=*/1, /*cache=*/false,
+                      /*envelope=*/false);
+        for (const int threads : thread_counts) {
+          for (const bool cache : {false, true}) {
+            const Allocation with_envelope =
+                run_alloc(name, problem, threads, cache, /*envelope=*/true);
+            ASSERT_EQ(reference.assignment, with_envelope.assignment)
+                << name << " threads=" << threads << " cache=" << cache
+                << " seed=" << seed
+                << (profiled ? " (profiled)" : " (stable)");
+            const Allocation without_envelope =
+                run_alloc(name, problem, threads, cache, /*envelope=*/false);
+            ASSERT_EQ(reference.assignment, without_envelope.assignment)
+                << name << " threads=" << threads << " cache=" << cache;
+          }
+        }
+        // Same double bits in, same bits out: energies match exactly.
+        EXPECT_EQ(
+            evaluate_cost(problem, reference).total(),
+            evaluate_cost(problem, run_alloc(name, problem, 1, false, true))
+                .total())
+            << name;
+      }
+    }
+  }
+}
+
+// The cache's counters evolve from the same quick verdicts either way, so
+// its warmup self-disable judgment cannot diverge envelope on vs off.
+TEST(EnvelopeDifferential, CacheAutoDisableJudgmentUnchanged) {
+  Rng rng(77);
+  const ProblemInstance problem =
+      make_problem(generate_workload(workload_config(), rng), make_fleet(8));
+  const auto run_cached = [&](bool envelope) {
+    AllocatorPtr allocator = make_allocator("min-incremental");
+    ScanConfig scan;
+    scan.cache = true;
+    scan.cache_warmup_probes = 64;
+    scan.envelope = envelope;
+    allocator->set_scan_config(scan);
+    Rng run_rng(7);
+    return allocator->allocate(problem, run_rng);
+  };
+  EXPECT_EQ(run_cached(true).assignment, run_cached(false).assignment);
+}
+
+ReplayReport replay_chaos(const std::string& name,
+                          const ProblemInstance& problem,
+                          const FaultPlan& plan, bool envelope) {
+  AllocatorPtr allocator = make_allocator(name);
+  ScanConfig scan;
+  scan.envelope = envelope;
+  allocator->set_scan_config(scan);
+  std::unique_ptr<PlacementPolicy> policy = allocator->make_policy();
+  EXPECT_NE(policy, nullptr) << name;
+  Rng rng(7);
+  VectorArrivalStream arrivals(problem.vms);
+  ReplayOptions options;
+  options.faults = &plan;
+  options.retry.max_attempts = 3;
+  return replay_stream(arrivals, problem.servers, *policy, rng, options);
+}
+
+// Chaos stream: failures stub timelines, recoveries rebuild them, retries
+// interleave extra scans — the envelope rows must track every transition, so
+// assignments, energies, and every fault counter match envelope on vs off.
+TEST(EnvelopeDifferential, ChaosReplayByteIdentical) {
+  const ProblemInstance problem = stable_instance(31);
+  ChaosConfig chaos;
+  chaos.num_servers = static_cast<std::size_t>(kNumServers);
+  chaos.failures = 6;
+  chaos.window_lo = 5;
+  chaos.window_hi = 200;
+  chaos.mean_repair = 40;
+  Rng plan_rng(101);
+  const FaultPlan plan = random_fault_plan(chaos, plan_rng);
+  for (const std::string& name :
+       {std::string("min-incremental"), std::string("lowest-idle-power")}) {
+    const ReplayReport on = replay_chaos(name, problem, plan, true);
+    const ReplayReport off = replay_chaos(name, problem, plan, false);
+    ASSERT_EQ(on.assignment, off.assignment) << name;
+    EXPECT_EQ(on.total_energy, off.total_energy) << name;
+    EXPECT_EQ(on.placed, off.placed) << name;
+    EXPECT_EQ(on.rejected, off.rejected) << name;
+    EXPECT_EQ(on.faults.displaced, off.faults.displaced) << name;
+    EXPECT_EQ(on.faults.evacuated, off.faults.evacuated) << name;
+    EXPECT_EQ(on.faults.retries, off.faults.retries) << name;
+    EXPECT_EQ(on.faults.rejected_final, off.faults.rejected_final) << name;
+    EXPECT_EQ(on.faults.downtime_units, off.faults.downtime_units) << name;
+    EXPECT_GT(on.faults.fault_events, 0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace esva

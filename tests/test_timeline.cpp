@@ -225,8 +225,9 @@ TEST(ScanCacheProperty, QuickProbesSkipMemoAndEntriesReusedIffEpochUnchanged) {
         const std::int64_t hits_before = cache.hits();
         const std::int64_t misses_before = cache.misses();
         const std::int64_t quick_before = cache.quick_decided();
-        const std::optional<double> cached = cache.probe(
-            0, timeline, probe_vm, ScanCache::key_of(probe_vm), score);
+        const std::optional<double> cached =
+            cache.probe(0, timeline, probe_vm, ScanCache::key_of(probe_vm),
+                        quick, score);
         if (quick == QuickFit::kUnknown) {
           ASSERT_EQ(cache.hits() - hits_before, expect_hit ? 1 : 0)
               << "trial " << trial << " step " << step;
@@ -310,6 +311,77 @@ TEST(QuickFitTriage, AgreesWithCanFitOnRandomPlacements) {
             << "trial " << trial << " probe " << probe;
       }
     }
+  }
+}
+
+// Boundary cases of the envelope triage, table-driven: exact-capacity fits
+// (the <= capacity + kEps comparison at equality), zero-demand VMs, and
+// window edges at the horizon and at an advanced base. Each expectation
+// pins the QuickFit verdict AND, where decided, its agreement with the
+// exact can_fit answer — the same dual contract the SoA envelope sweep
+// (core/envelope_store.h) inherits verbatim (tests/test_envelope_scan.cpp).
+TEST(QuickFitTriage, BoundaryCasesTableDriven) {
+  // basic_server: 10 CPU / 10 GiB. Resident [1,50] at 6 CPU / 2 MEM, so the
+  // window envelope is peak (6, 2), floor (0, 0) over horizon 100.
+  ServerTimeline timeline(basic_server(), 100);
+  timeline.place(vm(0, 1, 50, 6.0, 2.0));
+
+  struct Case {
+    const char* why;
+    VmSpec candidate;
+    QuickFit expected;
+  };
+  const Case cases[] = {
+      {"exact-capacity fit: peak + demand == capacity in both dimensions",
+       vm(1, 25, 75, 4.0, 8.0), QuickFit::kFits},
+      {"zero-demand VM always quick-fits inside the window",
+       vm(2, 1, 100, 0.0, 0.0), QuickFit::kFits},
+      {"zero-demand VM past the horizon is still a window reject",
+       vm(3, 90, 101, 0.0, 0.0), QuickFit::kCannotFit},
+      {"window edge: single unit exactly at the horizon",
+       vm(4, 100, 100, 1.0, 1.0), QuickFit::kFits},
+      {"window edge: end one past the horizon",
+       vm(5, 95, 101, 1.0, 1.0), QuickFit::kCannotFit},
+      {"demand over capacity even on the empty floor",
+       vm(6, 60, 90, 10.5, 1.0), QuickFit::kCannotFit},
+      {"exact-capacity on the floor: floor + demand == capacity stays "
+       "undecided (not > capacity + kEps)",
+       vm(7, 25, 75, 10.0, 1.0), QuickFit::kUnknown},
+      {"peak + demand just over, floor + demand under: undecided",
+       vm(8, 60, 90, 4.1, 1.0), QuickFit::kUnknown},
+  };
+  for (const Case& c : cases) {
+    const QuickFit quick = timeline.quick_fit(c.candidate);
+    EXPECT_EQ(quick, c.expected) << c.why;
+    if (quick != QuickFit::kUnknown) {
+      EXPECT_EQ(quick == QuickFit::kFits, timeline.can_fit(c.candidate))
+          << c.why << " (decided verdicts must agree with can_fit)";
+    }
+  }
+}
+
+TEST(QuickFitTriage, AdvancedBaseRejectsStartsBehindTheWindow) {
+  // A rebuilt (rolling-GC) timeline with base 10: starts behind the base are
+  // window rejects, starts exactly at the base are triaged normally.
+  ServerTimeline timeline(basic_server(), /*base=*/10, /*horizon=*/100);
+  struct Case {
+    const char* why;
+    VmSpec candidate;
+    QuickFit expected;
+  };
+  const Case cases[] = {
+      {"start one behind the base", vm(1, 9, 20, 1.0, 1.0),
+       QuickFit::kCannotFit},
+      {"start exactly at the base", vm(2, 10, 20, 1.0, 1.0), QuickFit::kFits},
+      {"whole window, exact capacity", vm(3, 10, 100, 10.0, 10.0),
+       QuickFit::kFits},
+      {"whole window, capacity exceeded", vm(4, 10, 100, 10.5, 1.0),
+       QuickFit::kCannotFit},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(timeline.quick_fit(c.candidate), c.expected) << c.why;
+    EXPECT_EQ(c.expected == QuickFit::kFits, timeline.can_fit(c.candidate))
+        << c.why;
   }
 }
 
