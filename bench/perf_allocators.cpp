@@ -27,7 +27,14 @@
 //                        --envelope-budget (default 1.3x) faster than the
 //                        AoS quick_fit loop it replaces (enforced outside
 //                        --quick; envelope-on vs -off assignments must be
-//                        byte-identical always). Medians from
+//                        byte-identical always), or if the sharded fleet
+//                        scan (core/shard.h) diverges from the unsharded
+//                        assignment at any tier (enforced always), or if the
+//                        sharded-parallel 100k-server scan is less than
+//                        --fleet-speedup-budget (default 1.5x) faster than
+//                        the single-shard serial scan (enforced at the
+//                        --fleet-full 100k tier on >= 4-thread machines,
+//                        full mode). Medians from
 //                        the previous BENCH_perf.json at the same path are
 //                        echoed into an informational "regression" section.
 //   * --gbench         — additionally runs the google-benchmark
@@ -54,6 +61,7 @@
 #include <vector>
 
 #include "baselines/registry.h"
+#include "cluster/datacenter.h"
 #include "cluster/timeline.h"
 #include "core/cost_model.h"
 #include "core/envelope_store.h"
@@ -68,6 +76,7 @@
 #include "sim/replay.h"
 #include "util/cli.h"
 #include "workload/arrival_stream.h"
+#include "workload/generator.h"
 #include "workload/scenarios.h"
 
 namespace {
@@ -1028,9 +1037,208 @@ ChaosReport measure_chaos(int num_vms, int reps) {
   return report;
 }
 
+// ---------------------------------------------------------------------------
+// Sharded fleet: the two-level scan at 10k / 100k servers
+// ---------------------------------------------------------------------------
+
+/// One (shards, strategy, threads) replay of the fleet tier's stream.
+struct FleetVariant {
+  int shards = 1;
+  ShardBy by = ShardBy::kContiguous;
+  int threads = 1;
+  double median_ms = 0.0;
+  double requests_per_sec = 0.0;
+  double submit_p99_ms = 0.0;
+  double hist_p99_ms = 0.0;
+  std::size_t peak_resident_time_units = 0;
+  bool matches_reference = true;
+};
+
+/// One fleet size tier (10k always, 100k behind --fleet-full).
+struct FleetTier {
+  int num_servers = 0;
+  int num_vms = 0;
+  std::vector<FleetVariant> variants;  ///< [0] is the unsharded reference
+  double parallel_speedup = 0.0;  ///< reference / best sharded-parallel median
+  bool identity = true;           ///< every variant byte-identical — enforced
+  bool speedup_enforced = false;
+  std::string speedup_unenforced_reason;
+  bool pass = true;
+};
+
+struct FleetReport {
+  unsigned hardware_threads = 0;
+  double speedup_budget = 0.0;
+  std::vector<FleetTier> tiers;
+  bool pass = true;
+};
+
+/// Last variant's assignment (single-threaded harness): run_fleet_variant
+/// deposits the replay's final assignment here so the tier driver can run
+/// the byte-identity comparison without copying it through every return.
+std::vector<ServerId>& variant_assignment() {
+  static std::vector<ServerId> assignment;
+  return assignment;
+}
+
+/// The fleet bench uses lowest-idle-power: a representative scan policy with
+/// an O(1) score, so the measurement isolates the scan machinery the shards
+/// parallelize (triage sweep + tree fallback + merge) rather than the Eq. 17
+/// scoring arithmetic the fig2 sections already gate. The deterministic
+/// round-robin fleet (make_scaled_fleet) keeps the identity comparison
+/// meaningful across hosts.
+FleetVariant run_fleet_variant(const ProblemInstance& problem, int shards,
+                               ShardBy by, int threads, int reps) {
+  FleetVariant variant;
+  variant.shards = shards;
+  variant.by = by;
+  variant.threads = threads;
+  std::vector<double> times;
+  ReplayReport report;
+  for (int rep = 0; rep < reps; ++rep) {
+    times.push_back(time_ms([&] {
+      AllocatorPtr allocator = make_allocator("lowest-idle-power");
+      ScanConfig scan;
+      scan.threads = threads;
+      scan.shards = shards;
+      scan.shard_by = by;
+      allocator->set_scan_config(scan);
+      std::unique_ptr<PlacementPolicy> policy = allocator->make_policy();
+      Rng rng(7);
+      VectorArrivalStream arrivals(problem.vms);
+      ReplayOptions options;
+      options.shard = scan.shard_options();
+      report = replay_stream(arrivals, problem.servers, *policy, rng, options);
+      benchmark::DoNotOptimize(report.assignment.data());
+    }));
+  }
+  variant.median_ms = median(times);
+  variant.requests_per_sec = report.requests_per_sec;
+  variant.submit_p99_ms = report.latency.p99_ms;
+  variant.hist_p99_ms = report.latency.hist_p99_ms;
+  variant.peak_resident_time_units = report.peak_resident_time_units;
+  variant_assignment() = report.assignment;
+  return variant;
+}
+
+FleetTier measure_fleet_tier(int num_servers, int num_vms, int reps,
+                             double speedup_budget, bool quick) {
+  FleetTier tier;
+  tier.num_servers = num_servers;
+  tier.num_vms = num_vms;
+
+  WorkloadConfig config;
+  config.num_vms = num_vms;
+  config.mean_interarrival = 0.5;
+  config.mean_duration = 50.0;
+  config.vm_types = all_vm_types();
+  Rng rng(42);
+  ProblemInstance problem =
+      make_problem(generate_workload(config, rng),
+                   make_scaled_fleet(num_servers, all_server_types(), 1.0));
+
+  std::printf("measuring sharded fleet scan (%d servers, %d VMs, "
+              "lowest-idle-power stream)...\n",
+              num_servers, num_vms);
+
+  // The reference: unsharded, serial — the historical scan at this scale.
+  tier.variants.push_back(
+      run_fleet_variant(problem, 1, ShardBy::kContiguous, 1, reps));
+  const std::vector<ServerId> reference = variant_assignment();
+  // Copy, not reference: the push_backs below reallocate tier.variants.
+  const FleetVariant ref = tier.variants.front();
+  std::printf("  shards=1  threads=1  %10.2f ms  %8.0f req/s  p99 %.4f ms  "
+              "peak resident %zu units\n",
+              ref.median_ms, ref.requests_per_sec, ref.submit_p99_ms,
+              ref.peak_resident_time_units);
+
+  // Identity sweep (serial) + the concurrent two-level sweep. kHash is the
+  // worst-case (non-identity) permutation; the serial points double as the
+  // per-shard-count wall-time ablation at benchmark scale.
+  struct Config {
+    int shards;
+    ShardBy by;
+    int threads;
+  };
+  std::vector<Config> configs = {{4, ShardBy::kContiguous, 1},
+                                 {16, ShardBy::kHash, 1},
+                                 {64, ShardBy::kType, 1},
+                                 {16, ShardBy::kHash, 4}};
+  if (quick) configs = {{4, ShardBy::kContiguous, 1}, {16, ShardBy::kHash, 4}};
+  double best_parallel_ms = 0.0;
+  for (const Config& c : configs) {
+    FleetVariant variant =
+        run_fleet_variant(problem, c.shards, c.by, c.threads, reps);
+    variant.matches_reference = variant_assignment() == reference;
+    tier.identity = tier.identity && variant.matches_reference;
+    if (c.threads > 1 &&
+        (best_parallel_ms == 0.0 || variant.median_ms < best_parallel_ms))
+      best_parallel_ms = variant.median_ms;
+    std::printf("  shards=%-3d threads=%d %10.2f ms  %8.0f req/s  p99 %.4f "
+                "ms  (%s)  assignments %s\n",
+                variant.shards, variant.threads, variant.median_ms,
+                variant.requests_per_sec, variant.submit_p99_ms,
+                to_string(variant.by).c_str(),
+                variant.matches_reference ? "identical" : "DIVERGED (BUG)");
+    tier.variants.push_back(std::move(variant));
+  }
+  if (best_parallel_ms > 0.0)
+    tier.parallel_speedup = ref.median_ms / best_parallel_ms;
+
+  // The >= 1.5x sharded-parallel gate is a large-fleet property: below 100k
+  // servers the per-request scan is too short for the fan-out to amortize,
+  // and without real cores there is nothing to scale onto — so it enforces
+  // only at the 100k tier on >= 4-thread hosts, outside --quick (always
+  // labeled in the artifact).
+  const unsigned hw = std::thread::hardware_concurrency();
+  tier.speedup_enforced = !quick && num_servers >= 100000 && hw >= 4;
+  if (!tier.speedup_enforced) {
+    tier.speedup_unenforced_reason =
+        quick ? "quick mode"
+        : num_servers < 100000
+            ? "sub-100k tier"
+            : "host has fewer than 4 hardware threads";
+  }
+  tier.pass = tier.identity &&
+              (!tier.speedup_enforced ||
+               tier.parallel_speedup >= speedup_budget);
+  std::printf("  sharded-parallel speedup: %.2fx (budget %.1fx, %s%s) %s\n",
+              tier.parallel_speedup, speedup_budget,
+              tier.speedup_enforced ? "enforced" : "not enforced: ",
+              tier.speedup_enforced ? ""
+                                    : tier.speedup_unenforced_reason.c_str(),
+              tier.pass ? "OK" : "FAIL");
+  return tier;
+}
+
+FleetReport measure_fleet(int reps, double speedup_budget, bool quick,
+                          bool full) {
+  FleetReport report;
+  report.hardware_threads = std::thread::hardware_concurrency();
+  report.speedup_budget = speedup_budget;
+  const int fleet_reps = std::max(2, reps / 2);
+  if (quick) {
+    // Smoke scale: the identity gate still runs, the tier is just small
+    // enough for the Release CI overhead-guard job.
+    report.tiers.push_back(
+        measure_fleet_tier(2000, 400, fleet_reps, speedup_budget, quick));
+  } else {
+    report.tiers.push_back(
+        measure_fleet_tier(10000, 2000, fleet_reps, speedup_budget, quick));
+    if (full)
+      report.tiers.push_back(
+          measure_fleet_tier(100000, 600, std::max(2, fleet_reps / 2),
+                             speedup_budget, quick));
+  }
+  for (const FleetTier& tier : report.tiers)
+    report.pass = report.pass && tier.pass;
+  return report;
+}
+
 int run_perf_report(const std::string& out_path, int num_vms, int reps,
                     double overhead_budget, double speedup_budget,
                     double single_thread_budget, double envelope_budget,
+                    double fleet_speedup_budget, bool fleet_full,
                     bool quick) {
   // Harvest the previous artifact's medians before this run overwrites it.
   const std::vector<PreviousPoint> previous = read_previous_points(out_path);
@@ -1081,6 +1289,9 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
       quick ? num_vms : 500, reps, overhead_budget, quick);
 
   const ChaosReport chaos = measure_chaos(num_vms, std::max(2, reps / 2));
+
+  const FleetReport fleet =
+      measure_fleet(reps, fleet_speedup_budget, quick, fleet_full);
 
   std::ofstream out(out_path);
   if (!out) {
@@ -1257,7 +1468,43 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
       << "    \"downtime_units\": " << chaos.stats.downtime_units << ",\n"
       << "    \"reproducible\": " << (chaos.reproducible ? "true" : "false")
       << ",\n"
-      << "    \"pass\": " << (chaos.pass ? "true" : "false") << "\n  }\n";
+      << "    \"pass\": " << (chaos.pass ? "true" : "false") << "\n  },\n";
+  out << "  \"fleet\": {\n"
+      << "    \"allocator\": \"lowest-idle-power\",\n"
+      << "    \"hardware_threads\": " << fleet.hardware_threads << ",\n"
+      << "    \"speedup_budget\": " << fleet.speedup_budget << ",\n"
+      << "    \"tiers\": [\n";
+  for (std::size_t t = 0; t < fleet.tiers.size(); ++t) {
+    const FleetTier& tier = fleet.tiers[t];
+    out << "      {\"num_servers\": " << tier.num_servers
+        << ", \"num_vms\": " << tier.num_vms << ",\n"
+        << "       \"variants\": [\n";
+    for (std::size_t v = 0; v < tier.variants.size(); ++v) {
+      const FleetVariant& var = tier.variants[v];
+      out << "         {\"shards\": " << var.shards << ", \"shard_by\": \""
+          << to_string(var.by) << "\", \"threads\": " << var.threads
+          << ", \"median_ms\": " << var.median_ms
+          << ", \"requests_per_sec\": " << var.requests_per_sec
+          << ", \"submit_p99_ms\": " << var.submit_p99_ms
+          << ", \"hist_p99_ms\": " << var.hist_p99_ms
+          << ", \"peak_resident_time_units\": "
+          << var.peak_resident_time_units << ", \"matches_reference\": "
+          << (var.matches_reference ? "true" : "false") << "}"
+          << (v + 1 < tier.variants.size() ? "," : "") << "\n";
+    }
+    out << "       ],\n"
+        << "       \"parallel_speedup\": " << tier.parallel_speedup << ",\n"
+        << "       \"identity\": " << (tier.identity ? "true" : "false")
+        << ",\n"
+        << "       \"speedup_enforced\": "
+        << (tier.speedup_enforced ? "true" : "false") << ",\n"
+        << "       \"speedup_unenforced_reason\": \""
+        << tier.speedup_unenforced_reason << "\",\n"
+        << "       \"pass\": " << (tier.pass ? "true" : "false") << "}"
+        << (t + 1 < fleet.tiers.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n"
+      << "    \"pass\": " << (fleet.pass ? "true" : "false") << "\n  }\n";
   out << "}\n";
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -1348,6 +1595,23 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
                  "run-to-run\n");
     return 1;
   }
+  for (const FleetTier& tier : fleet.tiers) {
+    if (!tier.identity) {
+      std::fprintf(stderr,
+                   "FAIL: sharded fleet scan diverged from the unsharded "
+                   "assignment at %d servers\n",
+                   tier.num_servers);
+      return 1;
+    }
+    if (!tier.pass) {
+      std::fprintf(stderr,
+                   "FAIL: sharded-parallel fleet speedup %.2fx below budget "
+                   "%.1fx at %d servers\n",
+                   tier.parallel_speedup, fleet.speedup_budget,
+                   tier.num_servers);
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -1404,6 +1668,13 @@ int main(int argc, char** argv) {
   parser.add_double("envelope-budget", 1.3,
                     "min required SoA envelope sweep speedup vs the AoS "
                     "quick_fit loop (enforced in full mode)");
+  parser.add_double("fleet-speedup-budget", 1.5,
+                    "min required sharded-parallel fleet scan speedup vs the "
+                    "single-shard serial scan (enforced at the 100k tier on "
+                    ">=4-thread machines, full mode)");
+  parser.add_bool("fleet-full",
+                  "also run the 100k-server fleet tier (default stops at "
+                  "10k; the committed BENCH_perf.json carries both)");
   parser.add_bool("quick", "300-VM scenario, 3 reps (smoke test)");
   if (!parser.parse(static_cast<int>(own_argv.size()), own_argv.data()))
     return parser.parse_error() ? 1 : 0;
@@ -1421,6 +1692,8 @@ int main(int argc, char** argv) {
                       parser.get_double("speedup-budget"),
                       parser.get_double("single-thread-budget"),
                       parser.get_double("envelope-budget"),
+                      parser.get_double("fleet-speedup-budget"),
+                      parser.get_bool("fleet-full"),
                       parser.get_bool("quick"));
   if (run_gbench) {
     int gbench_argc = static_cast<int>(gbench_argv.size());

@@ -213,6 +213,11 @@ int cmd_allocate(const std::vector<std::string>& args, std::ostream& out,
   parser.add_bool("no-envelope",
                   "disable the SoA envelope triage pass (identical results; "
                   "for A/B timing — see docs/PERFORMANCE.md)");
+  parser.add_int("shards", 1,
+                 "fleet shard count for the two-level candidate scan "
+                 "(identical results at any count; see docs/PERFORMANCE.md)");
+  parser.add_string("shard-by", "contiguous",
+                    "shard layout: contiguous|type|band|hash (with --shards)");
   parser.add_string("out-assignment", "", "assignment CSV output (optional)");
   parser.add_string("trace", "",
                     "JSONL decision trace output: one record per VM with "
@@ -242,6 +247,11 @@ int cmd_allocate(const std::vector<std::string>& args, std::ostream& out,
     scan.cache_warmup_probes = static_cast<int>(parser.get_int("cache-warmup"));
     scan.cache_min_hit_rate = parser.get_double("cache-min-hit-rate");
     scan.envelope = !parser.get_bool("no-envelope");
+    scan.shards = static_cast<int>(parser.get_int("shards"));
+    if (!parse_shard_by(parser.get_string("shard-by"), &scan.shard_by))
+      throw std::invalid_argument(
+          "unknown --shard-by '" + parser.get_string("shard-by") +
+          "' (expected contiguous|type|band|hash)");
     allocator->set_scan_config(scan);
     ObsContext obs;
     obs.trace = trace_sink.get();
@@ -319,6 +329,12 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
   parser.add_bool("no-envelope",
                   "disable the SoA envelope triage pass (identical results; "
                   "for A/B timing)");
+  parser.add_int("shards", 1,
+                 "fleet shard count for the two-level candidate scan "
+                 "(identical results at any count; sharded fleets add a "
+                 "per-shard breakdown to --timeseries-out JSONL)");
+  parser.add_string("shard-by", "contiguous",
+                    "shard layout: contiguous|type|band|hash (with --shards)");
   parser.add_bool("no-gc",
                   "keep full history instead of garbage-collecting behind the "
                   "frontier (identical decisions; more memory)");
@@ -377,6 +393,11 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
     scan.cache_warmup_probes = static_cast<int>(parser.get_int("cache-warmup"));
     scan.cache_min_hit_rate = parser.get_double("cache-min-hit-rate");
     scan.envelope = !parser.get_bool("no-envelope");
+    scan.shards = static_cast<int>(parser.get_int("shards"));
+    if (!parse_shard_by(parser.get_string("shard-by"), &scan.shard_by))
+      throw std::invalid_argument(
+          "unknown --shard-by '" + parser.get_string("shard-by") +
+          "' (expected contiguous|type|band|hash)");
     allocator->set_scan_config(scan);
     ObsContext obs;
     obs.trace = trace_sink.get();
@@ -409,6 +430,7 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
     options.retry.backoff = parser.get_double("retry-backoff");
     options.retry.queue_capacity =
         static_cast<std::size_t>(parser.get_int("retry-queue"));
+    options.shard = scan.shard_options();
     options.obs.metrics = &metrics;
     // Telemetry sinks are bound only when their output was requested; none
     // of them changes a single decision (docs/OBSERVABILITY.md).

@@ -33,6 +33,20 @@ std::vector<ServerSpec> make_random_fleet(int count,
   return fleet;
 }
 
+std::vector<ServerSpec> make_scaled_fleet(int count,
+                                          const std::vector<ServerType>& types,
+                                          double transition_time) {
+  assert(count >= 0 && !types.empty());
+  std::vector<ServerSpec> fleet;
+  fleet.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const ServerType& type =
+        types[static_cast<std::size_t>(i) % types.size()];
+    fleet.push_back(make_server(type, i, transition_time));
+  }
+  return fleet;
+}
+
 std::vector<ServerSpec> make_fleet_by_counts(
     const std::vector<ServerType>& types, const std::vector<int>& counts,
     double transition_time) {

@@ -26,6 +26,17 @@ std::vector<ServerSpec> make_random_fleet(int count,
                                           double transition_lo,
                                           double transition_hi, Rng& rng);
 
+/// Deterministic synthetic scale-out for large-fleet benchmarks: `count`
+/// servers cycling round-robin through `types` (server i gets
+/// types[i % types.size()]), all with the same transition time. No RNG and
+/// no per-row enumeration — the same count always yields the same fleet, on
+/// any host, which is what the sharded fleet bench's identity gates compare
+/// against (bench/perf_allocators.cpp, bench/ablation_sharding.cpp). Ids are
+/// 0..count-1.
+std::vector<ServerSpec> make_scaled_fleet(int count,
+                                          const std::vector<ServerType>& types,
+                                          double transition_time);
+
 /// Builds a fleet with an explicit per-type count: counts[k] servers of
 /// types[k]. Ids are assigned in catalog order.
 std::vector<ServerSpec> make_fleet_by_counts(

@@ -15,6 +15,7 @@
 
 #include "core/allocation.h"
 #include "core/problem.h"
+#include "core/shard.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 
@@ -71,9 +72,20 @@ struct ScanConfig {
   /// as a pure memory-layout optimization; off mainly for A/B timing
   /// (bench's envelope gate, `--no-envelope`).
   bool envelope = true;
+  /// Fleet sharding (core/shard.h): the cluster is partitioned into this
+  /// many contiguous shard blocks and the scan sweeps them concurrently as a
+  /// two-level arg-min (envelope triage per shard block, then a
+  /// lexicographic (score, index) merge). 1 (default) keeps the historical
+  /// single-level chunked scan. Assignments are byte-identical at any shard
+  /// count (tests/test_sharded_scan.cpp).
+  int shards = 1;
+  /// Shard-assignment strategy; a pure layout knob (docs/PERFORMANCE.md).
+  ShardBy shard_by = ShardBy::kContiguous;
 
   /// `threads` with 0 resolved to the hardware concurrency (at least 1).
   int resolved_threads() const;
+  /// The sharding subset of this config, as ClusterState's partition input.
+  ShardOptions shard_options() const { return ShardOptions{shards, shard_by}; }
 };
 
 class Allocator {

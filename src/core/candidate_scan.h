@@ -23,6 +23,15 @@
 //     per server, so they are bit-identical to the serial run's. Verified
 //     byte-for-byte in tests/test_parallel_scan.cpp.
 //
+//   * the two-level sharded scan (core/shard.h) — when the cluster is
+//     partitioned, shards sweep concurrently (one task per shard: envelope
+//     triage over the shard's contiguous block, tree queries only for
+//     survivors) and the per-shard minima merge in ascending shard order
+//     with a lexicographic (score, original index) strict-<, which is
+//     exactly the order the unsharded serial loop induces — so assignments
+//     are byte-identical at any shard count and thread count
+//     (tests/test_sharded_scan.cpp differential fuzz).
+//
 //   * ScanCache — per-(server, shape) memoization of feasibility + score,
 //     keyed by the VM's (CPU, MEM, start, end) shape and guarded by the
 //     timeline's epoch (cluster/timeline.h): the cached value is the very
@@ -65,6 +74,7 @@
 #include "core/allocator.h"
 #include "core/cost_model.h"
 #include "core/envelope_store.h"
+#include "core/shard.h"
 #include "core/streaming.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -140,6 +150,77 @@ ScanOutcome scan_candidates(std::size_t n, const Eval& eval,
       total.best = chunk.best;
     }
   }
+  return total;
+}
+
+/// Arg-min over one contiguous *storage* block [lo, hi) of a sharded layout
+/// (core/shard.h): rows are visited ascending, each mapped back to its
+/// original server index through `original_of`, and `eval(original, row)`
+/// scores it. The partition keeps original indices ascending within a shard
+/// block, so the same strict-< that scan_range uses keeps the shard's
+/// lowest-original-index winner; ScanOutcome::best is the *original* index.
+template <typename Eval>
+ScanOutcome scan_block(std::size_t lo, std::size_t hi,
+                       const std::size_t* original_of, const Eval& eval) {
+  ScanOutcome out;
+  for (std::size_t r = lo; r < hi; ++r) {
+    const std::size_t i = original_of[r];
+    const std::optional<double> score = eval(i, r);
+    if (!score) {
+      ++out.rejected;
+      continue;
+    }
+    ++out.feasible;
+    if (*score < out.best_score) {
+      out.best_score = *score;
+      out.best = i;
+    }
+  }
+  return out;
+}
+
+/// Folds one shard's arg-min into the running total. Shards do not cover
+/// ascending index ranges in general (type/band/hash layouts interleave the
+/// fleet), so — unlike the chunked reduction above, where plain strict-<
+/// suffices — ties on score must break to the lower *original* index
+/// explicitly: the lexicographic (score, index) strict-< below is exactly
+/// the order the unsharded serial scan's "first strictly smaller score wins"
+/// loop induces, so the merged winner is the serial winner at any shard
+/// count. Scores are computed independently per server, hence bit-identical
+/// to the unsharded run's (tests/test_sharded_scan.cpp).
+inline void merge_shard_outcome(ScanOutcome& total, const ScanOutcome& shard) {
+  total.feasible += shard.feasible;
+  total.rejected += shard.rejected;
+  if (shard.best == kNoCandidate) return;
+  if (shard.best_score < total.best_score ||
+      (shard.best_score == total.best_score && shard.best < total.best)) {
+    total.best_score = shard.best_score;
+    total.best = shard.best;
+  }
+}
+
+/// Two-level sharded arg-min: `sweep(s)` scans shard s's block (typically
+/// envelope triage + scan_block) and the per-shard minima are merged in
+/// ascending shard order with the lexicographic reduction above. Shards
+/// sweep concurrently on the pool (one task per shard; the calling thread
+/// takes shard 0) or serially when `pool` is null — the merge order and
+/// therefore the result are identical either way.
+template <typename Sweep>
+ScanOutcome scan_shards(std::size_t num_shards, const Sweep& sweep,
+                        ThreadPool* pool) {
+  ScanOutcome total;
+  if (pool == nullptr || num_shards <= 1) {
+    for (std::size_t s = 0; s < num_shards; ++s)
+      merge_shard_outcome(total, sweep(s));
+    return total;
+  }
+  std::vector<std::future<ScanOutcome>> pending;
+  pending.reserve(num_shards - 1);
+  for (std::size_t s = 1; s < num_shards; ++s)
+    pending.push_back(pool->submit([&sweep, s] { return sweep(s); }));
+  total = sweep(0);
+  for (std::future<ScanOutcome>& future : pending)
+    merge_shard_outcome(total, future.get());
   return total;
 }
 
@@ -391,12 +472,53 @@ class ScanPolicy final : public PlacementPolicy {
     // (scan_candidates' future machinery orders the reads after), and read
     // by index — contiguous ascending like the scan itself.
     const bool use_envelope = config_.envelope;
+    // Two-level sharded scan (core/shard.h): when the cluster is partitioned,
+    // each shard's task triages its own contiguous envelope block and
+    // arg-mins it (scan_block, ascending original indices within the block),
+    // and the per-shard minima merge with the lexicographic (score, index)
+    // reduction — the serial unsharded winner at any shard and thread count.
+    // The verdict buffer is sized serially here; shard tasks write and read
+    // disjoint [shard_begin, shard_end) slices of it, so the concurrent
+    // sweeps are race-free.
+    const FleetPartition& partition = cluster.partition();
+    const bool sharded = partition.num_shards() > 1;
     if (use_envelope) {
       verdicts_.resize(n);
-      cluster.envelopes().classify(EnvelopeStore::probe_of(vm),
-                                   verdicts_.data());
+      if (!sharded)
+        cluster.envelopes().classify(EnvelopeStore::probe_of(vm),
+                                     verdicts_.data());
     }
     const ScanOutcome out = [&] {
+      if (sharded) {
+        const std::size_t* original_of = partition.original_of().data();
+        const EnvelopeStore::Probe probe = EnvelopeStore::probe_of(vm);
+        // use_cache / use_envelope are loop-invariant; the branches below
+        // predict perfectly, so one eval covers all four dispatch modes the
+        // unsharded path specializes.
+        const auto eval_row = [&](std::size_t i,
+                                  std::size_t r) -> std::optional<double> {
+          const QuickFit quick = use_envelope
+                                     ? static_cast<QuickFit>(verdicts_[r])
+                                     : timelines[i].quick_fit(vm);
+          if (use_cache)
+            return cache_.probe(i, timelines[i], vm, key, quick, score_);
+          switch (quick) {
+            case QuickFit::kFits: return score_(timelines[i], vm);
+            case QuickFit::kCannotFit: return std::nullopt;
+            case QuickFit::kUnknown: break;
+          }
+          if (!timelines[i].can_fit(vm)) return std::nullopt;
+          return score_(timelines[i], vm);
+        };
+        const auto sweep = [&](std::size_t s) -> ScanOutcome {
+          const std::size_t lo = partition.shard_begin(s);
+          const std::size_t hi = partition.shard_end(s);
+          if (use_envelope && lo < hi)
+            cluster.envelopes().classify(probe, lo, hi, verdicts_.data());
+          return scan_block(lo, hi, original_of, eval_row);
+        };
+        return scan_shards(partition.num_shards(), sweep, pool_.get());
+      }
       if (use_cache) {
         if (use_envelope)
           return scan_candidates(

@@ -1,0 +1,170 @@
+#include "core/shard.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+namespace esva {
+
+std::string to_string(ShardBy by) {
+  switch (by) {
+    case ShardBy::kContiguous:
+      return "contiguous";
+    case ShardBy::kType:
+      return "type";
+    case ShardBy::kBand:
+      return "band";
+    case ShardBy::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+bool parse_shard_by(const std::string& text, ShardBy* out) {
+  if (text == "contiguous") {
+    *out = ShardBy::kContiguous;
+  } else if (text == "type") {
+    *out = ShardBy::kType;
+  } else if (text == "band") {
+    *out = ShardBy::kBand;
+  } else if (text == "hash") {
+    *out = ShardBy::kHash;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// splitmix64 finalizer — the same mixing family the scan's VmShapeHash
+/// uses; a pure function of the index, so the hash layout is deterministic.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Shard id per server for one strategy (header comment). `shards` >= 1.
+std::vector<std::size_t> assign_shards(const std::vector<ServerSpec>& servers,
+                                       std::size_t shards, ShardBy by) {
+  const std::size_t n = servers.size();
+  std::vector<std::size_t> shard(n, 0);
+  if (shards <= 1) return shard;
+  switch (by) {
+    case ShardBy::kContiguous:
+      for (std::size_t i = 0; i < n; ++i) shard[i] = i * shards / n;
+      break;
+    case ShardBy::kType: {
+      // Rank = position in the sorted distinct type_name list; adjacent
+      // ranks share a shard when there are more types than shards, and
+      // spread across distinct shards otherwise. Lexicographic order makes
+      // the ranking independent of fleet order.
+      std::vector<std::string> names;
+      names.reserve(n);
+      for (const ServerSpec& s : servers) names.push_back(s.type_name);
+      std::sort(names.begin(), names.end());
+      names.erase(std::unique(names.begin(), names.end()), names.end());
+      const std::size_t types = names.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t rank = static_cast<std::size_t>(
+            std::lower_bound(names.begin(), names.end(),
+                             servers[i].type_name) -
+            names.begin());
+        shard[i] = rank * shards / types;
+      }
+      break;
+    }
+    case ShardBy::kBand: {
+      // Linear buckets of the Eq. 1 marginal run power per CPU unit between
+      // the fleet's min and max: shard 0 holds the most power-efficient
+      // servers. A homogeneous fleet collapses into band 0.
+      double lo = servers[0].unit_run_power();
+      double hi = lo;
+      for (const ServerSpec& s : servers) {
+        lo = std::min(lo, s.unit_run_power());
+        hi = std::max(hi, s.unit_run_power());
+      }
+      const double span = hi - lo;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (span <= 0.0) continue;  // shard[i] stays 0
+        const double frac = (servers[i].unit_run_power() - lo) / span;
+        shard[i] = std::min(
+            shards - 1, static_cast<std::size_t>(
+                            frac * static_cast<double>(shards)));
+      }
+      break;
+    }
+    case ShardBy::kHash:
+      for (std::size_t i = 0; i < n; ++i)
+        shard[i] = static_cast<std::size_t>(
+            mix64(static_cast<std::uint64_t>(i)) % shards);
+      break;
+  }
+  return shard;
+}
+
+}  // namespace
+
+FleetPartition::FleetPartition(const std::vector<ServerSpec>& servers,
+                               ShardOptions options)
+    : options_(options) {
+  const std::size_t n = servers.size();
+  const std::size_t shards = n == 0
+                                 ? 1
+                                 : std::min<std::size_t>(
+                                       std::max(1, options.shards), n);
+  options_.shards = static_cast<int>(shards);
+  shard_of_ = assign_shards(servers, shards, options.by);
+
+  // Counting sort by shard id: storage rows are assigned in ascending
+  // original order within each shard (stability — the determinism argument
+  // in the header relies on it).
+  begin_.assign(shards + 1, 0);
+  for (std::size_t s : shard_of_) ++begin_[s + 1];
+  for (std::size_t s = 0; s < shards; ++s) begin_[s + 1] += begin_[s];
+  storage_of_.resize(n);
+  original_of_.resize(n);
+  std::vector<std::size_t> cursor(begin_.begin(), begin_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t row = cursor[shard_of_[i]]++;
+    storage_of_[i] = row;
+    original_of_[row] = i;
+  }
+  identity_ = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (storage_of_[i] != i) {
+      identity_ = false;
+      break;
+    }
+  }
+  assert(debug_validate());
+}
+
+bool FleetPartition::debug_validate() const {
+  const std::size_t n = shard_of_.size();
+  const std::size_t shards = num_shards();
+  if (storage_of_.size() != n || original_of_.size() != n) return false;
+  if (begin_.size() != shards + 1) return false;
+  if (begin_.front() != 0 || begin_.back() != n) return false;
+  for (std::size_t s = 0; s < shards; ++s)
+    if (begin_[s] > begin_[s + 1]) return false;
+  std::vector<bool> seen(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t row = storage_of_[i];
+    if (row >= n || seen[row]) return false;
+    seen[row] = true;
+    if (original_of_[row] != i) return false;
+    const std::size_t s = shard_of_[i];
+    if (s >= shards) return false;
+    if (row < begin_[s] || row >= begin_[s + 1]) return false;
+  }
+  // Ascending original indices within each block.
+  for (std::size_t s = 0; s < shards; ++s)
+    for (std::size_t r = begin_[s] + 1; r < begin_[s + 1]; ++r)
+      if (original_of_[r - 1] >= original_of_[r]) return false;
+  return true;
+}
+
+}  // namespace esva

@@ -1,0 +1,123 @@
+// Fleet partitioning: deterministic, contiguous shard blocks over the server
+// fleet.
+//
+// A FleetPartition maps every server (by its original ServerId) into exactly
+// one shard, and lays the fleet out as a *storage permutation* in which each
+// shard occupies one contiguous block [shard_begin(s), shard_end(s)). The
+// EnvelopeStore keeps its packed SoA rows in storage order (PR 7 built the
+// store precisely so "a shard becomes a contiguous envelope block"), so the
+// candidate scan's two-level sharded sweep (core/candidate_scan.h) streams
+// one cache-friendly block per shard task.
+//
+// Two properties make sharding a pure layout/parallelism knob, never a
+// quality knob:
+//
+//   * Determinism — the permutation is a pure function of the server specs
+//     and the ShardOptions: no RNG, no pointer order, no thread count.
+//     Rebuilding the same fleet with the same options yields the same
+//     partition on every host.
+//
+//   * Within-shard stability — inside each shard block, servers appear in
+//     ascending original index. The per-shard arg-min therefore visits its
+//     members in the same relative order the unsharded serial scan does, so
+//     plain strict-< keeps the shard's lowest-index winner; the cross-shard
+//     merge then compares (score, original index) lexicographically, which
+//     reproduces the unsharded serial winner exactly at any shard count
+//     (tests/test_sharded_scan.cpp pins this byte-for-byte).
+//
+// Strategies (CLI --shard-by):
+//   * contiguous — balanced index ranges; the storage permutation is the
+//     identity, so shards=1 is exactly the historical unsharded layout.
+//   * type — group servers by catalog type (lexicographic type_name rank),
+//     adjacent ranks sharing a shard when shards < distinct types.
+//   * band — group by power efficiency: the Eq. 1 marginal run power per CPU
+//     unit (ServerSpec::unit_run_power), linearly bucketed into `shards`
+//     bands between the fleet's min and max.
+//   * hash — splitmix64 of the original index, modulo shards: a load-spread
+//     layout deliberately uncorrelated with the catalog.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/server_spec.h"
+
+namespace esva {
+
+/// Shard-assignment strategy (header comment).
+enum class ShardBy {
+  kContiguous,  ///< balanced index ranges (identity permutation)
+  kType,        ///< by catalog type_name rank
+  kBand,        ///< by power-efficiency band (unit run power)
+  kHash,        ///< splitmix64(index) % shards
+};
+
+std::string to_string(ShardBy by);
+/// Parses "contiguous" / "type" / "band" / "hash"; returns false (and leaves
+/// `out` untouched) on anything else.
+bool parse_shard_by(const std::string& text, ShardBy* out);
+
+/// How to partition the fleet. The defaults (one contiguous shard) reproduce
+/// the unsharded layout exactly.
+struct ShardOptions {
+  /// Shard count; clamped to [1, num_servers] at partition build time.
+  int shards = 1;
+  ShardBy by = ShardBy::kContiguous;
+};
+
+/// The deterministic server -> shard-block mapping (header comment). Built
+/// once per ClusterState and immutable afterwards.
+class FleetPartition {
+ public:
+  /// One server, one shard, identity permutation — the unsharded layout for
+  /// an empty fleet placeholder (ClusterState default-constructs through the
+  /// real constructor, so this exists only for containers).
+  FleetPartition() = default;
+
+  FleetPartition(const std::vector<ServerSpec>& servers, ShardOptions options);
+
+  std::size_t num_servers() const { return shard_of_.size(); }
+  /// Shard count after clamping (>= 1 whenever the fleet is non-empty).
+  std::size_t num_shards() const { return begin_.empty() ? 0 : begin_.size() - 1; }
+  const ShardOptions& options() const { return options_; }
+
+  /// True when the storage permutation is the identity (always for
+  /// kContiguous; coincidentally possible for the others). The scan engine
+  /// keeps the historical single-level chunked path when a partition is
+  /// single-shard, which is always identity.
+  bool identity() const { return identity_; }
+
+  std::size_t shard_of(std::size_t original) const {
+    return shard_of_[original];
+  }
+  /// Storage row of a server (the EnvelopeStore row index).
+  std::size_t storage_of(std::size_t original) const {
+    return storage_of_[original];
+  }
+  /// Storage -> original index map, ascending within each shard block.
+  const std::vector<std::size_t>& original_of() const { return original_of_; }
+
+  /// Shard s occupies storage rows [shard_begin(s), shard_end(s)); blocks
+  /// are adjacent and cover [0, num_servers) exactly. A shard may be empty
+  /// (e.g. more shards than catalog types under kType).
+  std::size_t shard_begin(std::size_t s) const { return begin_[s]; }
+  std::size_t shard_end(std::size_t s) const { return begin_[s + 1]; }
+
+  /// Structural invariants: the permutation is a bijection, blocks tile
+  /// [0, n), members sit inside their shard's block, and original indices
+  /// ascend within each block. O(n); tests only.
+  bool debug_validate() const;
+
+ private:
+  ShardOptions options_;
+  bool identity_ = true;
+  std::vector<std::size_t> shard_of_;     ///< original -> shard
+  std::vector<std::size_t> storage_of_;   ///< original -> storage row
+  std::vector<std::size_t> original_of_;  ///< storage row -> original
+  std::vector<std::size_t> begin_;        ///< shard -> first storage row (n+1 entries)
+};
+
+}  // namespace esva

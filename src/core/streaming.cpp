@@ -43,8 +43,10 @@ std::string to_string(PlacementReject reject) {
 }
 
 ClusterState::ClusterState(std::vector<ServerSpec> servers,
-                           Time initial_horizon)
+                           Time initial_horizon, ShardOptions shard)
     : servers_(std::move(servers)),
+      partition_(servers_, shard),
+      shard_epochs_(partition_.num_shards(), 0),
       active_(servers_.size()),
       retired_hi_(servers_.size(), 0),
       health_(servers_.size(), ServerHealth::kUp),
@@ -52,9 +54,14 @@ ClusterState::ClusterState(std::vector<ServerSpec> servers,
   timelines_.reserve(servers_.size());
   for (const ServerSpec& spec : servers_)
     timelines_.emplace_back(spec, /*base=*/1, horizon_);
-  envelopes_.reset(timelines_);
+  envelopes_.reset(timelines_, partition_.original_of());
   resident_units_ =
       servers_.size() * static_cast<std::size_t>(horizon_);
+}
+
+void ClusterState::refresh_envelope(std::size_t i) {
+  envelopes_.refresh(partition_.storage_of(i), timelines_[i]);
+  ++shard_epochs_[partition_.shard_of(i)];
 }
 
 Time ClusterState::window_base(std::size_t i) const {
@@ -92,7 +99,7 @@ void ClusterState::rebuild(std::size_t i, Time base, Time horizon) {
   resident_units_ += static_cast<std::size_t>(fresh.window_units()) -
                      static_cast<std::size_t>(timelines_[i].window_units());
   timelines_[i] = std::move(fresh);
-  envelopes_.refresh(i, timelines_[i]);
+  refresh_envelope(i);
 }
 
 void ClusterState::stub_timeline(std::size_t i) {
@@ -103,7 +110,7 @@ void ClusterState::stub_timeline(std::size_t i) {
   stub.inherit_epoch(timelines_[i].epoch() + 1);
   resident_units_ -= static_cast<std::size_t>(timelines_[i].window_units());
   timelines_[i] = std::move(stub);
-  envelopes_.refresh(i, timelines_[i]);
+  refresh_envelope(i);
 }
 
 void ClusterState::recompute_next_retire() {
@@ -127,7 +134,7 @@ void ClusterState::place(std::size_t server, const VmSpec& vm) {
   assert(server < timelines_.size());
   assert(placeable(server));
   timelines_[server].place(vm);
-  envelopes_.refresh(server, timelines_[server]);
+  refresh_envelope(server);
   next_retire_ = next_retire_ == 0 ? vm.end : std::min(next_retire_, vm.end);
   active_[server].push_back(vm);
   ++active_count_;
@@ -174,7 +181,15 @@ FleetSample ClusterState::sample(Time t) const {
   FleetSample s;
   s.t = t;
   s.active_vms = static_cast<std::uint32_t>(active_count_);
+  // Partitioned fleets get the per-shard load breakdown alongside the
+  // fleet-wide totals; single-shard clusters leave it empty (the historical
+  // sample shape).
+  const bool per_shard = partition_.num_shards() > 1;
+  if (per_shard) s.shards.resize(partition_.num_shards());
   for (std::size_t i = 0; i < servers_.size(); ++i) {
+    ShardLoad* shard = per_shard ? &s.shards[partition_.shard_of(i)] : nullptr;
+    if (shard)
+      shard->active_vms += static_cast<std::uint32_t>(active_[i].size());
     if (health_[i] == ServerHealth::kFailed) {
       ++s.failed_servers;
       continue;
@@ -192,15 +207,22 @@ FleetSample ClusterState::sample(Time t) const {
       }
     }
     const bool hosting = cpu > 0.0 || mem > 0.0;
-    if (hosting) s.total_power_w += power_at_usage(servers_[i], cpu);
+    if (hosting) {
+      const double power = power_at_usage(servers_[i], cpu);
+      s.total_power_w += power;
+      if (shard) shard->power_w += power;
+    }
     if (health_[i] == ServerHealth::kDrained) {
       ++s.drained_servers;
       continue;  // not placeable: no spare capacity contribution
     }
-    if (hosting)
+    if (hosting) {
       ++s.busy_servers;
-    else
+      if (shard) ++shard->busy_servers;
+    } else {
       ++s.idle_servers;
+      if (shard) ++shard->idle_servers;
+    }
     s.spare_cpu += servers_[i].capacity.cpu - cpu;
     s.spare_mem += servers_[i].capacity.mem - mem;
   }
@@ -270,7 +292,7 @@ VmSpec clip_to(VmSpec vm, Time t) {
 PlacementEngine::PlacementEngine(std::vector<ServerSpec> servers,
                                  PlacementPolicy& policy, Rng& rng,
                                  EngineOptions options)
-    : cluster_(std::move(servers), options.initial_horizon),
+    : cluster_(std::move(servers), options.initial_horizon, options.shard),
       policy_(policy),
       rng_(rng),
       options_(options) {
@@ -557,10 +579,12 @@ void PlacementEngine::drain_retries(Time now) {
 }
 
 Allocation run_batch(const ProblemInstance& problem, PlacementPolicy& policy,
-                     VmOrder order, Rng& rng, const ObsContext& obs) {
+                     VmOrder order, Rng& rng, const ObsContext& obs,
+                     const ShardOptions& shard) {
   EngineOptions options;
   options.initial_horizon = problem.horizon;
   options.obs = obs;
+  options.shard = shard;
   PlacementEngine engine(problem.servers, policy, rng, options);
   Allocation alloc;
   alloc.assignment.assign(problem.num_vms(), kNoServer);
