@@ -34,7 +34,13 @@
 //                        --fleet-speedup-budget (default 1.5x) faster than
 //                        the single-shard serial scan (enforced at the
 //                        --fleet-full 100k tier on >= 4-thread machines,
-//                        full mode). Medians from
+//                        full mode), or if the serve daemon's write-ahead
+//                        journal (on tmpfs, group commit every 32 records)
+//                        costs more than --overhead-budget over the bare
+//                        stream replay at fig2@500 (enforced
+//                        outside --quick; the journal must round-trip to
+//                        the batch assignment and exact total energy
+//                        always). Medians from
 //                        the previous BENCH_perf.json at the same path are
 //                        echoed into an informational "regression" section.
 //   * --gbench         — additionally runs the google-benchmark
@@ -47,6 +53,8 @@
 // obs hook — the honest "what did instrumentation cost us" baseline.
 
 #include <benchmark/benchmark.h>
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -72,6 +80,7 @@
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "serve/journal.h"
 #include "sim/metrics.h"
 #include "sim/replay.h"
 #include "util/cli.h"
@@ -958,6 +967,164 @@ TelemetryReport measure_telemetry(int num_vms, int reps, double budget,
 }
 
 // ---------------------------------------------------------------------------
+// WAL gate: journaled engine submit loop vs the bare stream replay
+// ---------------------------------------------------------------------------
+
+struct WalReport {
+  int num_vms = 0;
+  std::string journal_dir;
+  bool tmpfs = false;  ///< journal landed on /dev/shm (vs TMPDIR fallback)
+  int sync_every = 32;  ///< group-commit batch (the daemon's --wal-sync-every)
+  std::vector<double> stream_ms;
+  std::vector<double> wal_ms;
+  double overhead = 0.0;  ///< best paired ratio minus 1 (see measure_overhead)
+  /// Journal read back through decisions_from_wal + assignment_from_trace
+  /// equals the batch replay's assignment; always enforced.
+  bool assignments_match = false;
+  bool energy_match = false;  ///< exact-double total energy; always enforced
+  std::size_t journal_records = 0;
+  std::size_t journal_bytes = 0;
+  bool overhead_enforced = false;
+  bool pass = true;
+};
+
+/// The serve daemon's durability cost at the fig2@num_vms acceptance point:
+/// the same arrival stream run through a PlacementEngine submit loop that
+/// journals every accepted placement (encode_place_record + WalWriter group
+/// commit at sync_every=32 — the fsync-batched configuration; sync_every=1,
+/// the daemon's conservative default, pays two syscalls per ack and buys
+/// per-record durability instead of throughput) against the bare
+/// `esva stream` replay. The journal lands on tmpfs (/dev/shm, falling back
+/// to TMPDIR) so the gate measures the WAL code path — encode, batch
+/// write, fsync — not a spinning disk. Identity gates always: the journal
+/// must round-trip through the real trace loader to the replay's
+/// assignment, and the journaled run's total energy must equal the
+/// replay's exactly. The <= budget overhead gate enforces outside --quick,
+/// with the same paired-best-ratio estimator as the telemetry guard.
+WalReport measure_wal(int num_vms, int reps, double budget, bool quick) {
+  WalReport report;
+  report.num_vms = num_vms;
+  const ProblemInstance problem = instance_for(num_vms, 42);
+  const std::vector<std::size_t> order = order_by_start(problem.vms);
+  reps = std::max(reps, 13);
+
+  report.tmpfs = ::access("/dev/shm", W_OK) == 0;
+  if (report.tmpfs) {
+    report.journal_dir = "/dev/shm";
+  } else {
+    const char* tmpdir = std::getenv("TMPDIR");
+    report.journal_dir = tmpdir && *tmpdir ? tmpdir : "/tmp";
+  }
+  const std::string journal_path = report.journal_dir + "/esva-bench-" +
+                                   std::to_string(::getpid()) + ".wal";
+
+  const auto run_stream = [&](ReplayReport& out_report) {
+    AllocatorPtr allocator = make_allocator("min-incremental");
+    std::unique_ptr<PlacementPolicy> policy = allocator->make_policy();
+    Rng rng(7);
+    VectorArrivalStream arrivals(problem.vms);
+    out_report = replay_stream(arrivals, problem.servers, *policy, rng,
+                               ReplayOptions{});
+    benchmark::DoNotOptimize(out_report.assignment.data());
+  };
+
+  // The daemon's submit path minus the socket/JSON wire: place in arrival
+  // order, journal each decision after the engine applied it, fsync per the
+  // batch policy, drain. EngineOptions mirror serve::Daemon (and thus
+  // replay_stream) exactly.
+  const auto run_wal = [&](Energy* out_energy) {
+    ::unlink(journal_path.c_str());
+    AllocatorPtr allocator = make_allocator("min-incremental");
+    std::unique_ptr<PlacementPolicy> policy = allocator->make_policy();
+    Rng rng(7);
+    EngineOptions eopts;
+    eopts.initial_horizon = 0;
+    eopts.auto_advance = true;
+    eopts.account_energy = true;
+    eopts.tolerate_late_arrivals = true;
+    PlacementEngine engine(problem.servers, *policy, rng, eopts);
+    serve::WalHeader header;
+    header.allocator = "min-incremental";
+    header.seed = 7;
+    header.num_servers = problem.num_servers();
+    serve::WalWriter wal(journal_path, header, report.sync_every);
+    std::uint64_t seq = 1;
+    for (const std::size_t j : order) {
+      const VmSpec& vm = problem.vms[j];
+      const PlacementDecision decision = engine.submit(vm);
+      wal.append(serve::encode_place_record(seq++, "min-incremental", vm,
+                                            decision,
+                                            engine.total_energy()));
+    }
+    engine.finish_stream();
+    wal.sync();
+    if (out_energy) *out_energy = engine.total_energy();
+  };
+
+  ReplayReport stream;
+  Energy wal_energy = 0.0;
+  // Warm-up, then pair the variants per rep, alternating which goes first:
+  // within-pair drift (frequency step, background load arriving mid-rep)
+  // then penalizes each variant on half the pairs instead of always the
+  // journaled one, and the best-ratio estimator picks the cleanest pair.
+  run_stream(stream);
+  run_wal(&wal_energy);
+  for (int rep = 0; rep < reps; ++rep) {
+    if (rep % 2 == 0) {
+      report.stream_ms.push_back(time_ms([&] { run_stream(stream); }));
+      report.wal_ms.push_back(time_ms([&] { run_wal(&wal_energy); }));
+    } else {
+      report.wal_ms.push_back(time_ms([&] { run_wal(&wal_energy); }));
+      report.stream_ms.push_back(time_ms([&] { run_stream(stream); }));
+    }
+  }
+
+  // Round-trip the surviving journal through the real trace loader: the WAL
+  // is a decision trace, so last-write-wins folding must reproduce the batch
+  // replay's assignment (retries are off here, so submit decisions are
+  // final).
+  const serve::WalFile journal = serve::read_wal(journal_path);
+  report.journal_records = journal.records.size();
+  {
+    std::ifstream in(journal_path, std::ios::binary | std::ios::ate);
+    if (in) report.journal_bytes = static_cast<std::size_t>(in.tellg());
+  }
+  const std::vector<ServerId> replayed = assignment_from_trace(
+      decisions_from_wal(journal.records), problem.vms.size());
+  report.assignments_match = replayed == stream.assignment;
+  report.energy_match = wal_energy == stream.total_energy;
+  ::unlink(journal_path.c_str());
+
+  double best_ratio = kInf;
+  for (std::size_t i = 0; i < report.stream_ms.size(); ++i)
+    best_ratio = std::min(best_ratio, report.wal_ms[i] / report.stream_ms[i]);
+  report.overhead = best_ratio - 1.0;
+  report.overhead_enforced = !quick;
+  report.pass = report.assignments_match && report.energy_match &&
+                (!report.overhead_enforced || report.overhead <= budget);
+
+  std::printf("measuring WAL durability cost (%d VMs, journal on %s, fsync "
+              "every %d)...\n",
+              num_vms, report.journal_dir.c_str(), report.sync_every);
+  std::printf("  bare stream:     %8.2f ms (median)\n",
+              median(report.stream_ms));
+  std::printf("  journaled:       %8.2f ms (median)  -> overhead %+.2f%% "
+              "(best paired ratio, budget %.0f%%, %s) %s\n",
+              median(report.wal_ms), 100.0 * report.overhead, 100.0 * budget,
+              report.overhead_enforced ? "enforced" : "not enforced (--quick)",
+              !report.overhead_enforced || report.overhead <= budget
+                  ? "OK"
+                  : "FAIL");
+  std::printf("  %zu journal records, %zu bytes\n", report.journal_records,
+              report.journal_bytes);
+  std::printf("  journal replays to batch assignment: %s   energy exact: "
+              "%s\n",
+              report.assignments_match ? "yes" : "NO (BUG)",
+              report.energy_match ? "yes" : "NO (BUG)");
+  return report;
+}
+
+// ---------------------------------------------------------------------------
 // Chaos: streaming under a seeded fault plan with the retry queue enabled
 // ---------------------------------------------------------------------------
 
@@ -1288,6 +1455,12 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
   const TelemetryReport telemetry = measure_telemetry(
       quick ? num_vms : 500, reps, overhead_budget, quick);
 
+  // The WAL gate shares the fig2@500 acceptance point (and the telemetry
+  // guard's budget): the serve daemon's journal must cost <= 5% over the
+  // bare stream replay.
+  const WalReport wal =
+      measure_wal(quick ? num_vms : 500, reps, overhead_budget, quick);
+
   const ChaosReport chaos = measure_chaos(num_vms, std::max(2, reps / 2));
 
   const FleetReport fleet =
@@ -1451,6 +1624,27 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
       << "    \"assignments_match\": "
       << (telemetry.assignments_match ? "true" : "false") << ",\n"
       << "    \"pass\": " << (telemetry.pass ? "true" : "false") << "\n  },\n";
+  out << "  \"wal\": {\n"
+      << "    \"allocator\": \"min-incremental\",\n"
+      << "    \"num_vms\": " << wal.num_vms << ",\n"
+      << "    \"journal_dir\": \"" << wal.journal_dir << "\",\n"
+      << "    \"tmpfs\": " << (wal.tmpfs ? "true" : "false") << ",\n"
+      << "    \"sync_every\": " << wal.sync_every << ",\n"
+      << "    \"stream_ms\": " << json_array(wal.stream_ms) << ",\n"
+      << "    \"wal_ms\": " << json_array(wal.wal_ms) << ",\n"
+      << "    \"median_stream_ms\": " << median(wal.stream_ms) << ",\n"
+      << "    \"median_wal_ms\": " << median(wal.wal_ms) << ",\n"
+      << "    \"overhead\": " << wal.overhead << ",\n"
+      << "    \"overhead_budget\": " << overhead_budget << ",\n"
+      << "    \"overhead_enforced\": "
+      << (wal.overhead_enforced ? "true" : "false") << ",\n"
+      << "    \"journal_records\": " << wal.journal_records << ",\n"
+      << "    \"journal_bytes\": " << wal.journal_bytes << ",\n"
+      << "    \"assignments_match\": "
+      << (wal.assignments_match ? "true" : "false") << ",\n"
+      << "    \"energy_match\": " << (wal.energy_match ? "true" : "false")
+      << ",\n"
+      << "    \"pass\": " << (wal.pass ? "true" : "false") << "\n  },\n";
   out << "  \"chaos\": {\n"
       << "    \"allocator\": \"min-incremental\",\n"
       << "    \"num_vms\": " << chaos.num_vms << ",\n"
@@ -1587,6 +1781,20 @@ int run_perf_report(const std::string& out_path, int num_vms, int reps,
     std::fprintf(stderr,
                  "FAIL: telemetry overhead %.2f%% exceeds budget %.0f%%\n",
                  100.0 * telemetry.overhead, 100.0 * overhead_budget);
+    return 1;
+  }
+  if (!wal.assignments_match || !wal.energy_match) {
+    std::fprintf(stderr,
+                 "FAIL: WAL journal did not round-trip to the batch replay "
+                 "(assignment %s, energy %s)\n",
+                 wal.assignments_match ? "ok" : "DIVERGED",
+                 wal.energy_match ? "ok" : "DIVERGED");
+    return 1;
+  }
+  if (!wal.pass) {
+    std::fprintf(stderr,
+                 "FAIL: WAL submit overhead %.2f%% exceeds budget %.0f%%\n",
+                 100.0 * wal.overhead, 100.0 * overhead_budget);
     return 1;
   }
   if (!chaos.pass) {

@@ -1,6 +1,8 @@
 #include "app/commands.h"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstddef>
 #include <fstream>
 #include <memory>
@@ -21,6 +23,9 @@
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/wire.h"
 #include "sim/engine.h"
 #include "sim/metrics.h"
 #include "sim/replay.h"
@@ -623,6 +628,215 @@ int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
   }
 }
 
+namespace {
+
+/// serve_loop polls with a short timeout and re-checks this between rounds;
+/// the handler itself only flips the flag (async-signal-safe).
+std::atomic<bool> g_serve_stop{false};
+
+void serve_stop_handler(int) { g_serve_stop.store(true); }
+
+}  // namespace
+
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  CliParser parser(
+      "esva serve — durable scheduler daemon: line-delimited JSON over a unix "
+      "socket, write-ahead journal + snapshots (docs/SERVE.md)");
+  parser.add_string("servers", "servers.csv", "server trace");
+  parser.add_string("socket", "", "unix socket path to listen on (required)");
+  parser.add_string("wal", "",
+                    "write-ahead journal path (required); an existing journal "
+                    "is replayed on startup");
+  parser.add_string("snapshot", "",
+                    "snapshot path (optional); bounds startup replay to the "
+                    "journal suffix past the snapshot");
+  parser.add_int("wal-sync-every", 1,
+                 "fsync the journal every N records; 1 = every op durable "
+                 "before its ack, N > 1 = group commit");
+  parser.add_int("snapshot-every", 0,
+                 "auto-snapshot after N journaled ops (0 = only on explicit "
+                 "snapshot/drain ops; needs --snapshot)");
+  parser.add_string("allocator", "min-incremental", "policy name");
+  parser.add_int("seed", 42, "seed");
+  parser.add_int("threads", 1,
+                 "candidate-scan threads: 1 = serial (default), 0 = hardware "
+                 "concurrency, N = exactly N; identical results at any count");
+  parser.add_int("shards", 1,
+                 "fleet shard count for the two-level candidate scan "
+                 "(identical results at any count)");
+  parser.add_string("shard-by", "contiguous",
+                    "shard layout: contiguous|type|band|hash (with --shards)");
+  parser.add_int("retry-max", 1,
+                 "total placement attempts per request (initial included); "
+                 "1 disables the retry queue");
+  parser.add_int("retry-delay", 8,
+                 "base delay before the first retry (time units)");
+  parser.add_double("retry-backoff", 2.0,
+                    "multiplier applied to the delay after each failed retry");
+  parser.add_int("retry-queue", 64,
+                 "retry queue capacity; admissions beyond it are rejected");
+  if (!parse_args(parser, args)) return parser_exit_code(parser);
+
+  try {
+    register_extension_allocators();
+    if (parser.get_string("socket").empty())
+      throw std::invalid_argument("--socket is required");
+
+    std::vector<ServerSpec> servers =
+        load_server_trace(parser.get_string("servers"));
+
+    serve::DaemonOptions dopts;
+    dopts.allocator = parser.get_string("allocator");
+    dopts.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+    dopts.wal_path = parser.get_string("wal");
+    dopts.snapshot_path = parser.get_string("snapshot");
+    dopts.wal_sync_every = static_cast<int>(parser.get_int("wal-sync-every"));
+    dopts.snapshot_every =
+        static_cast<std::uint64_t>(parser.get_int("snapshot-every"));
+    dopts.retry.max_attempts = static_cast<int>(parser.get_int("retry-max"));
+    dopts.retry.base_delay = static_cast<Time>(parser.get_int("retry-delay"));
+    dopts.retry.backoff = parser.get_double("retry-backoff");
+    dopts.retry.queue_capacity =
+        static_cast<std::size_t>(parser.get_int("retry-queue"));
+    dopts.scan.threads = static_cast<int>(parser.get_int("threads"));
+    dopts.scan.shards = static_cast<int>(parser.get_int("shards"));
+    if (!parse_shard_by(parser.get_string("shard-by"), &dopts.scan.shard_by))
+      throw std::invalid_argument(
+          "unknown --shard-by '" + parser.get_string("shard-by") +
+          "' (expected contiguous|type|band|hash)");
+
+    serve::Daemon daemon(std::move(servers), dopts);
+    if (daemon.recovered_from_snapshot() || daemon.replayed_records() > 0)
+      out << "recovered: snapshot="
+          << (daemon.recovered_from_snapshot() ? "yes" : "no")
+          << " replayed=" << daemon.replayed_records()
+          << " torn_tail=" << (daemon.recovered_torn_tail() ? "yes" : "no")
+          << " wal_seq=" << daemon.last_seq() << '\n'
+          << std::flush;
+
+    g_serve_stop.store(false);
+    struct sigaction sa{};
+    sa.sa_handler = serve_stop_handler;  // no SA_RESTART: poll returns EINTR
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    daemon.serve_loop(parser.get_string("socket"), g_serve_stop, [&] {
+      out << "listening on " << parser.get_string("socket") << '\n'
+          << std::flush;
+    });
+    // Graceful shutdown checkpoints (journal sync + snapshot) WITHOUT
+    // draining, so a restarted daemon continues the stream mid-flight.
+    daemon.checkpoint();
+    out << "stopped after " << daemon.last_seq() << " journaled ops\n";
+    return 0;
+  } catch (const std::exception& e) {
+    err << "serve: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int cmd_client(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  CliParser parser(
+      "esva client — send requests to a running esva serve daemon; positional "
+      "arguments are raw JSON request lines sent verbatim (first)");
+  parser.add_string("socket", "", "daemon socket path (required)");
+  parser.add_string("place-vms", "",
+                    "VM trace CSV; each request is sent as a place op in "
+                    "start-time order");
+  parser.add_string("faults", "",
+                    "fault-plan CSV; events are interleaved with --place-vms "
+                    "by time (an event at t <= a VM's start precedes it)");
+  parser.add_int("advance", -1, "advance the engine frontier to this time");
+  parser.add_int("retire", -1, "retire this VM id (frees its capacity now)");
+  parser.add_bool("drain", "end-of-stream drain (finish retries, settle)");
+  parser.add_bool("snapshot", "force a durable snapshot");
+  parser.add_bool("stats", "request engine counters + energy (sent last)");
+  parser.add_bool("assignment",
+                  "include the vm->server map in --stats output");
+  if (!parse_args(parser, args)) return parser_exit_code(parser);
+
+  try {
+    if (parser.get_string("socket").empty())
+      throw std::invalid_argument("--socket is required");
+    serve::Client client(parser.get_string("socket"));
+
+    bool failed = false;
+    const auto send = [&](const std::string& line) {
+      const std::string response = client.call(line);
+      out << response << '\n';
+      if (response.rfind("{\"ok\":false", 0) == 0) failed = true;
+    };
+
+    for (const std::string& raw : parser.positional()) send(raw);
+
+    std::vector<FaultEvent> fault_events;
+    if (!parser.get_string("faults").empty())
+      fault_events = load_fault_plan(parser.get_string("faults")).events();
+    const auto send_fault = [&](const FaultEvent& event) {
+      serve::Request req;
+      req.op = serve::OpKind::kFault;
+      req.fault = event;
+      send(serve::encode_request(req));
+    };
+
+    std::size_t next_fault = 0;
+    if (!parser.get_string("place-vms").empty()) {
+      const std::vector<VmSpec> vms = load_vm_trace(
+          parser.get_string("place-vms"), /*dense_ids=*/false);
+      for (const std::size_t j : order_by_start(vms)) {
+        const VmSpec& vm = vms[j];
+        // Mirrors the engine's plan-driven ordering: a fault that fires at
+        // or before this request's start is applied first.
+        while (next_fault < fault_events.size() &&
+               fault_events[next_fault].at <= vm.start)
+          send_fault(fault_events[next_fault++]);
+        serve::Request req;
+        req.op = serve::OpKind::kPlace;
+        req.vm = vm;
+        send(serve::encode_request(req));
+      }
+    }
+    while (next_fault < fault_events.size())
+      send_fault(fault_events[next_fault++]);
+
+    if (parser.get_int("advance") >= 0) {
+      serve::Request req;
+      req.op = serve::OpKind::kAdvance;
+      req.to = static_cast<Time>(parser.get_int("advance"));
+      send(serve::encode_request(req));
+    }
+    if (parser.get_int("retire") >= 0) {
+      serve::Request req;
+      req.op = serve::OpKind::kRetire;
+      req.vm_id = static_cast<VmId>(parser.get_int("retire"));
+      send(serve::encode_request(req));
+    }
+    if (parser.get_bool("drain")) {
+      serve::Request req;
+      req.op = serve::OpKind::kDrain;
+      send(serve::encode_request(req));
+    }
+    if (parser.get_bool("snapshot")) {
+      serve::Request req;
+      req.op = serve::OpKind::kSnapshot;
+      send(serve::encode_request(req));
+    }
+    if (parser.get_bool("stats")) {
+      serve::Request req;
+      req.op = serve::OpKind::kStats;
+      req.with_assignment = parser.get_bool("assignment");
+      send(serve::encode_request(req));
+    }
+    return failed ? 1 : 0;
+  } catch (const std::exception& e) {
+    err << "client: " << e.what() << '\n';
+    return 1;
+  }
+}
+
 int cmd_top(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
   CliParser parser(
@@ -942,6 +1156,10 @@ std::string usage() {
       "  allocate         run an allocation policy over traces\n"
       "  stream           feed requests one at a time through the streaming\n"
       "                   engine; per-request latency + rolling-horizon GC\n"
+      "  serve            long-running scheduler daemon: JSON over a unix\n"
+      "                   socket, write-ahead journal + snapshot recovery\n"
+      "  client           send place/fault/advance/stats requests to a\n"
+      "                   running serve daemon\n"
       "  top              replay a workload and render a terminal fleet\n"
       "                   dashboard (sparklines, latency, energy ledger)\n"
       "  evaluate         price an existing assignment (Eq. 17)\n"
@@ -1002,6 +1220,8 @@ int esva_main(int argc, const char* const* argv, std::ostream& out,
   if (command == "generate") return cmd_generate(args, out, err);
   if (command == "allocate") return cmd_allocate(args, out, err);
   if (command == "stream") return cmd_stream(args, out, err);
+  if (command == "serve") return cmd_serve(args, out, err);
+  if (command == "client") return cmd_client(args, out, err);
   if (command == "top") return cmd_top(args, out, err);
   if (command == "evaluate") return cmd_evaluate(args, out, err);
   if (command == "simulate") return cmd_simulate(args, out, err);

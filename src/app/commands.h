@@ -38,6 +38,10 @@ int cmd_allocate(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err);
 int cmd_stream(const std::vector<std::string>& args, std::ostream& out,
                std::ostream& err);
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+int cmd_client(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
 int cmd_top(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err);
 int cmd_evaluate(const std::vector<std::string>& args, std::ostream& out,

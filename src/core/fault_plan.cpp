@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "util/csv.h"
+#include "util/parse.h"
 
 namespace esva {
 
@@ -17,16 +18,8 @@ namespace {
                            message);
 }
 
-long parse_long(const std::string& field, std::size_t line) {
-  try {
-    std::size_t consumed = 0;
-    const long value = std::stol(field, &consumed);
-    if (consumed != field.size())
-      fail_line(line, "trailing junk in '" + field + "'");
-    return value;
-  } catch (const std::logic_error&) {
-    fail_line(line, "expected an integer, got '" + field + "'");
-  }
+std::string line_context(std::size_t line) {
+  return "fault plan line " + std::to_string(line);
 }
 
 FaultKind parse_kind(const std::string& field, std::size_t line) {
@@ -86,9 +79,12 @@ FaultPlan read_fault_plan(std::istream& in) {
     const std::size_t line = r + 1;
     if (row.size() != 3) fail_line(line, "expected 3 columns");
     FaultEvent e;
-    e.at = static_cast<Time>(parse_long(row[0], line));
+    // parse_field_as range-checks the narrowing into Time/ServerId: an
+    // overflowing field is a structured parse error, never a silent
+    // truncation or an uncaught std::out_of_range (util/parse.h).
+    e.at = parse_field_as<Time>(row[0], line_context(line));
     e.kind = parse_kind(row[1], line);
-    e.server = static_cast<ServerId>(parse_long(row[2], line));
+    e.server = parse_field_as<ServerId>(row[2], line_context(line));
     if (e.at < 1) fail_line(line, "event time must be >= 1");
     if (e.server < 0) fail_line(line, "server id must be >= 0");
     events.push_back(e);

@@ -262,6 +262,89 @@ void ClusterState::recover_server(std::size_t i) {
   rebuild(i, window_base(i), horizon_);
 }
 
+ServerId ClusterState::retire_active(VmId vm) {
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    std::vector<VmSpec>& vms = active_[i];
+    for (std::size_t k = 0; k < vms.size(); ++k) {
+      if (vms[k].id != vm) continue;
+      vms.erase(vms.begin() + static_cast<std::ptrdiff_t>(k));
+      --active_count_;
+      // The VM occupied its server through the last completed unit; anchor
+      // future structure deltas there, exactly like the fail_server path.
+      if (frontier_ > 1) retired_hi_[i] = std::max(retired_hi_[i], frontier_ - 1);
+      // Placeable hosts must drop the freed occupancy from their timeline;
+      // a drained host's timeline is already a stub holding nothing.
+      if (placeable(i)) rebuild(i, window_base(i), horizon_);
+      recompute_next_retire();
+      assert(active_count_ == active_vms_scan());
+      return static_cast<ServerId>(i);
+    }
+  }
+  return kNoServer;
+}
+
+std::vector<ServerStateSnapshot> ClusterState::export_servers() const {
+  std::vector<ServerStateSnapshot> out(servers_.size());
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    out[i].health = health_[i];
+    out[i].retired_hi = retired_hi_[i];
+    out[i].active = active_[i];
+  }
+  return out;
+}
+
+void ClusterState::restore(Time frontier, Time horizon,
+                           const std::vector<ServerStateSnapshot>& servers) {
+  if (servers.size() != servers_.size())
+    throw std::invalid_argument(
+        "ClusterState::restore: snapshot covers " +
+        std::to_string(servers.size()) + " servers, fleet has " +
+        std::to_string(servers_.size()));
+  frontier_ = std::max<Time>(1, frontier);
+  horizon_ = std::max<Time>(0, horizon);
+  resident_units_ = 0;
+  active_count_ = 0;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    const ServerStateSnapshot& snap = servers[i];
+    if (snap.health == ServerHealth::kFailed && !snap.active.empty())
+      throw std::invalid_argument(
+          "ClusterState::restore: failed server " + std::to_string(i) +
+          " has active VMs (fail_server displaces them)");
+    for (const VmSpec& vm : snap.active) {
+      if (!vm.valid() || vm.end > horizon_)
+        throw std::invalid_argument(
+            "ClusterState::restore: active VM " + std::to_string(vm.id) +
+            " on server " + std::to_string(i) +
+            " is invalid or ends past the horizon");
+    }
+    health_[i] = snap.health;
+    retired_hi_[i] = std::max<Time>(0, snap.retired_hi);
+    active_[i] = snap.active;
+    active_count_ += active_[i].size();
+  }
+  // Timelines are rebuilt from scratch: placeable servers get the full
+  // window with sentinel + actives replayed (byte-identical future deltas,
+  // per the GC-invariance argument), non-up servers the frontier stub.
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (placeable(i)) {
+      const Time base = window_base(i);
+      ServerTimeline fresh(servers_[i], base, std::max(horizon_, base - 1));
+      fresh.inherit_epoch(timelines_[i].epoch() + 1);
+      if (retired_hi_[i] > 0) fresh.seed_busy(retired_hi_[i], retired_hi_[i]);
+      for (const VmSpec& vm : active_[i]) fresh.place(vm);
+      resident_units_ += static_cast<std::size_t>(fresh.window_units());
+      timelines_[i] = std::move(fresh);
+    } else {
+      ServerTimeline stub(servers_[i], frontier_, frontier_ - 1);
+      stub.inherit_epoch(timelines_[i].epoch() + 1);
+      timelines_[i] = std::move(stub);
+    }
+    refresh_envelope(i);
+  }
+  recompute_next_retire();
+  assert(active_count_ == active_vms_scan());
+}
+
 void PlacementPolicy::begin(const ClusterState& /*cluster*/, Rng& /*rng*/) {}
 
 void PlacementPolicy::finish(std::size_t /*requests*/,
@@ -378,6 +461,84 @@ void PlacementEngine::finish_stream() {
       next = std::min(next, retry_queue_.front().not_before);
     step_to(next);
   }
+}
+
+void PlacementEngine::apply_fault(const FaultEvent& event) {
+  if (event.at < 1)
+    throw std::invalid_argument("apply_fault: event time " +
+                                std::to_string(event.at) + " precedes time 1");
+  if (event.server < 0 ||
+      static_cast<std::size_t>(event.server) >= cluster_.num_servers())
+    throw std::invalid_argument(
+        "apply_fault: server " + std::to_string(event.server) +
+        " outside the fleet of " + std::to_string(cluster_.num_servers()));
+  // The per-event block of step_to, verbatim: advance to the instant, fire
+  // retries due strictly before it against the pre-event cluster, apply,
+  // then the post-event sample. A later advance_to(t) completes the pattern
+  // exactly as the plan-driven path would.
+  cluster_.advance_to(event.at);
+  drain_retries(event.at - 1);
+  apply_event(event);
+  maybe_sample();
+}
+
+ServerId PlacementEngine::retire_vm(VmId vm) {
+  const ServerId host = cluster_.retire_active(vm);
+  if (host != kNoServer) {
+    peak_resident_ = std::max(peak_resident_, cluster_.resident_time_units());
+    return host;
+  }
+  // Not active: cancel any queued retry attempts for this id (a client
+  // tearing down a VM that is still waiting for capacity).
+  retry_queue_.erase(
+      std::remove_if(retry_queue_.begin(), retry_queue_.end(),
+                     [vm](const PendingRequest& p) { return p.vm.id == vm; }),
+      retry_queue_.end());
+  return kNoServer;
+}
+
+EngineStateSnapshot PlacementEngine::export_state() const {
+  EngineStateSnapshot snap;
+  snap.frontier = cluster_.frontier();
+  snap.horizon = cluster_.horizon();
+  snap.servers = cluster_.export_servers();
+  snap.requests = requests_;
+  snap.placed = placed_;
+  snap.energy = energy_;
+  snap.peak_resident = peak_resident_;
+  snap.fault_cursor = fault_cursor_;
+  snap.retry_seq = retry_seq_;
+  snap.retry_queue.reserve(retry_queue_.size());
+  for (const PendingRequest& p : retry_queue_)
+    snap.retry_queue.push_back(
+        {p.vm, p.not_before, p.attempts, p.displaced, p.waiting_since, p.seq});
+  snap.fault_stats = faults_;
+  snap.resolutions = resolutions_;
+  return snap;
+}
+
+void PlacementEngine::import_state(const EngineStateSnapshot& snap) {
+  cluster_.restore(snap.frontier, snap.horizon, snap.servers);
+  requests_ = snap.requests;
+  placed_ = snap.placed;
+  energy_ = snap.energy;
+  peak_resident_ = snap.peak_resident;
+  fault_cursor_ = snap.fault_cursor;
+  retry_seq_ = snap.retry_seq;
+  retry_queue_.clear();
+  retry_queue_.reserve(snap.retry_queue.size());
+  for (const PendingSnapshot& p : snap.retry_queue) {
+    PendingRequest pending;
+    pending.vm = p.vm;
+    pending.not_before = p.not_before;
+    pending.attempts = p.attempts;
+    pending.displaced = p.displaced;
+    pending.waiting_since = p.waiting_since;
+    pending.seq = p.seq;
+    retry_queue_.push_back(std::move(pending));
+  }
+  faults_ = snap.fault_stats;
+  resolutions_ = snap.resolutions;
 }
 
 void PlacementEngine::apply_event(const FaultEvent& event) {

@@ -191,6 +191,31 @@ class ClusterState {
   /// (tests/test_streaming.cpp).
   void set_eager_rebuild(bool eager) { eager_rebuild_ = eager; }
 
+  // --- restorable state (serve-daemon snapshots, src/serve/snapshot.h) -----
+
+  /// Per-server restorable occupancy: health, the rebuild sentinel, and the
+  /// active VM list in placement order.
+  std::vector<struct ServerStateSnapshot> export_servers() const;
+
+  /// Rebuilds this cluster to a previously exported state: every placeable
+  /// timeline is freshly rebuilt over [window_base, horizon] with the
+  /// retired-busy sentinel seeded and active VMs replayed in order; non-up
+  /// servers get the frontier stub. By the GC-invariance argument in the
+  /// header comment, every decision taken after restore is byte-identical to
+  /// one taken on the cluster the state was exported from. Throws
+  /// std::invalid_argument on a fleet-size mismatch or inconsistent state
+  /// (active VMs on a failed server, a VM ending past the horizon).
+  void restore(Time frontier, Time horizon,
+               const std::vector<struct ServerStateSnapshot>& servers);
+
+  /// Early retirement of an active VM (client-requested teardown before
+  /// vm.end): removes it from its host's active list, re-anchors the rebuild
+  /// sentinel at frontier-1 (the VM occupied its server through the last
+  /// completed unit), and rebuilds the host timeline so the freed capacity is
+  /// visible to the next scan. Returns the host server, or kNoServer when no
+  /// active VM carries this id.
+  ServerId retire_active(VmId vm);
+
  private:
   Time window_base(std::size_t i) const;
   bool should_rebuild(std::size_t i) const;
@@ -366,6 +391,48 @@ struct Resolution {
   ServerId server = kNoServer;
 };
 
+/// Restorable per-server occupancy (EngineStateSnapshot::servers).
+struct ServerStateSnapshot {
+  ServerHealth health = ServerHealth::kUp;
+  /// Latest end among retired VMs — the rebuild sentinel endpoint; 0 = none.
+  Time retired_hi = 0;
+  /// Active VMs in placement order (restore replays them in this order).
+  std::vector<VmSpec> active;
+};
+
+/// A retry-queue entry in restorable form (mirrors PendingRequest).
+struct PendingSnapshot {
+  VmSpec vm;
+  Time not_before = 0;
+  int attempts = 0;
+  bool displaced = false;
+  Time waiting_since = 0;
+  std::uint64_t seq = 0;
+};
+
+/// The complete restorable state of a PlacementEngine, minus the two pieces
+/// a restore supplies out-of-band: the policy (reconstructed by name with the
+/// same seed, so begin() redraws its original probe order) and the Rng words
+/// (Rng::set_state). Export on a live engine, import into a freshly
+/// constructed one over the same fleet: the decision stream continues
+/// byte-identically (tests/test_serve.cpp pins this against an
+/// uninterrupted run). src/serve/snapshot.h is the durable serialization.
+struct EngineStateSnapshot {
+  Time frontier = 1;
+  Time horizon = 0;
+  std::vector<ServerStateSnapshot> servers;
+  std::int64_t requests = 0;
+  std::int64_t placed = 0;
+  Energy energy = 0.0;
+  std::size_t peak_resident = 0;
+  std::size_t fault_cursor = 0;
+  std::uint64_t retry_seq = 0;
+  /// Sorted by (not_before, seq), exactly the live queue order.
+  std::vector<PendingSnapshot> retry_queue;
+  FaultStats fault_stats;
+  std::vector<Resolution> resolutions;
+};
+
 /// Stateful streaming allocator: submit requests in non-decreasing
 /// start-time order (enforced against the frontier), get a decision each.
 class PlacementEngine {
@@ -391,6 +458,36 @@ class PlacementEngine {
   /// every queued retry its (bounded) remaining attempts, so no request is
   /// left in limbo. Idempotent.
   void finish_stream();
+
+  /// Applies one fault event now — the daemon-driven counterpart of a
+  /// FaultPlan bound at construction. Runs exactly the per-event block a
+  /// plan-driven step_to runs (advance the cluster to event.at, fire retries
+  /// due strictly before the instant, then the event), so a journaled fault
+  /// replays byte-identically to the same event in a plan
+  /// (tests/test_serve.cpp pins the equivalence). Throws
+  /// std::invalid_argument on an out-of-fleet server or event.at < 1.
+  void apply_fault(const FaultEvent& event);
+
+  /// Early retirement of VM `vm` (client-requested teardown): if active,
+  /// removes it from its host (ClusterState::retire_active) and returns the
+  /// host; otherwise cancels any retry-queue entries carrying this id and
+  /// returns kNoServer. Deterministic either way, so a journaled retire
+  /// replays exactly.
+  ServerId retire_vm(VmId vm);
+
+  // --- restorable state (serve-daemon snapshots) ---------------------------
+
+  /// Everything needed to continue this engine's decision stream in a fresh
+  /// process (EngineStateSnapshot doc). Export at a quiescent point — not
+  /// mid-submit.
+  EngineStateSnapshot export_state() const;
+
+  /// Restores an exported state into this engine. Call on a freshly
+  /// constructed engine over the same fleet/policy/options, then restore the
+  /// Rng via Rng::set_state — construction already re-ran policy.begin()
+  /// with the original seed, so the policy's own begin-time draws match.
+  /// Throws std::invalid_argument on a fleet-size mismatch.
+  void import_state(const EngineStateSnapshot& snap);
 
   const ClusterState& cluster() const { return cluster_; }
   /// Test/debug passthrough to ClusterState::set_eager_rebuild.

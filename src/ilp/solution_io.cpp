@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/parse.h"
+
 namespace esva {
 
 namespace {
@@ -94,8 +96,12 @@ Allocation allocation_from_solution(const SolverSolution& solution,
     const std::size_t sep = name.find('_', 2);
     if (sep == std::string::npos)
       throw std::runtime_error("solution: malformed x variable '" + name + "'");
-    const int server = std::stoi(name.substr(2, sep - 2));
-    const int vm = std::stoi(name.substr(sep + 1));
+    // Range-checked: an overflowing index like "x_99999999999999_1" is a
+    // structured error, not an uncaught std::out_of_range (util/parse.h).
+    const int server = parse_field_as<int>(name.substr(2, sep - 2),
+                                           "solution variable '" + name + "'");
+    const int vm = parse_field_as<int>(name.substr(sep + 1),
+                                       "solution variable '" + name + "'");
     if (server < 0 || static_cast<std::size_t>(server) >= problem.num_servers() ||
         vm < 0 || static_cast<std::size_t>(vm) >= problem.num_vms())
       throw std::runtime_error("solution: out-of-range variable '" + name + "'");

@@ -1,12 +1,12 @@
 #include "obs/trace.h"
 
-#include <cctype>
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/json.h"
+#include "util/parse.h"
 
 namespace esva {
 
@@ -55,28 +55,6 @@ void JsonlTraceSink::on_decision(const VmDecisionTrace& decision) {
 
 namespace {
 
-void append_escaped(std::string& out, const std::string& s) {
-  out += '"';
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  out += '"';
-}
-
 std::string fmt_energy(Energy e) {
   std::ostringstream out;
   out.precision(12);
@@ -88,7 +66,7 @@ std::string fmt_energy(Energy e) {
 
 std::string to_jsonl(const VmDecisionTrace& decision) {
   std::string out = "{\"allocator\":";
-  append_escaped(out, decision.allocator);
+  out += json::escape(decision.allocator);
   out += ",\"vm\":" + std::to_string(decision.vm);
   out += ",\"chosen\":";
   out += decision.chosen == kNoServer ? "null"
@@ -97,7 +75,7 @@ std::string to_jsonl(const VmDecisionTrace& decision) {
   out += decision.has_chosen_delta ? fmt_energy(decision.chosen_delta) : "null";
   if (!decision.note.empty()) {
     out += ",\"note\":";
-    append_escaped(out, decision.note);
+    out += json::escape(decision.note);
   }
   out += ",\"candidates\":[";
   bool first = true;
@@ -109,7 +87,7 @@ std::string to_jsonl(const VmDecisionTrace& decision) {
     out += candidate.feasible ? "true" : "false";
     if (!candidate.feasible) {
       out += ",\"reject\":";
-      append_escaped(out, to_string(candidate.reject));
+      out += json::escape(to_string(candidate.reject));
       out += ",\"at\":" + std::to_string(candidate.reject_at);
     }
     out += ",\"delta\":";
@@ -121,197 +99,13 @@ std::string to_jsonl(const VmDecisionTrace& decision) {
 }
 
 // ---------------------------------------------------------------------------
-// JSONL parsing — a minimal JSON reader covering exactly what to_jsonl emits
-// (objects, arrays, strings with escapes, numbers, booleans, null).
+// JSONL parsing — built on the shared minimal JSON reader (util/json.h).
+// Unknown keys are ignored, which is what lets the serve journal write a
+// superset of this schema (op/seq/spec/... fields) while every place/retire
+// journal line stays loadable as a decision record (src/serve/journal.h).
 // ---------------------------------------------------------------------------
 
 namespace {
-
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind kind = Kind::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue value = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters");
-    return value;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) {
-    throw std::runtime_error("trace JSON parse error at offset " +
-                             std::to_string(pos_) + ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const std::string& literal) {
-    if (text_.compare(pos_, literal.size(), literal) != 0) return false;
-    pos_ += literal.size();
-    return true;
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') {
-      JsonValue v;
-      v.kind = JsonValue::Kind::String;
-      v.string = parse_string();
-      return v;
-    }
-    if (consume_literal("true")) {
-      JsonValue v;
-      v.kind = JsonValue::Kind::Bool;
-      v.boolean = true;
-      return v;
-    }
-    if (consume_literal("false")) {
-      JsonValue v;
-      v.kind = JsonValue::Kind::Bool;
-      return v;
-    }
-    if (consume_literal("null")) return JsonValue{};
-    return parse_number();
-  }
-
-  JsonValue parse_object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Object;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      v.object.emplace_back(std::move(key), parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue parse_array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Array;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      const char c = peek();
-      ++pos_;
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      const char escape = peek();
-      ++pos_;
-      switch (escape) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          const std::string hex = text_.substr(pos_, 4);
-          pos_ += 4;
-          const long code = std::strtol(hex.c_str(), nullptr, 16);
-          // Traces only escape control characters, all < 0x80; emit as byte.
-          if (code < 0 || code > 0x7f) fail("unsupported \\u escape");
-          out += static_cast<char>(code);
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E'))
-      ++pos_;
-    if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::Number;
-    try {
-      v.number = std::stod(text_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      fail("malformed number");
-    }
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
 
 FitReject reject_from_string(const std::string& s) {
   if (s == "none") return FitReject::None;
@@ -321,12 +115,15 @@ FitReject reject_from_string(const std::string& s) {
   throw std::runtime_error("unknown reject reason '" + s + "'");
 }
 
-double require_number(const JsonValue& obj, const std::string& key) {
-  const JsonValue* v = obj.find(key);
-  if (!v || v->kind != JsonValue::Kind::Number)
-    throw std::runtime_error("trace record missing numeric field '" + key +
-                             "'");
-  return v->number;
+constexpr const char* kCtx = "trace record";
+
+/// "chosen"/"server" fields: an integral server id, with -1 (and null, for
+/// "chosen") meaning kNoServer. Anything below -1, fractional, non-finite,
+/// or beyond ServerId range is a structured error — the old unchecked
+/// double -> int32 cast was UB on exactly those inputs.
+ServerId server_from_field(const json::Value& obj, const std::string& key) {
+  return static_cast<ServerId>(json::require_integer(
+      obj, key, kNoServer, std::numeric_limits<ServerId>::max(), kCtx));
 }
 
 }  // namespace
@@ -336,45 +133,47 @@ std::vector<VmDecisionTrace> load_trace_jsonl(std::istream& in) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    const JsonValue root = JsonParser(line).parse();
-    if (root.kind != JsonValue::Kind::Object)
+    const json::Value root = json::parse(line);
+    if (root.kind != json::Value::Kind::Object)
       throw std::runtime_error("trace line is not a JSON object");
 
     VmDecisionTrace decision;
-    if (const JsonValue* v = root.find("allocator");
-        v && v->kind == JsonValue::Kind::String)
+    if (const json::Value* v = root.find("allocator");
+        v && v->kind == json::Value::Kind::String)
       decision.allocator = v->string;
-    decision.vm = static_cast<VmId>(require_number(root, "vm"));
+    decision.vm = static_cast<VmId>(json::require_integer(
+        root, "vm", 0, std::numeric_limits<VmId>::max(), kCtx));
     // "chosen": null marks a VM the allocator could not place.
-    if (const JsonValue* v = root.find("chosen");
-        v && v->kind == JsonValue::Kind::Null)
+    if (const json::Value* v = root.find("chosen"); v && v->is_null())
       decision.chosen = kNoServer;
     else
-      decision.chosen = static_cast<ServerId>(require_number(root, "chosen"));
-    if (const JsonValue* v = root.find("chosen_delta");
-        v && v->kind == JsonValue::Kind::Number) {
+      decision.chosen = server_from_field(root, "chosen");
+    if (const json::Value* v = root.find("chosen_delta");
+        v && v->kind == json::Value::Kind::Number) {
       decision.has_chosen_delta = true;
       decision.chosen_delta = v->number;
     }
-    if (const JsonValue* v = root.find("note");
-        v && v->kind == JsonValue::Kind::String)
+    if (const json::Value* v = root.find("note");
+        v && v->kind == json::Value::Kind::String)
       decision.note = v->string;
-    if (const JsonValue* v = root.find("candidates");
-        v && v->kind == JsonValue::Kind::Array) {
-      for (const JsonValue& entry : v->array) {
+    if (const json::Value* v = root.find("candidates");
+        v && v->kind == json::Value::Kind::Array) {
+      for (const json::Value& entry : v->array) {
         CandidateTrace candidate;
-        candidate.server = static_cast<ServerId>(require_number(entry, "server"));
-        if (const JsonValue* f = entry.find("feasible");
-            f && f->kind == JsonValue::Kind::Bool)
+        candidate.server = server_from_field(entry, "server");
+        if (const json::Value* f = entry.find("feasible");
+            f && f->kind == json::Value::Kind::Bool)
           candidate.feasible = f->boolean;
-        if (const JsonValue* r = entry.find("reject");
-            r && r->kind == JsonValue::Kind::String)
+        if (const json::Value* r = entry.find("reject");
+            r && r->kind == json::Value::Kind::String)
           candidate.reject = reject_from_string(r->string);
-        if (const JsonValue* a = entry.find("at");
-            a && a->kind == JsonValue::Kind::Number)
-          candidate.reject_at = static_cast<Time>(a->number);
-        if (const JsonValue* d = entry.find("delta");
-            d && d->kind == JsonValue::Kind::Number) {
+        if (const json::Value* a = entry.find("at");
+            a && a->kind == json::Value::Kind::Number)
+          candidate.reject_at = static_cast<Time>(checked_integer(
+              a->number, std::numeric_limits<Time>::min(),
+              std::numeric_limits<Time>::max(), "trace record: field 'at'"));
+        if (const json::Value* d = entry.find("delta");
+            d && d->kind == json::Value::Kind::Number) {
           candidate.has_delta = true;
           candidate.delta = d->number;
         }

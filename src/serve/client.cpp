@@ -1,0 +1,72 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace esva::serve {
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path))
+    throw std::invalid_argument("socket path too long (" +
+                                std::to_string(socket_path.size()) + " >= " +
+                                std::to_string(sizeof(addr.sun_path)) + ")");
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0)
+    throw std::runtime_error(std::string("socket() failed: ") +
+                             std::strerror(errno));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot connect to '" + socket_path +
+                             "': " + std::strerror(err));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::call(const std::string& line) {
+  std::string buf = line;
+  buf += '\n';
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("client write failed: ") +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  for (;;) {
+    const std::size_t nl = inbuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string out = inbuf_.substr(0, nl);
+      inbuf_.erase(0, nl + 1);
+      if (!out.empty() && out.back() == '\r') out.pop_back();
+      return out;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("client read failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) throw std::runtime_error("daemon closed the connection");
+    inbuf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace esva::serve

@@ -1,0 +1,30 @@
+// Minimal blocking client for the esva serve wire protocol: connects to the
+// daemon's unix stream socket and exchanges one line-delimited JSON request
+// per response. Backs `esva client` (app/commands.cpp) and the end-to-end
+// serve tests.
+
+#pragma once
+
+#include <string>
+
+namespace esva::serve {
+
+class Client {
+ public:
+  /// Connects to a listening daemon. Throws std::runtime_error when the
+  /// socket is absent or refuses.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request line (newline appended here) and blocks for the
+  /// response line. Throws std::runtime_error when the daemon hangs up.
+  std::string call(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string inbuf_;
+};
+
+}  // namespace esva::serve

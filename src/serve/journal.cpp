@@ -1,0 +1,342 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "serve/wire.h"
+#include "util/json.h"
+#include "util/parse.h"
+
+namespace esva::serve {
+
+namespace {
+
+constexpr int kWalVersion = 1;
+
+/// u64 quantities (seq, seed) ride as decimal strings: a double-backed JSON
+/// number loses exactness past 2^53.
+std::string u64_field(std::uint64_t v) {
+  std::string out(1, '"');
+  out += std::to_string(v);
+  out += '"';
+  return out;
+}
+
+std::uint64_t require_u64(const json::Value& obj, const std::string& key,
+                          const std::string& context) {
+  const json::Value* v = obj.find(key);
+  if (!v || v->kind != json::Value::Kind::String)
+    throw std::runtime_error(context + ": missing string field '" + key + "'");
+  return parse_u64_field(v->string, context + " field '" + key + "'");
+}
+
+[[noreturn]] void fail_line(std::size_t line, const std::string& what) {
+  throw std::runtime_error("wal line " + std::to_string(line) + ": " + what);
+}
+
+WalHeader decode_header(const json::Value& root, std::size_t line) {
+  if (const json::Value* f = root.find("format");
+      !f || f->kind != json::Value::Kind::String || f->string != "esva-wal")
+    fail_line(line, "not an esva-wal header");
+  const long long version = json::require_integer(
+      root, "version", 1, std::numeric_limits<int>::max(), "wal header");
+  if (version != kWalVersion)
+    fail_line(line, "unsupported wal version " + std::to_string(version));
+  WalHeader h;
+  h.allocator = json::require_string(root, "allocator", "wal header");
+  h.seed = require_u64(root, "seed", "wal header");
+  h.num_servers = static_cast<std::size_t>(json::require_integer(
+      root, "servers", 0, std::numeric_limits<long long>::max(),
+      "wal header"));
+  h.retry.max_attempts = static_cast<int>(json::require_integer(
+      root, "retry_max", 0, std::numeric_limits<int>::max(), "wal header"));
+  h.retry.base_delay = static_cast<Time>(json::require_integer(
+      root, "retry_delay", 0, std::numeric_limits<Time>::max(), "wal header"));
+  h.retry.backoff =
+      require_number_or_hex(root, "retry_backoff", "wal header");
+  h.retry.queue_capacity = static_cast<std::size_t>(json::require_integer(
+      root, "retry_queue", 0, std::numeric_limits<long long>::max(),
+      "wal header"));
+  return h;
+}
+
+WalRecord decode_record(const json::Value& root, const std::string& op,
+                        const std::string& raw, std::size_t line) {
+  WalRecord rec;
+  rec.raw = raw;
+  rec.seq = require_u64(root, "seq", "wal record");
+  const std::string ctx = "wal record";
+  if (op == "place") {
+    rec.op = WalRecord::Op::kPlace;
+    const json::Value* spec = root.find("spec");
+    if (!spec) fail_line(line, "place record missing 'spec'");
+    rec.vm = decode_vm(*spec, "wal place spec");
+    if (const json::Value* c = root.find("chosen"); c && c->is_null())
+      rec.chosen = kNoServer;
+    else
+      rec.chosen = static_cast<ServerId>(json::require_integer(
+          root, "chosen", kNoServer, std::numeric_limits<ServerId>::max(),
+          ctx));
+    if (const json::Value* e = root.find("energy_hex");
+        e && e->kind == json::Value::Kind::String) {
+      rec.has_energy = true;
+      rec.energy_after =
+          parse_double_field(e->string, ctx + " field 'energy_hex'");
+    }
+  } else if (op == "retire") {
+    rec.op = WalRecord::Op::kRetire;
+    rec.vm_id = static_cast<VmId>(json::require_integer(
+        root, "vm", 0, std::numeric_limits<VmId>::max(), ctx));
+    if (const json::Value* s = root.find("server"); s && !s->is_null())
+      rec.chosen = static_cast<ServerId>(json::require_integer(
+          root, "server", kNoServer, std::numeric_limits<ServerId>::max(),
+          ctx));
+  } else if (op == "advance") {
+    rec.op = WalRecord::Op::kAdvance;
+    rec.to = static_cast<Time>(json::require_integer(
+        root, "to", std::numeric_limits<Time>::min(),
+        std::numeric_limits<Time>::max(), ctx));
+  } else if (op == "fault") {
+    rec.op = WalRecord::Op::kFault;
+    rec.fault.at = static_cast<Time>(json::require_integer(
+        root, "at", 1, std::numeric_limits<Time>::max(), ctx));
+    const std::string& kind = json::require_string(root, "kind", ctx);
+    if (kind == "fail")
+      rec.fault.kind = FaultKind::kFail;
+    else if (kind == "drain")
+      rec.fault.kind = FaultKind::kDrain;
+    else if (kind == "recover")
+      rec.fault.kind = FaultKind::kRecover;
+    else
+      fail_line(line, "unknown fault kind '" + kind + "'");
+    rec.fault.server = static_cast<ServerId>(json::require_integer(
+        root, "server", 0, std::numeric_limits<ServerId>::max(), ctx));
+  } else if (op == "drain") {
+    rec.op = WalRecord::Op::kDrain;
+  } else {
+    fail_line(line, "unknown record op '" + op + "'");
+  }
+  return rec;
+}
+
+}  // namespace
+
+std::string encode_wal_header(const WalHeader& header) {
+  std::string out = "{\"op\":\"hdr\",\"format\":\"esva-wal\",\"version\":" +
+                    std::to_string(kWalVersion);
+  out += ",\"allocator\":" + json::escape(header.allocator);
+  out += ",\"seed\":" + u64_field(header.seed);
+  out += ",\"servers\":" + std::to_string(header.num_servers);
+  out += ",\"retry_max\":" + std::to_string(header.retry.max_attempts);
+  out += ",\"retry_delay\":" + std::to_string(header.retry.base_delay);
+  out += ",\"retry_backoff\":" + hex_double(header.retry.backoff);
+  out += ",\"retry_queue\":" + std::to_string(header.retry.queue_capacity);
+  out += '}';
+  return out;
+}
+
+std::string encode_place_record(std::uint64_t seq, const std::string& allocator,
+                                const VmSpec& vm,
+                                const PlacementDecision& decision,
+                                Energy energy_after) {
+  // Key-compatible with to_jsonl(VmDecisionTrace): "vm" and "chosen" mean
+  // exactly what the trace loader expects; everything else is a superset.
+  // Append-only construction: this runs once per acked placement, and the
+  // BENCH_perf.json "wal" gate holds the whole journal path to <= 5% over
+  // the bare stream replay.
+  std::string out;
+  out.reserve(288);
+  out += "{\"op\":\"place\",\"seq\":\"";
+  out += std::to_string(seq);
+  out += "\",\"allocator\":";
+  out += json::escape(allocator);
+  out += ",\"vm\":";
+  out += std::to_string(vm.id);
+  out += ",\"chosen\":";
+  out += decision.server == kNoServer ? "null" : std::to_string(decision.server);
+  out += ",\"reject\":";
+  out += json::escape(esva::to_string(decision.reject));
+  out += ",\"spec\":";
+  append_vm(out, vm);
+  out += ",\"energy_hex\":";
+  append_hex_double(out, energy_after);
+  out += '}';
+  return out;
+}
+
+std::string encode_retire_record(std::uint64_t seq, VmId vm, ServerId host) {
+  std::string out = "{\"op\":\"retire\",\"seq\":" + u64_field(seq);
+  out += ",\"vm\":" + std::to_string(vm);
+  // "chosen":null is the trace-schema half: last-write-wins over the journal
+  // resolves a retired VM to kNoServer, exactly like a rejected one.
+  out += ",\"chosen\":null,\"note\":\"retired\"";
+  out += ",\"server\":";
+  out += host == kNoServer ? "null" : std::to_string(host);
+  out += '}';
+  return out;
+}
+
+std::string encode_advance_record(std::uint64_t seq, Time to) {
+  return "{\"op\":\"advance\",\"seq\":" + u64_field(seq) +
+         ",\"to\":" + std::to_string(to) + '}';
+}
+
+std::string encode_fault_record(std::uint64_t seq, const FaultEvent& event) {
+  std::string out = "{\"op\":\"fault\",\"seq\":" + u64_field(seq);
+  out += ",\"at\":" + std::to_string(event.at);
+  out += ",\"kind\":" + json::escape(esva::to_string(event.kind));
+  out += ",\"server\":" + std::to_string(event.server);
+  out += '}';
+  return out;
+}
+
+std::string encode_drain_record(std::uint64_t seq) {
+  return "{\"op\":\"drain\",\"seq\":" + u64_field(seq) + '}';
+}
+
+WalFile read_wal(const std::string& path) {
+  WalFile wal;
+  std::ifstream in(path);
+  if (!in) return wal;  // no journal yet: fresh daemon
+
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    lines.push_back(line);
+  }
+  if (lines.empty()) return wal;
+
+  bool have_header = false;
+  std::uint64_t prev_seq = 0;
+  for (std::size_t k = 0; k < lines.size(); ++k) {
+    const bool last = k + 1 == lines.size();
+    try {
+      const json::Value root = json::parse(lines[k]);
+      if (root.kind != json::Value::Kind::Object)
+        fail_line(k + 1, "record is not a JSON object");
+      const std::string& op = json::require_string(root, "op", "wal record");
+      if (op == "hdr") {
+        if (have_header) fail_line(k + 1, "duplicate header");
+        if (k != 0) fail_line(k + 1, "header not on the first line");
+        wal.header = decode_header(root, k + 1);
+        wal.has_header = true;
+        have_header = true;
+        continue;
+      }
+      if (!have_header) fail_line(k + 1, "journal does not start with a header");
+      WalRecord rec = decode_record(root, op, lines[k], k + 1);
+      if (rec.seq <= prev_seq)
+        fail_line(k + 1, "sequence numbers must strictly increase (" +
+                             std::to_string(rec.seq) + " after " +
+                             std::to_string(prev_seq) + ")");
+      prev_seq = rec.seq;
+      wal.records.push_back(std::move(rec));
+    } catch (const std::exception&) {
+      if (last) {
+        // The crash window of an append: a torn final line is dropped, not
+        // fatal — the op it would have recorded was never acked as durable.
+        wal.torn_tail = true;
+        break;
+      }
+      throw;  // mid-file corruption is a hard error, never skipped
+    }
+  }
+  return wal;
+}
+
+std::vector<VmDecisionTrace> decisions_from_wal(
+    const std::vector<WalRecord>& records) {
+  std::string jsonl;
+  for (const WalRecord& rec : records)
+    if (rec.op == WalRecord::Op::kPlace || rec.op == WalRecord::Op::kRetire) {
+      jsonl += rec.raw;
+      jsonl += '\n';
+    }
+  std::istringstream in(jsonl);
+  return load_trace_jsonl(in);
+}
+
+WalWriter::WalWriter(const std::string& path, const WalHeader& fresh_header,
+                     int sync_every)
+    : sync_every_(sync_every < 1 ? 1 : sync_every) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    throw std::runtime_error("cannot open wal '" + path +
+                             "': " + std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("cannot stat wal '" + path + "'");
+  }
+  if (st.st_size == 0) {
+    append(encode_wal_header(fresh_header));
+    sync();
+  }
+}
+
+WalWriter::~WalWriter() {
+  // Best-effort flush of a pending batch (a clean destruction mid-batch
+  // should reach the kernel like every completed batch did), then close.
+  // Durability against power loss stays the sync schedule's job, not the
+  // destructor's, and destructor errors are swallowed — a crashing daemon
+  // never gets here, which is exactly what the SIGKILL recovery tests
+  // simulate.
+  if (fd_ < 0) return;
+  try {
+    flush_pending();
+  } catch (...) {
+  }
+  ::close(fd_);
+}
+
+bool WalWriter::append(const std::string& line) {
+  // Group commit: records accumulate in the user-space batch buffer and hit
+  // the kernel as one write() + one fsync() per sync_every records (the
+  // write() syscall, not the encode, dominates per-record journal cost —
+  // see the BENCH_perf.json "wal" gate). With sync_every == 1 this is the
+  // classic write+fsync before every ack. The batch write is a single
+  // O_APPEND write(), so concurrent writers interleave at batch
+  // granularity, never mid-line.
+  pending_ += line;
+  pending_ += '\n';
+  ++appended_;
+  if (++since_sync_ >= sync_every_) {
+    sync();
+    return true;
+  }
+  return false;
+}
+
+void WalWriter::flush_pending() {
+  std::size_t off = 0;
+  while (off < pending_.size()) {
+    const ssize_t n = ::write(fd_, pending_.data() + off,
+                              pending_.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("wal append failed: ") +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  pending_.clear();
+}
+
+void WalWriter::sync() {
+  flush_pending();
+  if (fd_ >= 0 && ::fsync(fd_) != 0)
+    throw std::runtime_error(std::string("wal fsync failed: ") +
+                             std::strerror(errno));
+  since_sync_ = 0;
+}
+
+}  // namespace esva::serve

@@ -1,0 +1,155 @@
+// Write-ahead journal of the esva serve daemon: one JSONL record per
+// state-changing operation, appended *after* the engine applied it and
+// fsynced (in configurable batches) before the client sees the ack.
+//
+// Record schema (docs/FORMATS.md#wal):
+//
+//   header   {"op":"hdr","format":"esva-wal","version":1,"allocator":...,
+//             "seed":"S","servers":N,"retry_max":...,"retry_delay":...,
+//             "retry_backoff":"0x...","retry_queue":N}
+//   place    {"op":"place","seq":"K","allocator":...,"vm":J,
+//             "chosen":S|null,"reject":"...",?"note":...,
+//             "spec":{...encode_vm...},"energy_hex":"0x..."}
+//   retire   {"op":"retire","seq":"K","vm":J,"chosen":null,
+//             "server":S|null,"note":"retired"}
+//   advance  {"op":"advance","seq":"K","to":T}
+//   fault    {"op":"fault","seq":"K","at":T,"kind":"fail","server":S}
+//   drain    {"op":"drain","seq":"K"}
+//
+// place and retire records are deliberate *supersets* of the decision-trace
+// schema (obs/trace.h): they carry "vm" and "chosen" exactly as to_jsonl
+// would, so decisions_from_wal() can feed them straight through
+// load_trace_jsonl and assignment_from_trace — a WAL is also a decision
+// trace of the daemon's lifetime (last-write-wins gives the final hosting,
+// retires landing as kNoServer). The extra keys (op/seq/spec/energy_hex) are
+// ignored by the trace loader.
+//
+// Recovery does NOT trust recorded outcomes: it re-runs the deterministic
+// engine over the journaled *inputs* (advance and fault records trigger
+// policy-invoking retries and evacuations that a record-application scheme
+// could not reproduce). The recorded "chosen" and cumulative "energy_hex"
+// then act as replay-fidelity checksums — any divergence from the live run
+// is a hard error, not silent corruption (serve/daemon.cpp).
+//
+// Torn tails: a malformed or truncated LAST line (the crash window of an
+// append) is dropped and flagged; malformed records anywhere else are hard
+// errors.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/vm.h"
+#include "core/fault_plan.h"
+#include "core/streaming.h"
+#include "obs/trace.h"
+#include "util/types.h"
+
+namespace esva::serve {
+
+/// Journal-identity header: replaying a WAL under a different configuration
+/// would silently produce a different daemon, so recovery hard-errors on any
+/// mismatch.
+struct WalHeader {
+  std::string allocator;
+  std::uint64_t seed = 0;
+  std::size_t num_servers = 0;
+  RetryPolicy retry;
+};
+
+/// One replayable journal record (the decoded form of the schema above).
+struct WalRecord {
+  enum class Op { kPlace, kRetire, kAdvance, kFault, kDrain };
+  Op op = Op::kPlace;
+  std::uint64_t seq = 0;
+  VmSpec vm;                    ///< kPlace: the submitted spec
+  VmId vm_id = 0;               ///< kRetire
+  Time to = 0;                  ///< kAdvance
+  FaultEvent fault;             ///< kFault
+  /// kPlace/kRetire replay checksums: the recorded outcome.
+  ServerId chosen = kNoServer;
+  bool has_energy = false;
+  Energy energy_after = 0.0;    ///< cumulative engine energy after the op
+  /// The verbatim journal line (decisions_from_wal re-parses it through the
+  /// decision-trace loader).
+  std::string raw;
+};
+
+struct WalFile {
+  WalHeader header;
+  /// False when the file was absent or empty (header is then meaningless).
+  bool has_header = false;
+  std::vector<WalRecord> records;
+  /// True when a torn final line was dropped (crash mid-append).
+  bool torn_tail = false;
+};
+
+// --- record encoders (daemon side) -----------------------------------------
+
+std::string encode_wal_header(const WalHeader& header);
+std::string encode_place_record(std::uint64_t seq, const std::string& allocator,
+                                const VmSpec& vm,
+                                const PlacementDecision& decision,
+                                Energy energy_after);
+std::string encode_retire_record(std::uint64_t seq, VmId vm, ServerId host);
+std::string encode_advance_record(std::uint64_t seq, Time to);
+std::string encode_fault_record(std::uint64_t seq, const FaultEvent& event);
+std::string encode_drain_record(std::uint64_t seq);
+
+/// Parses a whole journal. Throws std::runtime_error on a missing/invalid
+/// header or a malformed non-final record; a malformed final line only sets
+/// torn_tail. An empty path-or-file yields an empty WalFile with a
+/// default-constructed header (records empty) — callers treat that as a
+/// fresh journal.
+WalFile read_wal(const std::string& path);
+
+/// The place/retire records as decision-trace entries, via the real trace
+/// loader (load_trace_jsonl) — pinning that every journal line stays
+/// schema-compatible with obs/trace.h. Last-write-wins over these (e.g.
+/// assignment_from_trace) yields the daemon's final hosting.
+std::vector<VmDecisionTrace> decisions_from_wal(
+    const std::vector<WalRecord>& records);
+
+/// Append-only journal writer over a raw fd (O_APPEND) with group commit:
+/// appended records accumulate in a user-space batch buffer that reaches
+/// the kernel as one write() followed by one fsync() per `sync_every`
+/// records (and on explicit sync()). With sync_every == 1 every record is
+/// written and durable before its ack; larger values widen the crash
+/// window — a process or power crash loses at most the un-synced batch of
+/// sync_every - 1 acked records, which replay-after-restart recovers from
+/// the clients' perspective as at-least-once. Each batch lands in a single
+/// O_APPEND write(), so concurrent writers never interleave mid-line.
+class WalWriter {
+ public:
+  /// Opens (creating if absent) for append. `fresh_header` is written — and
+  /// synced — only when the file is empty.
+  WalWriter(const std::string& path, const WalHeader& fresh_header,
+            int sync_every);
+  /// Best-effort flush of any pending batch, then close (never throws).
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record line (newline added here). Returns true when the
+  /// batch boundary was reached and the journal was fsynced.
+  bool append(const std::string& line);
+
+  /// Writes any pending batch and fsyncs (drain, snapshot, shutdown).
+  void sync();
+
+  std::uint64_t appended() const { return appended_; }
+
+ private:
+  /// write()s the pending batch buffer to the fd and clears it.
+  void flush_pending();
+
+  int fd_ = -1;
+  int sync_every_ = 1;
+  int since_sync_ = 0;
+  std::uint64_t appended_ = 0;
+  std::string pending_;  ///< buffered un-written records, capacity reused
+};
+
+}  // namespace esva::serve

@@ -1,0 +1,59 @@
+// Minimal JSON reader/writer helpers shared by the decision-trace loader
+// (obs/trace.cpp), the serve wire protocol, and the journal/snapshot codecs
+// (src/serve/). Covers exactly the JSON subset those formats emit — objects,
+// arrays, strings with escapes, numbers, booleans, null — with no external
+// dependency.
+//
+// Numbers are held as doubles (the JSON model); consumers that need an exact
+// integer go through the checked accessors below or util/parse.h's
+// checked_integer, which reject non-integral and out-of-range values instead
+// of casting blindly. 64-bit-exact quantities (rng words, sequence numbers
+// beyond 2^53) are carried as decimal *strings* in our formats.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace esva::json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  /// First member with the given key (objects preserve insertion order);
+  /// null when absent or when this value is not an object.
+  const Value* find(const std::string& key) const;
+
+  bool is_null() const { return kind == Kind::Null; }
+};
+
+/// Parses one complete JSON document. Throws std::runtime_error
+/// ("json parse error at offset N: ...") on malformed input, trailing
+/// characters, or excessive nesting.
+Value parse(const std::string& text);
+
+/// Serializes a string as a JSON string literal, quotes included (control
+/// characters become \uXXXX escapes).
+std::string escape(const std::string& s);
+
+// --- checked field accessors ------------------------------------------------
+// All throw std::runtime_error("<context>: ...") when the key is missing or
+// the wrong kind; the integer form additionally rejects non-integral and
+// out-of-range numbers.
+
+double require_number(const Value& obj, const std::string& key,
+                      const std::string& context);
+long long require_integer(const Value& obj, const std::string& key,
+                          long long lo, long long hi,
+                          const std::string& context);
+const std::string& require_string(const Value& obj, const std::string& key,
+                                  const std::string& context);
+
+}  // namespace esva::json

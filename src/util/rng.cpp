@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace esva {
 
@@ -78,5 +79,11 @@ std::size_t Rng::index(std::size_t n) {
 }
 
 Rng Rng::split() { return Rng(next_u64()); }
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& s) {
+  if ((s[0] | s[1] | s[2] | s[3]) == 0)
+    throw std::invalid_argument("Rng::set_state: all-zero state");
+  s_ = s;
+}
 
 }  // namespace esva

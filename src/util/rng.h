@@ -70,6 +70,15 @@ class Rng {
   /// its own stream while keeping the experiment seed stable.
   Rng split();
 
+  /// Raw 256-bit xoshiro state — the snapshot/restore hook the serve daemon
+  /// uses so a recovered engine continues the exact random sequence
+  /// (src/serve/snapshot.h).
+  std::array<std::uint64_t, 4> state() const { return s_; }
+
+  /// Restores a state captured by state(). Throws std::invalid_argument on
+  /// the all-zero state (xoshiro's fixed point, which state() never yields).
+  void set_state(const std::array<std::uint64_t, 4>& s);
+
  private:
   std::array<std::uint64_t, 4> s_{};
 };

@@ -3,8 +3,10 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "util/csv.h"
+#include "util/parse.h"
 
 namespace esva {
 
@@ -15,26 +17,18 @@ namespace {
                            message);
 }
 
-double parse_double(const std::string& field, std::size_t line) {
-  try {
-    std::size_t consumed = 0;
-    const double value = std::stod(field, &consumed);
-    if (consumed != field.size()) fail(line, "trailing junk in '" + field + "'");
-    return value;
-  } catch (const std::logic_error&) {
-    fail(line, "expected a number, got '" + field + "'");
-  }
+std::string line_context(std::size_t line) {
+  return "trace line " + std::to_string(line);
 }
 
-long parse_long(const std::string& field, std::size_t line) {
-  try {
-    std::size_t consumed = 0;
-    const long value = std::stol(field, &consumed);
-    if (consumed != field.size()) fail(line, "trailing junk in '" + field + "'");
-    return value;
-  } catch (const std::logic_error&) {
-    fail(line, "expected an integer, got '" + field + "'");
-  }
+// Shared hardened field parsers (util/parse.h): overflow, trailing garbage,
+// and the narrowing into Time/VmId/ServerId are all structured errors.
+double parse_double(const std::string& field, std::size_t line) {
+  return parse_double_field(field, line_context(line));
+}
+
+long long parse_long(const std::string& field, std::size_t line) {
+  return parse_int_field(field, line_context(line));
 }
 
 }  // namespace
@@ -104,21 +98,22 @@ void write_server_trace(std::ostream& out,
   }
 }
 
-std::vector<VmSpec> read_vm_trace(std::istream& in) {
+std::vector<VmSpec> read_vm_trace(std::istream& in, bool dense_ids) {
   const auto rows = read_csv(in);
   if (rows.empty()) throw std::runtime_error("vm trace: empty file");
   std::vector<VmSpec> vms;
+  std::unordered_set<VmId> seen_ids;
   for (std::size_t r = 1; r < rows.size(); ++r) {  // rows[0] is the header
     const auto& row = rows[r];
     const std::size_t line = r + 1;
     if (row.size() != 6 && row.size() != 7) fail(line, "expected 6 or 7 columns");
     VmSpec vm;
-    vm.id = static_cast<VmId>(parse_long(row[0], line));
+    vm.id = parse_field_as<VmId>(row[0], line_context(line));
     vm.type_name = row[1];
     vm.demand.cpu = parse_double(row[2], line);
     vm.demand.mem = parse_double(row[3], line);
-    vm.start = static_cast<Time>(parse_long(row[4], line));
-    vm.end = static_cast<Time>(parse_long(row[5], line));
+    vm.start = parse_field_as<Time>(row[4], line_context(line));
+    vm.end = parse_field_as<Time>(row[5], line_context(line));
     if (row.size() == 7 && !row[6].empty()) {
       if (vm.end < vm.start) fail(line, "invalid vm interval");
       const auto profile = decode_profile(row[6], line);
@@ -127,8 +122,12 @@ std::vector<VmSpec> read_vm_trace(std::istream& in) {
       vm.set_profile(profile);
     }
     if (!vm.valid()) fail(line, "invalid vm spec");
-    if (vm.id != static_cast<VmId>(vms.size()))
-      fail(line, "vm ids must be dense and in order");
+    if (dense_ids) {
+      if (vm.id != static_cast<VmId>(vms.size()))
+        fail(line, "vm ids must be dense and in order");
+    } else if (!seen_ids.insert(vm.id).second) {
+      fail(line, "duplicate vm id " + std::to_string(vm.id));
+    }
     vms.push_back(std::move(vm));
   }
   return vms;
@@ -143,7 +142,7 @@ std::vector<ServerSpec> read_server_trace(std::istream& in) {
     const std::size_t line = r + 1;
     if (row.size() != 7) fail(line, "expected 7 columns");
     ServerSpec s;
-    s.id = static_cast<ServerId>(parse_long(row[0], line));
+    s.id = parse_field_as<ServerId>(row[0], line_context(line));
     s.type_name = row[1];
     s.capacity.cpu = parse_double(row[2], line);
     s.capacity.mem = parse_double(row[3], line);
@@ -175,8 +174,9 @@ Allocation read_assignment(std::istream& in, std::size_t num_vms) {
     const auto& row = rows[r];
     const std::size_t line = r + 1;
     if (row.size() != 2) fail(line, "expected 2 columns");
-    const long vm = parse_long(row[0], line);
-    const long server = parse_long(row[1], line);
+    const long long vm = parse_field_as<VmId>(row[0], line_context(line));
+    const long long server =
+        parse_field_as<ServerId>(row[1], line_context(line));
     if (vm < 0 || static_cast<std::size_t>(vm) >= num_vms)
       fail(line, "vm_id out of range");
     if (seen[static_cast<std::size_t>(vm)])
@@ -220,9 +220,9 @@ void save_server_trace(const std::string& path,
   write_server_trace(out, servers);
 }
 
-std::vector<VmSpec> load_vm_trace(const std::string& path) {
+std::vector<VmSpec> load_vm_trace(const std::string& path, bool dense_ids) {
   auto in = open_in(path);
-  return read_vm_trace(in);
+  return read_vm_trace(in, dense_ids);
 }
 
 std::vector<ServerSpec> load_server_trace(const std::string& path) {

@@ -25,8 +25,10 @@ void write_server_trace(std::ostream& out,
 
 /// Parse traces; throws std::runtime_error with a line-numbered message on
 /// malformed input (wrong column count, non-numeric fields, invalid specs,
-/// non-dense ids).
-std::vector<VmSpec> read_vm_trace(std::istream& in);
+/// non-dense ids). The batch pipeline indexes assignments by VM position, so
+/// it keeps `dense_ids` on; `esva client` feeds arbitrary trace slices to a
+/// running daemon and passes false (ids must then only be unique).
+std::vector<VmSpec> read_vm_trace(std::istream& in, bool dense_ids = true);
 std::vector<ServerSpec> read_server_trace(std::istream& in);
 
 /// Assignment persistence. `num_vms` fixes the assignment vector size; rows
@@ -41,7 +43,8 @@ void save_vm_trace(const std::string& path, const std::vector<VmSpec>& vms);
 void save_server_trace(const std::string& path,
                        const std::vector<ServerSpec>& servers);
 void save_assignment(const std::string& path, const Allocation& alloc);
-std::vector<VmSpec> load_vm_trace(const std::string& path);
+std::vector<VmSpec> load_vm_trace(const std::string& path,
+                                  bool dense_ids = true);
 std::vector<ServerSpec> load_server_trace(const std::string& path);
 Allocation load_assignment(const std::string& path, std::size_t num_vms);
 

@@ -144,6 +144,61 @@ TEST(AssignmentFromTrace, LastDecisionWinsAndThrowsOnBadVm) {
   EXPECT_THROW(assignment_from_trace({rogue}, 2), std::runtime_error);
 }
 
+TEST(AssignmentFromTrace, NullChosenOverridesEarlierPlacement) {
+  // Pins the retire/rejection half of last-write-wins: a later record with
+  // chosen == kNoServer ("chosen":null on the wire) resolves the VM to
+  // unhosted — the contract the serve daemon's retire records rely on
+  // (serve/journal.h).
+  VmDecisionTrace placed = sample_decision();
+  placed.vm = 1;
+  placed.chosen = 3;
+  VmDecisionTrace retired = placed;
+  retired.chosen = kNoServer;
+  retired.note = "retired";
+  const std::vector<ServerId> assignment =
+      assignment_from_trace({placed, retired}, 2);
+  EXPECT_EQ(assignment[1], kNoServer);
+  // And the reverse order re-hosts it: strictly positional, no merging.
+  const std::vector<ServerId> rehosted =
+      assignment_from_trace({retired, placed}, 2);
+  EXPECT_EQ(rehosted[1], 3);
+}
+
+TEST(TraceJsonl, RejectedVmRoundTripsAsNullChosen) {
+  VmDecisionTrace rejected = sample_decision();
+  rejected.vm = 5;
+  rejected.chosen = kNoServer;
+  const std::string line = to_jsonl(rejected);
+  EXPECT_NE(line.find("\"chosen\":null"), std::string::npos) << line;
+  std::istringstream in(line + "\n");
+  const std::vector<VmDecisionTrace> parsed = load_trace_jsonl(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].chosen, kNoServer);
+  EXPECT_EQ(assignment_from_trace(parsed, 6)[5], kNoServer);
+}
+
+TEST(TraceJsonl, UnknownKeysAreIgnoredForForwardCompat) {
+  // The serve WAL writes trace-schema supersets (extra op/seq/spec/
+  // energy_hex keys); the loader must keep accepting them.
+  std::istringstream in(
+      R"({"op":"place","seq":"9","vm":2,"chosen":1,"energy_hex":"0x1p+3",)"
+      R"("spec":{"id":2,"cpu":"0x1p+0"},"future_field":[1,{"x":null}]})"
+      "\n");
+  const std::vector<VmDecisionTrace> parsed = load_trace_jsonl(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].vm, 2);
+  EXPECT_EQ(parsed[0].chosen, 1);
+}
+
+TEST(TraceJsonl, OutOfRangeNumbersAreStructuredErrors) {
+  for (const std::string line :
+       {R"({"vm":1e99,"chosen":0})", R"({"vm":-1,"chosen":0})",
+        R"({"vm":0,"chosen":-5})", R"({"vm":0.5,"chosen":0})"}) {
+    std::istringstream in(line + "\n");
+    EXPECT_THROW(load_trace_jsonl(in), std::runtime_error) << line;
+  }
+}
+
 // --- check_fit: the diagnostic twin of can_fit -----------------------------
 
 TEST(CheckFit, ReportsCpuViolationWithTimeUnit) {

@@ -1,0 +1,921 @@
+// The esva serve daemon (src/serve/): wire codec exactness, WAL round-trips
+// and torn-tail handling, snapshot round-trips, and the headline guarantee —
+// a daemon-fed stream (including one killed and restarted mid-stream)
+// produces assignments and total energy byte-identical to the same workload
+// replayed through `esva stream` (sim/replay.cpp). The end-to-end variant
+// SIGKILLs a real `esva serve` process over a unix socket.
+
+#include "serve/daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "core/fault_plan.h"
+#include "obs/trace.h"
+#include "serve/client.h"
+#include "serve/journal.h"
+#include "serve/snapshot.h"
+#include "serve/wire.h"
+#include "sim/replay.h"
+#include "test_util.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "workload/arrival_stream.h"
+#include "workload/trace.h"
+
+namespace esva {
+namespace {
+
+using serve::Daemon;
+using serve::DaemonOptions;
+using serve::OpKind;
+using serve::Request;
+using serve::WalFile;
+using serve::WalHeader;
+using serve::WalRecord;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/esva_serve_" + std::to_string(::getpid()) +
+         "_" + name;
+}
+
+VmSpec awkward_vm() {
+  VmSpec vm = testing::vm(7, 3, 12, 0.1, 6.8);  // 0.1 is inexact in binary
+  vm.type_name = "m1.small \"quoted\"";
+  return vm;
+}
+
+// --- wire codec -------------------------------------------------------------
+
+TEST(ServeWire, VmSpecRoundTripsBitExact) {
+  VmSpec vm = awkward_vm();
+  vm.set_profile({{0.1, 6.8}, {0.2, 3.3}, {0.3, 1.1}, {0.1, 0.7}, {0.5, 0.9},
+                  {0.1, 6.8}, {0.2, 3.3}, {0.3, 1.1}, {0.1, 0.7}, {0.5, 0.9}});
+  const json::Value parsed = json::parse(serve::encode_vm(vm));
+  const VmSpec back = serve::decode_vm(parsed, "test");
+  EXPECT_EQ(back.id, vm.id);
+  EXPECT_EQ(back.type_name, vm.type_name);
+  EXPECT_EQ(back.demand.cpu, vm.demand.cpu);  // bit-exact via hexfloat
+  EXPECT_EQ(back.demand.mem, vm.demand.mem);
+  EXPECT_EQ(back.start, vm.start);
+  EXPECT_EQ(back.end, vm.end);
+  ASSERT_TRUE(back.has_profile());
+  for (Time t = vm.start; t <= vm.end; ++t) {
+    EXPECT_EQ(back.demand_at(t).cpu, vm.demand_at(t).cpu);
+    EXPECT_EQ(back.demand_at(t).mem, vm.demand_at(t).mem);
+  }
+}
+
+TEST(ServeWire, RequestsRoundTripForEveryOp) {
+  Request place;
+  place.op = OpKind::kPlace;
+  place.has_id = true;
+  place.id = 99;
+  place.vm = awkward_vm();
+  const Request place2 = serve::decode_request(serve::encode_request(place));
+  EXPECT_EQ(place2.op, OpKind::kPlace);
+  ASSERT_TRUE(place2.has_id);
+  EXPECT_EQ(place2.id, 99);
+  EXPECT_EQ(place2.vm.id, place.vm.id);
+  EXPECT_EQ(place2.vm.demand.cpu, place.vm.demand.cpu);
+
+  Request retire;
+  retire.op = OpKind::kRetire;
+  retire.vm_id = 41;
+  EXPECT_EQ(serve::decode_request(serve::encode_request(retire)).vm_id, 41);
+
+  Request advance;
+  advance.op = OpKind::kAdvance;
+  advance.to = 77;
+  EXPECT_EQ(serve::decode_request(serve::encode_request(advance)).to, 77);
+
+  Request fault;
+  fault.op = OpKind::kFault;
+  fault.fault = {12, FaultKind::kDrain, 3};
+  const Request fault2 = serve::decode_request(serve::encode_request(fault));
+  EXPECT_EQ(fault2.fault.at, 12);
+  EXPECT_EQ(fault2.fault.kind, FaultKind::kDrain);
+  EXPECT_EQ(fault2.fault.server, 3);
+
+  Request stats;
+  stats.op = OpKind::kStats;
+  stats.with_assignment = true;
+  EXPECT_TRUE(
+      serve::decode_request(serve::encode_request(stats)).with_assignment);
+
+  for (const OpKind op : {OpKind::kSnapshot, OpKind::kDrain}) {
+    Request req;
+    req.op = op;
+    EXPECT_EQ(serve::decode_request(serve::encode_request(req)).op, op);
+  }
+}
+
+TEST(ServeWire, DecodeAcceptsPlainNumbersForDemands) {
+  const Request req = serve::decode_request(
+      R"({"op":"place","vm":{"id":1,"type":"t","cpu":2,"mem":3.5,)"
+      R"("start":4,"end":9}})");
+  EXPECT_EQ(req.vm.demand.cpu, 2.0);
+  EXPECT_EQ(req.vm.demand.mem, 3.5);
+}
+
+TEST(ServeWire, DecodeRejectsMalformedRequests) {
+  EXPECT_THROW(serve::decode_request("not json"), std::runtime_error);
+  EXPECT_THROW(serve::decode_request("[1,2]"), std::runtime_error);
+  EXPECT_THROW(serve::decode_request(R"({"op":"launch"})"), std::runtime_error);
+  EXPECT_THROW(serve::decode_request(R"({"op":"place"})"), std::runtime_error);
+  EXPECT_THROW(serve::decode_request(R"({"op":"retire","vm":-3})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      serve::decode_request(
+          R"({"op":"fault","at":5,"kind":"melt","server":0})"),
+      std::runtime_error);
+  EXPECT_THROW(serve::decode_request(
+                   R"({"op":"place","vm":{"id":1,"type":"t","cpu":-1,)"
+                   R"("mem":3,"start":4,"end":2}})"),
+               std::runtime_error);
+}
+
+// --- WAL --------------------------------------------------------------------
+
+WalHeader test_header() {
+  WalHeader h;
+  h.allocator = "min-incremental";
+  h.seed = 42;
+  h.num_servers = 3;
+  h.retry.max_attempts = 2;
+  h.retry.base_delay = 8;
+  h.retry.backoff = 2.5;
+  h.retry.queue_capacity = 16;
+  return h;
+}
+
+TEST(ServeWal, RoundTripsHeaderAndRecords) {
+  const std::string path = temp_path("wal_roundtrip.wal");
+  ::unlink(path.c_str());
+  {
+    serve::WalWriter writer(path, test_header(), /*sync_every=*/1);
+    PlacementDecision d;
+    d.server = 2;
+    writer.append(
+        serve::encode_place_record(1, "min-incremental", awkward_vm(), d,
+                                   123.456));
+    writer.append(serve::encode_retire_record(2, 7, 2));
+    writer.append(serve::encode_advance_record(3, 15));
+    writer.append(serve::encode_fault_record(4, {16, FaultKind::kFail, 1}));
+    writer.append(serve::encode_drain_record(5));
+  }
+  const WalFile wal = serve::read_wal(path);
+  EXPECT_FALSE(wal.torn_tail);
+  ASSERT_TRUE(wal.has_header);
+  EXPECT_EQ(wal.header.allocator, "min-incremental");
+  EXPECT_EQ(wal.header.seed, 42u);
+  EXPECT_EQ(wal.header.num_servers, 3u);
+  EXPECT_EQ(wal.header.retry.max_attempts, 2);
+  EXPECT_EQ(wal.header.retry.backoff, 2.5);
+  ASSERT_EQ(wal.records.size(), 5u);
+  EXPECT_EQ(wal.records[0].op, WalRecord::Op::kPlace);
+  EXPECT_EQ(wal.records[0].chosen, 2);
+  EXPECT_TRUE(wal.records[0].has_energy);
+  EXPECT_EQ(wal.records[0].energy_after, 123.456);  // hexfloat: bit-exact
+  EXPECT_EQ(wal.records[0].vm.demand.cpu, 0.1);
+  EXPECT_EQ(wal.records[1].op, WalRecord::Op::kRetire);
+  EXPECT_EQ(wal.records[1].vm_id, 7);
+  EXPECT_EQ(wal.records[2].to, 15);
+  EXPECT_EQ(wal.records[3].fault.kind, FaultKind::kFail);
+  EXPECT_EQ(wal.records[4].op, WalRecord::Op::kDrain);
+  ::unlink(path.c_str());
+}
+
+TEST(ServeWal, AbsentFileIsAFreshJournal) {
+  const WalFile wal = serve::read_wal(temp_path("never_written.wal"));
+  EXPECT_FALSE(wal.has_header);
+  EXPECT_TRUE(wal.records.empty());
+  EXPECT_FALSE(wal.torn_tail);
+}
+
+TEST(ServeWal, TornFinalLineIsDroppedNotFatal) {
+  const std::string path = temp_path("wal_torn.wal");
+  {
+    std::ofstream out(path);
+    out << serve::encode_wal_header(test_header()) << '\n';
+    out << serve::encode_advance_record(1, 9) << '\n';
+    out << R"({"op":"place","seq":"2","vm":3,"chos)";  // crash mid-append
+  }
+  const WalFile wal = serve::read_wal(path);
+  EXPECT_TRUE(wal.torn_tail);
+  ASSERT_EQ(wal.records.size(), 1u);
+  EXPECT_EQ(wal.records[0].to, 9);
+  ::unlink(path.c_str());
+}
+
+TEST(ServeWal, MidFileCorruptionIsFatal) {
+  const std::string path = temp_path("wal_corrupt.wal");
+  {
+    std::ofstream out(path);
+    out << serve::encode_wal_header(test_header()) << '\n';
+    out << "garbage in the middle\n";
+    out << serve::encode_advance_record(1, 9) << '\n';
+  }
+  EXPECT_THROW(serve::read_wal(path), std::runtime_error);
+  ::unlink(path.c_str());
+}
+
+TEST(ServeWal, NonMonotonicSeqIsFatal) {
+  const std::string path = temp_path("wal_seq.wal");
+  {
+    std::ofstream out(path);
+    out << serve::encode_wal_header(test_header()) << '\n';
+    out << serve::encode_advance_record(5, 9) << '\n';
+    out << serve::encode_advance_record(5, 10) << '\n';
+    out << serve::encode_advance_record(6, 11) << '\n';
+  }
+  EXPECT_THROW(serve::read_wal(path), std::runtime_error);
+  ::unlink(path.c_str());
+}
+
+TEST(ServeWal, MissingHeaderIsFatal) {
+  const std::string path = temp_path("wal_nohdr.wal");
+  {
+    std::ofstream out(path);
+    out << serve::encode_advance_record(1, 9) << '\n';
+    out << serve::encode_advance_record(2, 10) << '\n';
+  }
+  EXPECT_THROW(serve::read_wal(path), std::runtime_error);
+  ::unlink(path.c_str());
+}
+
+TEST(ServeWal, RecordsDoubleAsDecisionTrace) {
+  // The journal's place/retire lines must stay loadable by the *real*
+  // decision-trace loader, with last-write-wins resolving a retired VM to
+  // kNoServer — the WAL is also a decision trace of the daemon's lifetime.
+  const std::string path = temp_path("wal_trace.wal");
+  {
+    serve::WalWriter writer(path, test_header(), 1);
+    PlacementDecision placed;
+    placed.server = 1;
+    PlacementDecision rejected;
+    rejected.server = kNoServer;
+    rejected.reject = PlacementReject::kNoCapacity;
+    writer.append(serve::encode_place_record(1, "min-incremental",
+                                             testing::vm(0, 1, 5), placed,
+                                             10.0));
+    writer.append(serve::encode_place_record(2, "min-incremental",
+                                             testing::vm(1, 2, 6), rejected,
+                                             10.0));
+    writer.append(serve::encode_place_record(3, "min-incremental",
+                                             testing::vm(2, 3, 7), placed,
+                                             20.0));
+    writer.append(serve::encode_retire_record(4, 0, 1));
+  }
+  const WalFile wal = serve::read_wal(path);
+  const std::vector<VmDecisionTrace> decisions =
+      serve::decisions_from_wal(wal.records);
+  ASSERT_EQ(decisions.size(), 4u);
+  EXPECT_EQ(decisions[0].vm, 0);
+  EXPECT_EQ(decisions[0].chosen, 1);
+  EXPECT_EQ(decisions[1].chosen, kNoServer);  // rejected pins to -1
+  const std::vector<ServerId> assignment =
+      assignment_from_trace(decisions, /*num_vms=*/3);
+  EXPECT_EQ(assignment[0], kNoServer);  // retire wins over the earlier place
+  EXPECT_EQ(assignment[1], kNoServer);
+  EXPECT_EQ(assignment[2], 1);
+  ::unlink(path.c_str());
+}
+
+// --- snapshot ---------------------------------------------------------------
+
+TEST(ServeSnapshot, RoundTripsEngineState) {
+  serve::SnapshotData snap;
+  snap.allocator = "ffps";
+  snap.seed = 7;
+  snap.num_servers = 2;
+  snap.wal_seq = 31;
+  snap.engine.frontier = 12;
+  snap.engine.horizon = 40;
+  snap.engine.requests = 9;
+  snap.engine.placed = 8;
+  snap.engine.energy = 0.1 + 0.2;  // famously inexact
+  snap.engine.peak_resident = 77;
+  snap.engine.fault_cursor = 2;
+  snap.engine.retry_seq = 5;
+  snap.engine.servers.resize(2);
+  snap.engine.servers[0].health = ServerHealth::kUp;
+  snap.engine.servers[0].retired_hi = 11;
+  snap.engine.servers[0].active.push_back(awkward_vm());
+  snap.engine.servers[1].health = ServerHealth::kDrained;
+  PendingSnapshot pending;
+  pending.vm = testing::vm(9, 14, 20);
+  pending.not_before = 16;
+  pending.attempts = 1;
+  pending.displaced = true;
+  pending.waiting_since = 13;
+  pending.seq = 4;
+  snap.engine.retry_queue.push_back(pending);
+  snap.engine.fault_stats.fault_events = 3;
+  snap.engine.fault_stats.evacuated = 2;
+  snap.engine.resolutions.push_back({5, 1});
+  snap.rng = {1, 2, 3, 4};
+  snap.assignment = {{0, 1}, {5, 1}, {7, 0}, {9, kNoServer}};
+
+  const std::string path = temp_path("snap_roundtrip.snap");
+  serve::write_snapshot_atomic(path, snap);
+  bool found = false;
+  const serve::SnapshotData back = serve::load_snapshot(path, &found);
+  ASSERT_TRUE(found);
+  EXPECT_EQ(back.allocator, "ffps");
+  EXPECT_EQ(back.seed, 7u);
+  EXPECT_EQ(back.wal_seq, 31u);
+  EXPECT_EQ(back.engine.frontier, 12);
+  EXPECT_EQ(back.engine.energy, snap.engine.energy);  // bit-exact
+  ASSERT_EQ(back.engine.servers.size(), 2u);
+  EXPECT_EQ(back.engine.servers[0].retired_hi, 11);
+  ASSERT_EQ(back.engine.servers[0].active.size(), 1u);
+  EXPECT_EQ(back.engine.servers[0].active[0].demand.cpu, 0.1);
+  EXPECT_EQ(back.engine.servers[1].health, ServerHealth::kDrained);
+  ASSERT_EQ(back.engine.retry_queue.size(), 1u);
+  EXPECT_EQ(back.engine.retry_queue[0].vm.id, 9);
+  EXPECT_EQ(back.engine.retry_queue[0].not_before, 16);
+  EXPECT_TRUE(back.engine.retry_queue[0].displaced);
+  EXPECT_EQ(back.engine.fault_stats.fault_events, 3);
+  EXPECT_EQ(back.engine.fault_stats.evacuated, 2);
+  ASSERT_EQ(back.engine.resolutions.size(), 1u);
+  EXPECT_EQ(back.engine.resolutions[0].vm, 5);
+  EXPECT_EQ(back.rng, (std::array<std::uint64_t, 4>{1, 2, 3, 4}));
+  ASSERT_EQ(back.assignment.size(), 4u);
+  EXPECT_EQ(back.assignment[3].second, kNoServer);
+  ::unlink(path.c_str());
+}
+
+TEST(ServeSnapshot, AbsentFileReportsNotFound) {
+  bool found = true;
+  serve::load_snapshot(temp_path("never_written.snap"), &found);
+  EXPECT_FALSE(found);
+}
+
+// --- daemon vs replay_stream equivalence ------------------------------------
+
+struct Workload {
+  std::vector<VmSpec> vms;
+  std::vector<ServerSpec> servers;
+  std::vector<FaultEvent> fault_events;  // all at <= the last arrival start
+};
+
+Workload make_workload(std::uint64_t seed, bool with_faults) {
+  Rng rng(seed);
+  ProblemInstance problem = testing::random_problem(rng, /*num_vms=*/40,
+                                                    /*num_servers=*/5);
+  Workload w;
+  w.vms = problem.vms;
+  w.servers = problem.servers;
+  if (with_faults) {
+    Time last_start = 1;
+    for (const VmSpec& vm : w.vms) last_start = std::max(last_start, vm.start);
+    // Mid-stream chaos only: events past the last arrival would be fired at
+    // exact retry instants by the plan-driven drain, which a client feeding
+    // the tail cannot reproduce (docs/SERVE.md#fault-semantics).
+    const Time t1 = std::max<Time>(1, last_start / 3);
+    const Time t2 = std::max<Time>(1, last_start / 2);
+    w.fault_events.push_back({t1, FaultKind::kFail, 1});
+    w.fault_events.push_back({t2, FaultKind::kRecover, 1});
+    w.fault_events.push_back({t2, FaultKind::kDrain, 2});
+  }
+  return w;
+}
+
+RetryPolicy test_retry() {
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.base_delay = 4;
+  retry.backoff = 2.0;
+  retry.queue_capacity = 16;
+  return retry;
+}
+
+/// The reference run: the exact same workload through replay_stream.
+ReplayReport reference_run(const Workload& w, const std::string& allocator,
+                           std::uint64_t seed, const RetryPolicy& retry) {
+  AllocatorPtr alloc = make_allocator(allocator);
+  std::unique_ptr<PlacementPolicy> policy = alloc->make_policy();
+  Rng rng(seed);
+  VectorArrivalStream arrivals(w.vms);
+  ReplayOptions options;
+  options.retry = retry;
+  FaultPlan plan{std::vector<FaultEvent>(w.fault_events)};
+  if (!w.fault_events.empty()) options.faults = &plan;
+  return replay_stream(arrivals, w.servers, *policy, rng, options);
+}
+
+/// Feeds the workload to `daemon` the way `esva client` would: places in
+/// start-time order, each fault event sent before the first arrival at or
+/// after it.
+void feed_daemon(Daemon& daemon, const Workload& w) {
+  std::size_t next_fault = 0;
+  const auto send_fault = [&](const FaultEvent& event) {
+    Request req;
+    req.op = OpKind::kFault;
+    req.fault = event;
+    const std::string response =
+        daemon.handle_line(serve::encode_request(req));
+    ASSERT_EQ(response.rfind("{\"ok\":true", 0), 0u) << response;
+  };
+  for (const std::size_t j : order_by_start(w.vms)) {
+    while (next_fault < w.fault_events.size() &&
+           w.fault_events[next_fault].at <= w.vms[j].start)
+      send_fault(w.fault_events[next_fault++]);
+    Request req;
+    req.op = OpKind::kPlace;
+    req.vm = w.vms[j];
+    const std::string response =
+        daemon.handle_line(serve::encode_request(req));
+    ASSERT_EQ(response.rfind("{\"ok\":true", 0), 0u) << response;
+  }
+  while (next_fault < w.fault_events.size())
+    send_fault(w.fault_events[next_fault++]);
+}
+
+void expect_matches_reference(const Daemon& daemon,
+                              const ReplayReport& reference) {
+  EXPECT_EQ(daemon.engine().total_energy(), reference.total_energy)
+      << "energy must be byte-identical to esva stream";
+  EXPECT_EQ(static_cast<std::size_t>(daemon.engine().requests()),
+            reference.requests);
+  EXPECT_EQ(static_cast<std::size_t>(daemon.engine().placed()),
+            reference.placed);
+  for (std::size_t id = 0; id < reference.assignment.size(); ++id) {
+    const auto it = daemon.assignment().find(static_cast<VmId>(id));
+    const ServerId daemon_server =
+        it == daemon.assignment().end() ? kNoServer : it->second;
+    EXPECT_EQ(daemon_server, reference.assignment[id]) << "vm " << id;
+  }
+  const FaultStats& a = daemon.engine().fault_stats();
+  const FaultStats& b = reference.faults;
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  EXPECT_EQ(a.displaced, b.displaced);
+  EXPECT_EQ(a.evacuated, b.evacuated);
+  EXPECT_EQ(a.deferred, b.deferred);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.retried_placed, b.retried_placed);
+  EXPECT_EQ(a.rejected_final, b.rejected_final);
+  EXPECT_EQ(a.downtime_units, b.downtime_units);
+}
+
+DaemonOptions daemon_options(const std::string& allocator, std::uint64_t seed,
+                             const RetryPolicy& retry, const std::string& tag,
+                             bool with_snapshot = false) {
+  DaemonOptions options;
+  options.allocator = allocator;
+  options.seed = seed;
+  options.retry = retry;
+  options.wal_path = temp_path(tag + ".wal");
+  if (with_snapshot) options.snapshot_path = temp_path(tag + ".snap");
+  ::unlink(options.wal_path.c_str());
+  if (with_snapshot) ::unlink(options.snapshot_path.c_str());
+  return options;
+}
+
+TEST(ServeEquivalence, DaemonMatchesReplayStreamAcrossAllocators) {
+  for (const std::string allocator :
+       {"min-incremental", "ffps", "best-fit-cpu", "random-fit"}) {
+    const Workload w = make_workload(0x5eed, /*with_faults=*/false);
+    const ReplayReport reference =
+        reference_run(w, allocator, 42, RetryPolicy{});
+    Daemon daemon(w.servers,
+                  daemon_options(allocator, 42, RetryPolicy{},
+                                 "equiv_" + allocator));
+    feed_daemon(daemon, w);
+    daemon.drain();
+    expect_matches_reference(daemon, reference);
+    ::unlink(temp_path("equiv_" + allocator + ".wal").c_str());
+  }
+}
+
+TEST(ServeEquivalence, DaemonMatchesReplayStreamUnderFaultsAndRetries) {
+  for (const std::string allocator : {"min-incremental", "ffps"}) {
+    const Workload w = make_workload(0xfa017, /*with_faults=*/true);
+    const ReplayReport reference =
+        reference_run(w, allocator, 42, test_retry());
+    Daemon daemon(w.servers,
+                  daemon_options(allocator, 42, test_retry(),
+                                 "equivf_" + allocator));
+    feed_daemon(daemon, w);
+    daemon.drain();
+    EXPECT_GT(daemon.engine().fault_stats().fault_events, 0);
+    expect_matches_reference(daemon, reference);
+    ::unlink(temp_path("equivf_" + allocator + ".wal").c_str());
+  }
+}
+
+// --- crash recovery ---------------------------------------------------------
+
+/// Splits the client-visible op sequence at `cut`, runs the first part in one
+/// daemon, abandons it (no checkpoint — the WAL is all that survives, as
+/// after a SIGKILL), restarts on the same journal and finishes the stream.
+void crash_and_recover(const std::string& allocator, bool with_snapshot,
+                       bool with_faults) {
+  const std::string tag = std::string("crash_") + allocator +
+                          (with_snapshot ? "_snap" : "") +
+                          (with_faults ? "_faults" : "");
+  const Workload w = make_workload(0xcafe, with_faults);
+  const RetryPolicy retry = with_faults ? test_retry() : RetryPolicy{};
+  const ReplayReport reference = reference_run(w, allocator, 42, retry);
+
+  const DaemonOptions options =
+      daemon_options(allocator, 42, retry, tag, with_snapshot);
+  const std::vector<std::size_t> order = order_by_start(w.vms);
+  const std::size_t cut = order.size() / 2;
+
+  std::uint64_t seq_at_cut = 0;
+  {
+    Daemon first(w.servers, options);
+    Workload head = w;
+    head.vms.clear();
+    for (std::size_t k = 0; k < cut; ++k) head.vms.push_back(w.vms[order[k]]);
+    // Keep only faults that the head would have sent.
+    Time head_last = 0;
+    for (const VmSpec& vm : head.vms)
+      head_last = std::max(head_last, vm.start);
+    head.fault_events.clear();
+    for (const FaultEvent& e : w.fault_events)
+      if (e.at <= head_last) head.fault_events.push_back(e);
+    feed_daemon(first, head);
+    if (with_snapshot) first.checkpoint();
+    seq_at_cut = first.last_seq();
+    // `first` goes out of scope without drain or checkpoint: everything it
+    // acked is on disk via the WAL appends; nothing else survives.
+  }
+
+  Daemon second(w.servers, options);
+  EXPECT_EQ(second.recovered_from_snapshot(), with_snapshot);
+  if (with_snapshot)
+    EXPECT_EQ(second.replayed_records(), 0u);  // snapshot covers everything
+  else
+    EXPECT_EQ(second.replayed_records(), seq_at_cut);
+  EXPECT_EQ(second.last_seq(), seq_at_cut);
+
+  Workload tail = w;
+  tail.vms.clear();
+  for (std::size_t k = cut; k < order.size(); ++k)
+    tail.vms.push_back(w.vms[order[k]]);
+  Time head_last = 0;
+  for (std::size_t k = 0; k < cut; ++k)
+    head_last = std::max(head_last, w.vms[order[k]].start);
+  tail.fault_events.clear();
+  for (const FaultEvent& e : w.fault_events)
+    if (e.at > head_last) tail.fault_events.push_back(e);
+  feed_daemon(second, tail);
+  second.drain();
+  expect_matches_reference(second, reference);
+
+  ::unlink(options.wal_path.c_str());
+  if (with_snapshot) ::unlink(options.snapshot_path.c_str());
+}
+
+TEST(ServeRecovery, CrashMidStreamReplaysToIdenticalState) {
+  crash_and_recover("min-incremental", /*with_snapshot=*/false,
+                    /*with_faults=*/false);
+}
+
+TEST(ServeRecovery, CrashMidStreamWithSnapshotBoundsReplay) {
+  crash_and_recover("min-incremental", /*with_snapshot=*/true,
+                    /*with_faults=*/false);
+}
+
+TEST(ServeRecovery, CrashMidStreamUnderFaultsAndRetries) {
+  crash_and_recover("ffps", /*with_snapshot=*/false, /*with_faults=*/true);
+}
+
+TEST(ServeRecovery, TornTailIsDroppedAndFlagged) {
+  const Workload w = make_workload(0x70a2, false);
+  const DaemonOptions options =
+      daemon_options("min-incremental", 42, RetryPolicy{}, "torn");
+  std::uint64_t acked = 0;
+  {
+    Daemon daemon(w.servers, options);
+    feed_daemon(daemon, w);
+    acked = daemon.last_seq();
+  }
+  {
+    // Simulate a crash mid-append: a truncated line at the tail.
+    std::ofstream out(options.wal_path, std::ios::app);
+    out << R"({"op":"place","seq":")" << acked + 1 << R"(","vm":123,"cho)";
+  }
+  Daemon recovered(w.servers, options);
+  EXPECT_TRUE(recovered.recovered_torn_tail());
+  EXPECT_EQ(recovered.last_seq(), acked);
+  EXPECT_EQ(recovered.replayed_records(), acked);
+  ::unlink(options.wal_path.c_str());
+}
+
+TEST(ServeRecovery, ConfigMismatchRefusesToServe) {
+  const Workload w = make_workload(0x3141, false);
+  const DaemonOptions options =
+      daemon_options("min-incremental", 42, RetryPolicy{}, "mismatch");
+  {
+    Daemon daemon(w.servers, options);
+    feed_daemon(daemon, w);
+  }
+  DaemonOptions other = options;
+  other.allocator = "ffps";
+  EXPECT_THROW(Daemon(w.servers, other), std::runtime_error);
+  DaemonOptions reseeded = options;
+  reseeded.seed = 43;
+  EXPECT_THROW(Daemon(w.servers, reseeded), std::runtime_error);
+  ::unlink(options.wal_path.c_str());
+}
+
+TEST(ServeRecovery, ChecksumDivergenceIsFatal) {
+  const std::string path = temp_path("diverge.wal");
+  ::unlink(path.c_str());
+  const Workload w = make_workload(0x2718, false);
+  WalHeader header;
+  header.allocator = "min-incremental";
+  header.seed = 42;
+  header.num_servers = w.servers.size();
+  {
+    serve::WalWriter writer(path, header, 1);
+    // Claim the engine placed this VM on server 3; the deterministic replay
+    // will disagree, and recovery must refuse rather than diverge silently.
+    PlacementDecision lie;
+    lie.server = static_cast<ServerId>(w.servers.size() - 1);
+    VmSpec vm = w.vms.front();
+    vm.start = std::max<Time>(1, vm.start);
+    writer.append(serve::encode_place_record(1, "min-incremental", vm, lie,
+                                             -1.0));
+  }
+  DaemonOptions options;
+  options.allocator = "min-incremental";
+  options.seed = 42;
+  options.wal_path = path;
+  EXPECT_THROW(Daemon(w.servers, options), std::runtime_error);
+  ::unlink(path.c_str());
+}
+
+// --- retire and handle_line surface ----------------------------------------
+
+TEST(ServeDaemon, RetireFreesCapacityAndPinsAssignment) {
+  std::vector<ServerSpec> servers{testing::basic_server(0)};
+  DaemonOptions options =
+      daemon_options("min-incremental", 42, RetryPolicy{}, "retire");
+  Daemon daemon(servers, options);
+
+  // The server fits exactly one 10-CPU VM at a time.
+  Request big;
+  big.op = OpKind::kPlace;
+  big.vm = testing::vm(0, 1, 50, 10.0, 1.0);
+  ASSERT_EQ(daemon.handle_line(serve::encode_request(big))
+                .rfind("{\"ok\":true", 0),
+            0u);
+  EXPECT_EQ(daemon.assignment().at(0), 0);
+
+  Request blocked;
+  blocked.op = OpKind::kPlace;
+  blocked.vm = testing::vm(1, 5, 20, 10.0, 1.0);
+  const std::string rejected =
+      daemon.handle_line(serve::encode_request(blocked));
+  EXPECT_NE(rejected.find("\"server\":null"), std::string::npos) << rejected;
+
+  Request retire;
+  retire.op = OpKind::kRetire;
+  retire.vm_id = 0;
+  const std::string response =
+      daemon.handle_line(serve::encode_request(retire));
+  EXPECT_EQ(response.rfind("{\"ok\":true", 0), 0u) << response;
+  EXPECT_EQ(daemon.assignment().at(0), kNoServer);
+
+  // Capacity is free again from the current frontier on.
+  Request after;
+  after.op = OpKind::kPlace;
+  after.vm = testing::vm(2, 6, 20, 10.0, 1.0);
+  const std::string placed = daemon.handle_line(serve::encode_request(after));
+  EXPECT_NE(placed.find("\"server\":0"), std::string::npos) << placed;
+
+  // Retiring an unknown VM is a no-op with a null host, not an error.
+  Request unknown;
+  unknown.op = OpKind::kRetire;
+  unknown.vm_id = 999;
+  const std::string noop = daemon.handle_line(serve::encode_request(unknown));
+  EXPECT_EQ(noop.rfind("{\"ok\":true", 0), 0u) << noop;
+  EXPECT_NE(noop.find("\"server\":null"), std::string::npos) << noop;
+
+  // Retire survives recovery: the journal replays to the same state.
+  const std::uint64_t acked = daemon.last_seq();
+  {
+    Daemon recovered(servers, options);
+    EXPECT_EQ(recovered.replayed_records(), acked);
+    EXPECT_EQ(recovered.assignment().at(0), kNoServer);
+    EXPECT_EQ(recovered.assignment().at(2), 0);
+    EXPECT_EQ(recovered.engine().total_energy(),
+              daemon.engine().total_energy());
+  }
+  ::unlink(options.wal_path.c_str());
+}
+
+TEST(ServeDaemon, HandleLineTurnsFailuresIntoStructuredErrors) {
+  const Workload w = make_workload(0xbead, false);
+  DaemonOptions options =
+      daemon_options("min-incremental", 42, RetryPolicy{}, "errors");
+  Daemon daemon(w.servers, options);
+  EXPECT_EQ(daemon.handle_line("not json").rfind("{\"ok\":false", 0), 0u);
+  EXPECT_EQ(daemon.handle_line("{}").rfind("{\"ok\":false", 0), 0u);
+  // Snapshot without a configured path is an op-level error, echoed with id.
+  const std::string response =
+      daemon.handle_line(R"({"op":"snapshot","id":7})");
+  EXPECT_EQ(response.rfind("{\"ok\":false,\"id\":7", 0), 0u) << response;
+  // A fault targeting a server outside the fleet must not mutate anything.
+  const std::string bad_fault = daemon.handle_line(
+      R"({"op":"fault","at":5,"kind":"fail","server":999})");
+  EXPECT_EQ(bad_fault.rfind("{\"ok\":false", 0), 0u) << bad_fault;
+  EXPECT_EQ(daemon.last_seq(), 0u);  // nothing journaled
+  ::unlink(options.wal_path.c_str());
+}
+
+// --- socket loop ------------------------------------------------------------
+
+TEST(ServeSocket, ServesLineProtocolOverUnixSocket) {
+  const Workload w = make_workload(0x50c, false);
+  DaemonOptions options =
+      daemon_options("min-incremental", 42, RetryPolicy{}, "socket");
+  Daemon daemon(w.servers, options);
+
+  const std::string socket_path = temp_path("socket.sock");
+  ::unlink(socket_path.c_str());
+  std::atomic<bool> stop{false};
+  std::atomic<bool> listening{false};
+  std::thread server([&] {
+    daemon.serve_loop(socket_path, stop, [&] { listening.store(true); });
+  });
+  while (!listening.load()) std::this_thread::yield();
+
+  {
+    serve::Client client(socket_path);
+    Request place;
+    place.op = OpKind::kPlace;
+    place.vm = w.vms.front();
+    place.vm.start = std::max<Time>(1, place.vm.start);
+    place.has_id = true;
+    place.id = 1;
+    const std::string response = client.call(serve::encode_request(place));
+    EXPECT_EQ(response.rfind("{\"ok\":true,\"id\":1", 0), 0u) << response;
+
+    const std::string stats = client.call(R"({"op":"stats"})");
+    EXPECT_NE(stats.find("\"requests\":1"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"energy_hex\":"), std::string::npos) << stats;
+
+    EXPECT_EQ(client.call("garbage").rfind("{\"ok\":false", 0), 0u);
+    // The connection survives a bad request; the next one still works.
+    EXPECT_EQ(client.call(R"({"op":"stats"})").rfind("{\"ok\":true", 0), 0u);
+  }
+
+  stop.store(true);
+  server.join();
+  struct stat st{};
+  EXPECT_NE(::stat(socket_path.c_str(), &st), 0) << "socket not cleaned up";
+  ::unlink(options.wal_path.c_str());
+}
+
+// --- end-to-end: real process, SIGKILL mid-stream ---------------------------
+
+#ifdef ESVA_BIN_PATH
+
+pid_t spawn_serve(const std::string& servers_csv, const std::string& socket,
+                  const std::string& wal) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  ::execl(ESVA_BIN_PATH, "esva", "serve", "--servers", servers_csv.c_str(),
+          "--socket", socket.c_str(), "--wal", wal.c_str(), "--seed", "42",
+          "--allocator", "min-incremental", static_cast<char*>(nullptr));
+  ::_exit(127);
+}
+
+bool wait_for_socket(const std::string& path) {
+  for (int i = 0; i < 300; ++i) {
+    struct stat st{};
+    if (::stat(path.c_str(), &st) == 0 && S_ISSOCK(st.st_mode)) {
+      // The file can exist before listen(); probe with a real connect.
+      try {
+        serve::Client probe(path);
+        return true;
+      } catch (const std::exception&) {
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+TEST(ServeEndToEnd, SigkilledDaemonRecoversToByteIdenticalStream) {
+  struct stat st{};
+  if (::stat(ESVA_BIN_PATH, &st) != 0)
+    GTEST_SKIP() << "esva binary not built at " << ESVA_BIN_PATH;
+
+  const Workload w = make_workload(0xe2e, false);
+  const ReplayReport reference =
+      reference_run(w, "min-incremental", 42, RetryPolicy{});
+
+  const std::string servers_csv = temp_path("e2e_servers.csv");
+  save_server_trace(servers_csv, w.servers);
+  const std::string socket_path = temp_path("e2e.sock");
+  const std::string wal_path = temp_path("e2e.wal");
+  ::unlink(socket_path.c_str());
+  ::unlink(wal_path.c_str());
+
+  const std::vector<std::size_t> order = order_by_start(w.vms);
+  const std::size_t cut = order.size() / 2;
+
+  // Phase 1: place the first half through a real daemon process, then
+  // SIGKILL it — no destructors, no checkpoint; the fsynced WAL is all that
+  // survives.
+  pid_t pid = spawn_serve(servers_csv, socket_path, wal_path);
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(wait_for_socket(socket_path)) << "daemon never listened";
+  {
+    serve::Client client(socket_path);
+    for (std::size_t k = 0; k < cut; ++k) {
+      Request req;
+      req.op = OpKind::kPlace;
+      req.vm = w.vms[order[k]];
+      ASSERT_EQ(client.call(serve::encode_request(req))
+                    .rfind("{\"ok\":true", 0),
+                0u);
+    }
+  }
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ::unlink(socket_path.c_str());
+
+  // Phase 2: a fresh process recovers from the journal and finishes the
+  // stream; the final state must be byte-identical to the batch replay.
+  pid = spawn_serve(servers_csv, socket_path, wal_path);
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(wait_for_socket(socket_path)) << "restart never listened";
+  std::string stats;
+  {
+    serve::Client client(socket_path);
+    for (std::size_t k = cut; k < order.size(); ++k) {
+      Request req;
+      req.op = OpKind::kPlace;
+      req.vm = w.vms[order[k]];
+      ASSERT_EQ(client.call(serve::encode_request(req))
+                    .rfind("{\"ok\":true", 0),
+                0u);
+    }
+    ASSERT_EQ(client.call(R"({"op":"drain"})").rfind("{\"ok\":true", 0), 0u);
+    stats = client.call(R"({"op":"stats","assignment":true})");
+  }
+  ::kill(pid, SIGTERM);
+  ::waitpid(pid, &status, 0);
+
+  const json::Value parsed = json::parse(stats);
+  EXPECT_EQ(json::require_integer(parsed, "requests", 0, 1 << 30, "stats"),
+            static_cast<long long>(reference.requests));
+  EXPECT_EQ(json::require_integer(parsed, "placed", 0, 1 << 30, "stats"),
+            static_cast<long long>(reference.placed));
+  EXPECT_EQ(
+      serve::require_number_or_hex(parsed, "energy_hex", "stats"),
+      reference.total_energy)
+      << "energy must be byte-identical across SIGKILL + restart";
+  const json::Value* assignment = parsed.find("assignment");
+  ASSERT_NE(assignment, nullptr);
+  ASSERT_EQ(assignment->kind, json::Value::Kind::Array);
+  std::map<VmId, ServerId> final_hosting;
+  for (const json::Value& pair : assignment->array) {
+    ASSERT_EQ(pair.kind, json::Value::Kind::Array);
+    ASSERT_EQ(pair.array.size(), 2u);
+    final_hosting[static_cast<VmId>(pair.array[0].number)] =
+        static_cast<ServerId>(pair.array[1].number);
+  }
+  for (std::size_t id = 0; id < reference.assignment.size(); ++id) {
+    const auto it = final_hosting.find(static_cast<VmId>(id));
+    const ServerId daemon_server =
+        it == final_hosting.end() ? kNoServer : it->second;
+    EXPECT_EQ(daemon_server, reference.assignment[id]) << "vm " << id;
+  }
+
+  ::unlink(servers_csv.c_str());
+  ::unlink(socket_path.c_str());
+  ::unlink(wal_path.c_str());
+}
+
+#endif  // ESVA_BIN_PATH
+
+}  // namespace
+}  // namespace esva
