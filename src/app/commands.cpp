@@ -722,10 +722,18 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
     sigaction(SIGINT, &sa, nullptr);
     sigaction(SIGTERM, &sa, nullptr);
 
-    daemon.serve_loop(parser.get_string("socket"), g_serve_stop, [&] {
-      out << "listening on " << parser.get_string("socket") << '\n'
-          << std::flush;
-    });
+    const int rc =
+        daemon.serve_loop(parser.get_string("socket"), g_serve_stop, [&] {
+          out << "listening on " << parser.get_string("socket") << '\n'
+              << std::flush;
+        });
+    if (rc != 0) {
+      // Journal failure: the engine is ahead of the durable journal. Do NOT
+      // checkpoint — a snapshot here would capture state the journal never
+      // recorded and poison the next recovery.
+      err << "serve: " << daemon.fatal_error() << '\n';
+      return 1;
+    }
     // Graceful shutdown checkpoints (journal sync + snapshot) WITHOUT
     // draining, so a restarted daemon continues the stream mid-flight.
     daemon.checkpoint();

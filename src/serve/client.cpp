@@ -41,7 +41,10 @@ std::string Client::call(const std::string& line) {
   buf += '\n';
   std::size_t off = 0;
   while (off < buf.size()) {
-    const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+    // MSG_NOSIGNAL: a daemon that died mid-call must surface as EPIPE (and
+    // this throw), not kill the client process via SIGPIPE.
+    const ssize_t n = ::send(fd_, buf.data() + off, buf.size() - off,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw std::runtime_error(std::string("client write failed: ") +

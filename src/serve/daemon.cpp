@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -122,6 +123,12 @@ Daemon::Daemon(std::vector<ServerSpec> servers, DaemonOptions options)
   }
   next_seq_ = std::max(applied, last_seq) + 1;
 
+  // A torn tail must be cut off before the O_APPEND writer reopens the
+  // file, or the next record would be concatenated onto the torn bytes and
+  // the merged line would read as mid-file corruption on the following
+  // restart.
+  if (wal.torn_tail) truncate_wal(options_.wal_path, wal.valid_bytes);
+
   wal_ = std::make_unique<WalWriter>(options_.wal_path, header_,
                                      options_.wal_sync_every);
 }
@@ -195,8 +202,32 @@ void Daemon::sync_resolutions() {
     assignment_[rs[resolutions_applied_].vm] = rs[resolutions_applied_].server;
 }
 
+void Daemon::wal_append(const std::string& record) {
+  try {
+    wal_->append(record);
+  } catch (const std::exception& e) {
+    // The engine already applied the op this record describes: in-memory
+    // state is now ahead of the durable journal, and every later record's
+    // chosen/energy checksums would be computed from state a replay can
+    // never reach. Serving on would be silent divergence — halt instead.
+    fatal_ = std::string("journal append failed (") + e.what() +
+             "); engine state is ahead of the durable journal, halting";
+    throw std::runtime_error(fatal_);
+  }
+}
+
+void Daemon::wal_sync() {
+  try {
+    wal_->sync();
+  } catch (const std::exception& e) {
+    fatal_ = std::string("journal sync failed (") + e.what() +
+             "); acked records may not be durable, halting";
+    throw std::runtime_error(fatal_);
+  }
+}
+
 void Daemon::journal(const std::string& record) {
-  wal_->append(record);
+  wal_append(record);
   ++next_seq_;
   if (options_.snapshot_every > 0 &&
       ++ops_since_snapshot_ >= options_.snapshot_every)
@@ -208,7 +239,7 @@ void Daemon::do_snapshot() {
   // Everything the snapshot claims as applied must be durable in the
   // journal first, or a crash between the two could leave a snapshot ahead
   // of its own journal.
-  wal_->sync();
+  wal_sync();
   SnapshotData snap;
   snap.allocator = header_.allocator;
   snap.seed = header_.seed;
@@ -225,18 +256,21 @@ void Daemon::drain() {
   engine_->finish_stream();
   sync_resolutions();
   journal(encode_drain_record(next_seq_));
-  wal_->sync();
+  wal_sync();
   do_snapshot();
 }
 
 void Daemon::checkpoint() {
-  wal_->sync();
+  wal_sync();
   do_snapshot();
 }
 
-std::string Daemon::stats_json(bool with_assignment) const {
+std::string Daemon::stats_json(bool with_assignment, bool with_id,
+                               long long id) const {
   const FaultStats& f = engine_->fault_stats();
-  std::string out = "{\"ok\":true,\"op\":\"stats\"";
+  std::string out = "{\"ok\":true";
+  if (with_id) out += ",\"id\":" + std::to_string(id);
+  out += ",\"op\":\"stats\"";
   out += ",\"allocator\":" + json::escape(options_.allocator);
   out += ",\"requests\":" + std::to_string(engine_->requests());
   out += ",\"placed\":" + std::to_string(engine_->placed());
@@ -321,7 +355,7 @@ std::string Daemon::dispatch(const Request& req) {
       break;
     }
     case OpKind::kStats:
-      return stats_json(req.with_assignment);
+      return stats_json(req.with_assignment, req.has_id, req.id);
     case OpKind::kSnapshot: {
       if (options_.snapshot_path.empty())
         throw std::runtime_error("daemon runs without a --snapshot path");
@@ -345,6 +379,7 @@ std::string Daemon::dispatch(const Request& req) {
 }
 
 std::string Daemon::handle_line(const std::string& line) {
+  if (halted()) return error_response(nullptr, "daemon halted: " + fatal_);
   Request req;
   try {
     req = decode_request(line);
@@ -372,7 +407,11 @@ struct Connection {
 void write_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    // send(MSG_NOSIGNAL), not write(): a peer that closed its socket before
+    // the response must surface as EPIPE, not terminate the daemon via the
+    // default SIGPIPE disposition.
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return;  // peer vanished; the connection is reaped on the next poll
@@ -426,43 +465,48 @@ int Daemon::serve_loop(const std::string& socket_path,
     }
     if (ready == 0) continue;
 
+    // fds[k + 1] pairs with conns[k] only while conns is untouched: scan
+    // exactly the connections the pollfds were built from, mark dead ones,
+    // and only compact / accept afterwards — erasing mid-scan would shift
+    // survivors onto the wrong pollfd's revents (a blocking read() on an
+    // idle socket), and accepting first would grow conns past fds.
+    const std::size_t scanned = fds.size() - 1;
+    for (std::size_t k = 0; k < scanned && !halted(); ++k) {
+      const short revents = fds[k + 1].revents;
+      if (!(revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      Connection& c = conns[k];
+      char buf[4096];
+      const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+      if (n <= 0 && !(n < 0 && errno == EINTR)) {
+        ::close(c.fd);
+        c.fd = -1;  // compacted below
+        continue;
+      }
+      if (n <= 0) continue;  // EINTR
+      c.inbuf.append(buf, static_cast<std::size_t>(n));
+      std::size_t nl;
+      while ((nl = c.inbuf.find('\n')) != std::string::npos) {
+        std::string line = c.inbuf.substr(0, nl);
+        c.inbuf.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty()) continue;
+        write_all(c.fd, handle_line(line) + "\n");
+        if (halted()) break;  // journal failure: stop accepting ops
+      }
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const Connection& c) { return c.fd < 0; }),
+                conns.end());
+    if (halted()) break;
     if (fds[0].revents & POLLIN) {
       const int fd = ::accept(listener, nullptr, nullptr);
       if (fd >= 0) conns.push_back({fd, {}});
-    }
-    for (std::size_t k = 0; k < conns.size();) {
-      const short revents = fds[k + 1].revents;
-      Connection& c = conns[k];
-      bool closed = false;
-      if (revents & (POLLIN | POLLHUP | POLLERR)) {
-        char buf[4096];
-        const ssize_t n = ::read(c.fd, buf, sizeof(buf));
-        if (n <= 0 && !(n < 0 && errno == EINTR)) {
-          closed = true;
-        } else if (n > 0) {
-          c.inbuf.append(buf, static_cast<std::size_t>(n));
-          std::size_t nl;
-          while ((nl = c.inbuf.find('\n')) != std::string::npos) {
-            std::string line = c.inbuf.substr(0, nl);
-            c.inbuf.erase(0, nl + 1);
-            if (!line.empty() && line.back() == '\r') line.pop_back();
-            if (line.empty()) continue;
-            write_all(c.fd, handle_line(line) + "\n");
-          }
-        }
-      }
-      if (closed) {
-        ::close(c.fd);
-        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(k));
-      } else {
-        ++k;
-      }
     }
   }
   for (const Connection& c : conns) ::close(c.fd);
   ::close(listener);
   ::unlink(socket_path.c_str());
-  return 0;
+  return halted() ? 1 : 0;
 }
 
 }  // namespace esva::serve

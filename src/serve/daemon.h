@@ -78,8 +78,19 @@ class Daemon {
   Daemon& operator=(const Daemon&) = delete;
 
   /// Handles one request line, returns one response line (never throws —
-  /// failures become {"ok":false,...} responses).
+  /// failures become {"ok":false,...} responses). A journal append/sync
+  /// failure (ENOSPC, EIO) is NOT an ordinary op error: the engine already
+  /// applied the op, so in-memory state is ahead of the durable journal and
+  /// replay could no longer reproduce it. The daemon then halts — the
+  /// failing op gets its error response, every later line is refused, and
+  /// serve_loop exits — matching the refuse-to-serve-on-divergence
+  /// philosophy of recovery.
   std::string handle_line(const std::string& line);
+
+  /// Non-empty once a journal write failed and the daemon refuses further
+  /// ops (the message explains why).
+  const std::string& fatal_error() const { return fatal_; }
+  bool halted() const { return !fatal_.empty(); }
 
   /// End-of-stream drain: finish_stream + journal + sync + snapshot. The
   /// same code path as the wire-level drain op.
@@ -93,7 +104,10 @@ class Daemon {
   /// Serves the wire protocol on a unix stream socket until `stop` becomes
   /// true (checked between poll rounds; flip it from a signal handler).
   /// `on_listening` fires once the socket accepts connections (tests).
-  /// Returns 0 on a clean stop; throws on socket setup failures.
+  /// Returns 0 on a clean stop, 1 when the daemon halted on a journal
+  /// failure (fatal_error() has the reason — do NOT checkpoint then, the
+  /// snapshot would capture state the journal never recorded); throws on
+  /// socket setup failures.
   int serve_loop(const std::string& socket_path, const std::atomic<bool>& stop,
                  const std::function<void()>& on_listening = {});
 
@@ -105,7 +119,10 @@ class Daemon {
   std::uint64_t replayed_records() const { return replayed_; }
   bool recovered_torn_tail() const { return torn_tail_; }
   bool recovered_from_snapshot() const { return from_snapshot_; }
-  std::string stats_json(bool with_assignment) const;
+  /// `with_id`/`id`: echo the client's correlation token like every other
+  /// response does.
+  std::string stats_json(bool with_assignment, bool with_id = false,
+                         long long id = 0) const;
 
  private:
   PlacementDecision apply_place(const VmSpec& vm);
@@ -115,6 +132,10 @@ class Daemon {
   /// displacements) accrued since the last call into the assignment map.
   void sync_resolutions();
   void journal(const std::string& record);
+  /// WalWriter::append / ::sync with halt-on-failure semantics: a throw
+  /// records fatal_ (the engine is ahead of the journal) and rethrows.
+  void wal_append(const std::string& record);
+  void wal_sync();
   void do_snapshot();
   std::string dispatch(const Request& req);
 
@@ -132,6 +153,8 @@ class Daemon {
   std::uint64_t replayed_ = 0;
   bool torn_tail_ = false;
   bool from_snapshot_ = false;
+  /// Set on the first journal write failure; the daemon refuses ops after.
+  std::string fatal_;
 };
 
 }  // namespace esva::serve

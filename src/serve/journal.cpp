@@ -204,14 +204,33 @@ std::string encode_drain_record(std::uint64_t seq) {
 
 WalFile read_wal(const std::string& path) {
   WalFile wal;
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return wal;  // no journal yet: fresh daemon
 
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    lines.push_back(line);
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  const std::string data = raw.str();
+
+  // Split on '\n' by hand (not getline) so every line keeps its byte-exact
+  // end offset — valid_bytes, the truncate-to point after a torn tail — and
+  // so a missing final newline is observable.
+  struct Line {
+    std::string text;        // without the trailing '\n' (may keep a '\r')
+    std::size_t number = 0;  // 1-based physical line, for error messages
+    std::uint64_t end = 0;   // offset just past this line's '\n'
+    bool newline = false;
+  };
+  std::vector<Line> lines;
+  std::size_t pos = 0, number = 0;
+  while (pos < data.size()) {
+    const std::size_t nl = data.find('\n', pos);
+    const bool has_nl = nl != std::string::npos;
+    const std::size_t end = has_nl ? nl + 1 : data.size();
+    ++number;
+    std::string text = data.substr(pos, (has_nl ? nl : data.size()) - pos);
+    if (text.find_first_not_of(" \t\r") != std::string::npos)
+      lines.push_back({std::move(text), number, end, has_nl});
+    pos = end;
   }
   if (lines.empty()) return wal;
 
@@ -219,27 +238,38 @@ WalFile read_wal(const std::string& path) {
   std::uint64_t prev_seq = 0;
   for (std::size_t k = 0; k < lines.size(); ++k) {
     const bool last = k + 1 == lines.size();
+    if (last && !lines[k].newline) {
+      // A completed append batch always ends in '\n', so a newline-less
+      // tail — even one that happens to parse — is a partial write whose op
+      // was never acked as durable: drop it.
+      wal.torn_tail = true;
+      break;
+    }
     try {
-      const json::Value root = json::parse(lines[k]);
+      const json::Value root = json::parse(lines[k].text);
       if (root.kind != json::Value::Kind::Object)
-        fail_line(k + 1, "record is not a JSON object");
+        fail_line(lines[k].number, "record is not a JSON object");
       const std::string& op = json::require_string(root, "op", "wal record");
       if (op == "hdr") {
-        if (have_header) fail_line(k + 1, "duplicate header");
-        if (k != 0) fail_line(k + 1, "header not on the first line");
-        wal.header = decode_header(root, k + 1);
+        if (have_header) fail_line(lines[k].number, "duplicate header");
+        if (k != 0) fail_line(lines[k].number, "header not on the first line");
+        wal.header = decode_header(root, lines[k].number);
         wal.has_header = true;
         have_header = true;
+        wal.valid_bytes = lines[k].end;
         continue;
       }
-      if (!have_header) fail_line(k + 1, "journal does not start with a header");
-      WalRecord rec = decode_record(root, op, lines[k], k + 1);
+      if (!have_header)
+        fail_line(lines[k].number, "journal does not start with a header");
+      WalRecord rec = decode_record(root, op, lines[k].text, lines[k].number);
       if (rec.seq <= prev_seq)
-        fail_line(k + 1, "sequence numbers must strictly increase (" +
-                             std::to_string(rec.seq) + " after " +
-                             std::to_string(prev_seq) + ")");
+        fail_line(lines[k].number,
+                  "sequence numbers must strictly increase (" +
+                      std::to_string(rec.seq) + " after " +
+                      std::to_string(prev_seq) + ")");
       prev_seq = rec.seq;
       wal.records.push_back(std::move(rec));
+      wal.valid_bytes = lines[k].end;
     } catch (const std::exception&) {
       if (last) {
         // The crash window of an append: a torn final line is dropped, not
@@ -251,6 +281,27 @@ WalFile read_wal(const std::string& path) {
     }
   }
   return wal;
+}
+
+void truncate_wal(const std::string& path, std::uint64_t valid_bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0)
+    throw std::runtime_error("cannot open wal '" + path +
+                             "' to drop its torn tail: " +
+                             std::strerror(errno));
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("cannot truncate wal '" + path +
+                             "': " + std::strerror(err));
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("cannot fsync truncated wal '" + path +
+                             "': " + std::strerror(err));
+  }
+  ::close(fd);
 }
 
 std::vector<VmDecisionTrace> decisions_from_wal(

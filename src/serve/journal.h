@@ -31,9 +31,13 @@
 // then act as replay-fidelity checksums — any divergence from the live run
 // is a hard error, not silent corruption (serve/daemon.cpp).
 //
-// Torn tails: a malformed or truncated LAST line (the crash window of an
-// append) is dropped and flagged; malformed records anywhere else are hard
-// errors.
+// Torn tails: a malformed LAST line, or any final line missing its
+// terminating newline (the crash window of an append — a completed batch
+// always ends in '\n', so a newline-less tail was never acked durable), is
+// dropped and flagged; malformed records anywhere else are hard errors.
+// Recovery then truncates the file back to the well-formed prefix
+// (truncate_wal) before appending, so the next record starts a fresh line
+// instead of being concatenated onto the torn bytes.
 
 #pragma once
 
@@ -84,6 +88,12 @@ struct WalFile {
   std::vector<WalRecord> records;
   /// True when a torn final line was dropped (crash mid-append).
   bool torn_tail = false;
+  /// Byte offset just past the last well-formed, newline-terminated line —
+  /// the prefix that survives recovery. With torn_tail set, everything past
+  /// this offset is the torn bytes; truncate_wal must cut them off before a
+  /// WalWriter reopens the file, or the next O_APPEND record would be
+  /// concatenated onto the torn line and corrupt it.
+  std::uint64_t valid_bytes = 0;
 };
 
 // --- record encoders (daemon side) -----------------------------------------
@@ -104,6 +114,12 @@ std::string encode_drain_record(std::uint64_t seq);
 /// default-constructed header (records empty) — callers treat that as a
 /// fresh journal.
 WalFile read_wal(const std::string& path);
+
+/// Truncates the journal to its well-formed prefix (WalFile::valid_bytes)
+/// and fsyncs, discarding a torn tail so the next append starts on a fresh
+/// line. Recovery must call this before constructing a WalWriter whenever
+/// read_wal reported torn_tail. Throws std::runtime_error on I/O failure.
+void truncate_wal(const std::string& path, std::uint64_t valid_bytes);
 
 /// The place/retire records as decision-trace entries, via the real trace
 /// loader (load_trace_jsonl) — pinning that every journal line stays

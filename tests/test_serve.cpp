@@ -10,14 +10,17 @@
 #include <gtest/gtest.h>
 
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -222,6 +225,32 @@ TEST(ServeWal, TornFinalLineIsDroppedNotFatal) {
   EXPECT_TRUE(wal.torn_tail);
   ASSERT_EQ(wal.records.size(), 1u);
   EXPECT_EQ(wal.records[0].to, 9);
+  ::unlink(path.c_str());
+}
+
+TEST(ServeWal, NewlinelessTailIsTornEvenWhenParseable) {
+  // A completed commit batch always ends in '\n': a final line missing its
+  // newline is a partial write whose op was never acked durable, even when
+  // the bytes happen to parse. valid_bytes must stop at the durable prefix
+  // so truncate_wal can cut the tail off.
+  const std::string path = temp_path("wal_noeol.wal");
+  std::string durable = serve::encode_wal_header(test_header()) + "\n" +
+                        serve::encode_advance_record(1, 9) + "\n";
+  {
+    std::ofstream out(path);
+    out << durable;
+    out << serve::encode_advance_record(2, 12);  // crash mid-batch: no '\n'
+  }
+  const WalFile wal = serve::read_wal(path);
+  EXPECT_TRUE(wal.torn_tail);
+  ASSERT_EQ(wal.records.size(), 1u);
+  EXPECT_EQ(wal.records[0].to, 9);
+  EXPECT_EQ(wal.valid_bytes, durable.size());
+  serve::truncate_wal(path, wal.valid_bytes);
+  const WalFile again = serve::read_wal(path);
+  EXPECT_FALSE(again.torn_tail);
+  ASSERT_EQ(again.records.size(), 1u);
+  EXPECT_EQ(again.valid_bytes, durable.size());
   ::unlink(path.c_str());
 }
 
@@ -623,6 +652,49 @@ TEST(ServeRecovery, TornTailIsDroppedAndFlagged) {
   ::unlink(options.wal_path.c_str());
 }
 
+TEST(ServeRecovery, TornTailIsTruncatedSoLaterAppendsStayParseable) {
+  // Recovery must cut the torn bytes off the file before reopening it for
+  // append: otherwise the next record is concatenated onto the torn line,
+  // and the following restart either hard-errors on mid-file corruption or
+  // silently drops an acked+fsynced record as a new torn tail.
+  const Workload w = make_workload(0x7041, false);
+  const DaemonOptions options =
+      daemon_options("min-incremental", 42, RetryPolicy{}, "torn_trunc");
+  std::uint64_t acked = 0;
+  {
+    Daemon daemon(w.servers, options);
+    feed_daemon(daemon, w);
+    acked = daemon.last_seq();
+  }
+  {
+    std::ofstream out(options.wal_path, std::ios::app);
+    out << R"({"op":"place","seq":")" << acked + 1 << R"(","vm":123,"cho)";
+  }
+  std::uint64_t after = 0;
+  {
+    Daemon recovered(w.servers, options);
+    EXPECT_TRUE(recovered.recovered_torn_tail());
+    EXPECT_EQ(recovered.last_seq(), acked);
+    // Journal one more op onto the recovered (truncated) file.
+    Request retire;
+    retire.op = OpKind::kRetire;
+    retire.vm_id = w.vms.front().id;
+    EXPECT_EQ(recovered.handle_line(serve::encode_request(retire))
+                  .rfind("{\"ok\":true", 0),
+              0u);
+    after = recovered.last_seq();
+    EXPECT_EQ(after, acked + 1);
+  }
+  // A third recovery sees a clean journal including the post-torn append —
+  // nothing merged, nothing dropped.
+  Daemon third(w.servers, options);
+  EXPECT_FALSE(third.recovered_torn_tail());
+  EXPECT_EQ(third.last_seq(), after);
+  EXPECT_EQ(third.replayed_records(), after);
+  EXPECT_EQ(third.assignment().at(w.vms.front().id), kNoServer);
+  ::unlink(options.wal_path.c_str());
+}
+
 TEST(ServeRecovery, ConfigMismatchRefusesToServe) {
   const Workload w = make_workload(0x3141, false);
   const DaemonOptions options =
@@ -727,6 +799,20 @@ TEST(ServeDaemon, RetireFreesCapacityAndPinsAssignment) {
   ::unlink(options.wal_path.c_str());
 }
 
+TEST(ServeDaemon, StatsEchoesRequestId) {
+  const Workload w = make_workload(0x51a7, false);
+  DaemonOptions options =
+      daemon_options("min-incremental", 42, RetryPolicy{}, "stats_id");
+  Daemon daemon(w.servers, options);
+  // Like every other op, stats must echo the client's correlation token.
+  const std::string with_id = daemon.handle_line(R"({"op":"stats","id":7})");
+  EXPECT_EQ(with_id.rfind("{\"ok\":true,\"id\":7,\"op\":\"stats\"", 0), 0u)
+      << with_id;
+  const std::string without = daemon.handle_line(R"({"op":"stats"})");
+  EXPECT_EQ(without.rfind("{\"ok\":true,\"op\":\"stats\"", 0), 0u) << without;
+  ::unlink(options.wal_path.c_str());
+}
+
 TEST(ServeDaemon, HandleLineTurnsFailuresIntoStructuredErrors) {
   const Workload w = make_workload(0xbead, false);
   DaemonOptions options =
@@ -747,6 +833,50 @@ TEST(ServeDaemon, HandleLineTurnsFailuresIntoStructuredErrors) {
 }
 
 // --- socket loop ------------------------------------------------------------
+
+/// Raw client socket (no protocol): tests that need to vanish mid-exchange
+/// or hold a connection idle, which serve::Client's call/response shape
+/// can't express.
+int raw_connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_line(int fd, const std::string& line) {
+  const std::string buf = line + "\n";
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::send(fd, buf.data() + off, buf.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string read_line(int fd) {
+  std::string out;
+  char ch = 0;
+  for (;;) {
+    const ssize_t n = ::read(fd, &ch, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0 || ch == '\n') return out;
+    out += ch;
+  }
+}
 
 TEST(ServeSocket, ServesLineProtocolOverUnixSocket) {
   const Workload w = make_workload(0x50c, false);
@@ -787,6 +917,107 @@ TEST(ServeSocket, ServesLineProtocolOverUnixSocket) {
   server.join();
   struct stat st{};
   EXPECT_NE(::stat(socket_path.c_str(), &st), 0) << "socket not cleaned up";
+  ::unlink(options.wal_path.c_str());
+}
+
+TEST(ServeSocket, SurvivesClientVanishingBeforeResponse) {
+  const Workload w = make_workload(0xdead, false);
+  DaemonOptions options =
+      daemon_options("min-incremental", 42, RetryPolicy{}, "vanish");
+  Daemon daemon(w.servers, options);
+
+  const std::string socket_path = temp_path("vanish.sock");
+  ::unlink(socket_path.c_str());
+  std::atomic<bool> stop{false};
+  std::atomic<bool> listening{false};
+  std::thread server([&] {
+    daemon.serve_loop(socket_path, stop, [&] { listening.store(true); });
+  });
+  while (!listening.load()) std::this_thread::yield();
+
+  {
+    // Send a place and hang up without reading the response: the daemon's
+    // write to the dead peer must surface as EPIPE (reaped connection),
+    // not SIGPIPE (dead daemon).
+    const int fd = raw_connect(socket_path);
+    ASSERT_GE(fd, 0);
+    Request req;
+    req.op = OpKind::kPlace;
+    req.vm = w.vms.front();
+    req.vm.start = std::max<Time>(1, req.vm.start);
+    ASSERT_TRUE(send_line(fd, serve::encode_request(req)));
+    ::close(fd);
+  }
+
+  // The daemon is still serving and applied the op it never got to ack.
+  bool applied = false;
+  for (int i = 0; i < 500 && !applied; ++i) {
+    serve::Client client(socket_path);
+    const std::string stats = client.call(R"({"op":"stats"})");
+    ASSERT_EQ(stats.rfind("{\"ok\":true", 0), 0u) << stats;
+    applied = stats.find("\"requests\":1") != std::string::npos;
+    if (!applied) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(applied) << "daemon never processed the vanished client's op";
+
+  stop.store(true);
+  server.join();
+  ::unlink(options.wal_path.c_str());
+}
+
+TEST(ServeSocket, ConnectionsStayAlignedAcrossCloseAndAcceptInOneRound) {
+  // One poll round can deliver a hangup, a request, and a brand-new
+  // connection together; the loop must keep each surviving connection
+  // paired with its own pollfd (a misalignment reads the wrong revents and
+  // can block on an idle socket).
+  const Workload w = make_workload(0xa119, false);
+  DaemonOptions options =
+      daemon_options("min-incremental", 42, RetryPolicy{}, "align");
+  Daemon daemon(w.servers, options);
+
+  const std::string socket_path = temp_path("align.sock");
+  ::unlink(socket_path.c_str());
+  std::atomic<bool> stop{false};
+  std::atomic<bool> listening{false};
+  std::thread server([&] {
+    daemon.serve_loop(socket_path, stop, [&] { listening.store(true); });
+  });
+  while (!listening.load()) std::this_thread::yield();
+
+  const int a = raw_connect(socket_path);
+  const int b = raw_connect(socket_path);
+  const int c = raw_connect(socket_path);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  ASSERT_GE(c, 0);
+  // Prime each connection so all three are accepted and polled.
+  for (const int fd : {a, b, c}) {
+    ASSERT_TRUE(send_line(fd, R"({"op":"stats"})"));
+    ASSERT_EQ(read_line(fd).rfind("{\"ok\":true", 0), 0u);
+  }
+
+  // Back-to-back while the daemon sits in poll: hang up a, request on b,
+  // and a new connection d — likely the same round; c stays idle.
+  ::close(a);
+  ASSERT_TRUE(send_line(b, R"({"op":"stats","id":9})"));
+  const int d = raw_connect(socket_path);
+  ASSERT_GE(d, 0);
+
+  const std::string from_b = read_line(b);
+  EXPECT_EQ(from_b.rfind("{\"ok\":true,\"id\":9", 0), 0u) << from_b;
+  ASSERT_TRUE(send_line(d, R"({"op":"stats","id":10})"));
+  const std::string from_d = read_line(d);
+  EXPECT_EQ(from_d.rfind("{\"ok\":true,\"id\":10", 0), 0u) << from_d;
+  // The idle connection is untouched and still responsive.
+  ASSERT_TRUE(send_line(c, R"({"op":"stats","id":11})"));
+  const std::string from_c = read_line(c);
+  EXPECT_EQ(from_c.rfind("{\"ok\":true,\"id\":11", 0), 0u) << from_c;
+
+  ::close(b);
+  ::close(c);
+  ::close(d);
+  stop.store(true);
+  server.join();
   ::unlink(options.wal_path.c_str());
 }
 
